@@ -1,0 +1,30 @@
+PYTHON ?= python
+
+.PHONY: install test bench bench-verbose examples results clean
+
+results: bench
+	$(PYTHON) tools/collect_results.py
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-verbose:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/capacity_planning.py
+	$(PYTHON) examples/tiering_comparison.py
+	$(PYTHON) examples/custom_workload.py
+	$(PYTHON) examples/multitier_sizing.py
+	$(PYTHON) examples/slo_guardrails.py
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,61 @@
+"""Ablation — last-level cache effects on the estimate.
+
+The client's default timing path ignores the LLC (100 KB records vs a
+12 MB cache make it second-order).  This bench turns the exact LRU
+model on and quantifies (a) the throughput effect of the cache and
+(b) the extra estimate error it introduces — the hot keys Mnemo places
+first are also the cached ones, so the model's average-savings
+assumption degrades slightly.
+"""
+
+import numpy as np
+
+from repro.core import Mnemo, estimate_errors, measure_curve, prefix_counts
+from repro.kvstore import RedisLike
+from repro.ycsb import YCSBClient
+
+from common import emit, pct, table
+
+
+def run(paper_traces):
+    trace = paper_traces["trending"]
+    out = {}
+    for use_llc in (False, True):
+        client = YCSBClient(repeats=2, noise_sigma=0.01, use_llc=use_llc,
+                            seed=13)
+        report = Mnemo(engine_factory=RedisLike, client=client).profile(trace)
+        points = measure_curve(
+            trace, report.pattern.order, RedisLike,
+            prefix_counts(trace.n_keys, 7), client=client,
+        )
+        errors = estimate_errors(report.curve, points)
+        out[use_llc] = (report, float(np.median(np.abs(errors))))
+    return out
+
+
+def test_ablation_llc(benchmark, paper_traces):
+    results = benchmark.pedantic(run, args=(paper_traces,), rounds=1,
+                                 iterations=1)
+
+    rows = []
+    for use_llc, (report, err) in results.items():
+        b = report.baselines
+        rows.append((
+            "exact LRU" if use_llc else "off",
+            f"{b.slow.throughput_ops_s:,.0f}",
+            f"{b.throughput_gap:.3f}x",
+            f"{err:.4f}%",
+        ))
+    emit("ablation_llc", table(
+        ["LLC model", "SlowMem ops/s", "gap", "median |err|"], rows,
+    ) + ["12 MB LLC vs ~1 GB dataset of 100 KB records: the cache absorbs "
+         "only the very hottest keys; the analytic model stays accurate"])
+
+    (_, err_off), (_, err_on) = results[False], results[True]
+    # the model remains in the sub-percent regime either way
+    assert err_off < 0.2
+    assert err_on < 1.0
+    # the LLC helps (or at least never hurts) the SlowMem baseline
+    gap_off = results[False][0].baselines.throughput_gap
+    gap_on = results[True][0].baselines.throughput_gap
+    assert gap_on <= gap_off + 0.02

@@ -1,0 +1,101 @@
+"""Ablation — the model's scoping boundary (Section V-A, "Target
+applications").
+
+The paper explicitly does NOT claim the estimation model works for
+"data stores ... engaging storage components".  This bench makes that
+boundary quantitative: it applies the exact Mnemo methodology (two
+baselines + uniform average savings) to the storage-backed store and
+contrasts the resulting estimate error against the in-memory RedisLike
+under identical workloads and placements.
+"""
+
+import numpy as np
+
+from repro.core import Mnemo, estimate_errors, measure_curve, prefix_counts
+from repro.cost.model import cost_reduction_factor
+from repro.kvstore import RedisLike
+from repro.kvstore.storage import StorageBackedStore
+from repro.memsim import HybridMemorySystem
+
+from common import emit, table
+
+N_POINTS = 9
+
+
+def mnemo_style_estimate(store, trace, order):
+    """Apply the paper's model verbatim to the storage-backed store."""
+    n = trace.n_keys
+    fast = store.execute(trace, np.ones(n, dtype=bool), repeats=3, seed=41)
+    slow = store.execute(trace, np.zeros(n, dtype=bool), repeats=3, seed=42)
+    read_delta = slow.avg_read_ns - fast.avg_read_ns
+    write_delta = slow.avg_write_ns - fast.avg_write_ns
+    reads, writes = trace.per_key_counts()
+    cum_r = np.concatenate(([0], np.cumsum(reads[order])))
+    cum_w = np.concatenate(([0], np.cumsum(writes[order])))
+    runtime = slow.runtime_ns - cum_r * read_delta - cum_w * write_delta
+    return runtime
+
+
+def run(paper_traces, bench_client):
+    trace = paper_traces["trending"]
+    counts = prefix_counts(trace.n_keys, N_POINTS)
+
+    # in-memory reference: the paper's pipeline
+    redis_report = Mnemo(engine_factory=RedisLike,
+                         client=bench_client).profile(trace)
+    redis_points = measure_curve(
+        trace, redis_report.pattern.order, RedisLike, counts,
+        client=bench_client,
+    )
+    redis_errors = estimate_errors(redis_report.curve, redis_points)
+
+    # storage-backed store: same methodology, hot-first ordering
+    store = StorageBackedStore(HybridMemorySystem.testbed())
+    req_counts = np.bincount(trace.keys, minlength=trace.n_keys)
+    order = np.argsort(-(req_counts / trace.record_sizes), kind="stable")
+    est_runtime = mnemo_style_estimate(store, trace, order)
+
+    rows, storage_errors = [], []
+    total = int(trace.record_sizes.sum())
+    for n_fast in counts:
+        mask = np.zeros(trace.n_keys, dtype=bool)
+        mask[order[:n_fast]] = True
+        measured = store.execute(trace, mask, repeats=3, seed=43 + n_fast)
+        est = est_runtime[n_fast]
+        err = (measured.runtime_ns - est) / measured.runtime_ns * 100
+        storage_errors.append(err)
+        cost = cost_reduction_factor(
+            int(trace.record_sizes[order[:n_fast]].sum()), total
+        )
+        rows.append((f"{cost:.2f}",
+                     f"{measured.runtime_ns / 1e9:.3f}",
+                     f"{est / 1e9:.3f}", f"{err:+.2f}%"))
+    return store, rows, np.array(storage_errors), redis_errors
+
+
+def test_ablation_storage_scoping(benchmark, paper_traces, bench_client):
+    store, rows, storage_errors, redis_errors = benchmark.pedantic(
+        run, args=(paper_traces, bench_client), rounds=1, iterations=1,
+    )
+
+    hit_rate = store.cache_hit_rate(paper_traces["trending"])
+    lines = table(
+        ["cost factor", "measured s", "Mnemo-model s", "error"], rows,
+    )
+    lines += [
+        "",
+        f"block cache hit rate: {hit_rate:.0%}",
+        f"storage-backed median |error|: "
+        f"{np.median(np.abs(storage_errors)):.3f}%",
+        f"in-memory (redis) median |error|: "
+        f"{np.median(np.abs(redis_errors)):.4f}%",
+        "paper scoping confirmed: the model is only claimed (and only "
+        "accurate) for in-memory stores",
+    ]
+    emit("ablation_storage", lines)
+
+    med_storage = np.median(np.abs(storage_errors))
+    med_redis = np.median(np.abs(redis_errors))
+    assert med_storage > 20 * med_redis   # orders-of-magnitude contrast
+    assert np.abs(storage_errors).max() > 1.0  # percent-scale breakage
+    assert med_redis < 0.1

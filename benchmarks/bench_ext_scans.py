@@ -1,0 +1,63 @@
+"""Extension — range scans dilute the hot set (DynamoDB Query-style).
+
+The paper's workloads are point operations.  Feed-style applications on
+ordered stores (DynamoDB Query, YCSB workload E) read short key ranges;
+each scan drags the hot key's *neighbours* into the working set,
+flattening the access distribution and shrinking the cost-reduction
+opportunity.  This bench quantifies the effect on DynamoLike at the
+10 % SLO for increasing scan lengths.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.analysis.cdf import coverage_fraction
+from repro.core import Mnemo
+from repro.kvstore import DynamoLike
+from repro.ycsb import YCSBClient, generate_trace
+from repro.ycsb.presets import FEED_SCROLL
+
+from common import emit, pct, table
+
+SCAN_LENGTHS = [1, 4, 10, 25]
+
+
+def run():
+    client = YCSBClient(repeats=3, noise_sigma=0.01, seed=71)
+    rows = []
+    for max_len in SCAN_LENGTHS:
+        spec = replace(
+            FEED_SCROLL,
+            name=f"feed_scan{max_len}",
+            scan_fraction=0.0 if max_len == 1 else FEED_SCROLL.scan_fraction,
+            scan_max_length=max_len,
+        )
+        trace = generate_trace(spec)
+        report = Mnemo(engine_factory=DynamoLike, client=client).profile(
+            trace
+        )
+        choice = report.choose(0.10)
+        rows.append((
+            max_len,
+            trace.n_requests,
+            coverage_fraction(trace, 0.9),
+            choice.cost_factor,
+        ))
+    return rows
+
+
+def test_ext_scans(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    emit("ext_scans", table(
+        ["max scan len", "requests", "keys for 90% of reqs", "cost @SLO"],
+        [(n, f"{req:,}", pct(cov), pct(cost)) for n, req, cov, cost in rows],
+    ) + ["longer scans flatten the hot set: more keys must sit in "
+         "FastMem to meet the same SLO (point-read results do not "
+         "transfer to Query-heavy deployments)"])
+
+    coverages = [r[2] for r in rows]
+    costs = [r[3] for r in rows]
+    assert coverages == sorted(coverages)   # scans widen the hot set
+    assert costs[-1] > costs[0]             # and raise the SLO cost

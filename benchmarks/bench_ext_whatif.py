@@ -1,0 +1,74 @@
+"""Extension — sizing robustness to NVM price and speed uncertainty.
+
+The paper fixes p = 0.2 and one emulated device; real NVDIMM prices
+(projected 3-7x below DRAM) and speeds were unknown at publication.
+This bench sweeps both axes on the Trending/Redis profile:
+
+- price: the SLO-binding placement is price-independent, so the whole
+  price band is evaluated from one profile (re-costing is free);
+- device: slower/faster SlowMem parts are re-profiled, moving both the
+  throughput gap and the DRAM share the SLO demands.
+"""
+
+from repro.core import Mnemo
+from repro.core.whatif import (
+    DEFAULT_SCENARIOS,
+    PRICE_BAND,
+    device_sensitivity,
+    price_sensitivity,
+)
+from repro.kvstore import RedisLike
+
+from common import emit, pct, table
+
+
+def run(paper_traces, bench_client, redis_reports):
+    trace = paper_traces["trending"]
+    report = redis_reports["trending"]
+    price_choices = price_sensitivity(report.curve, PRICE_BAND)
+    device_outcomes = device_sensitivity(
+        trace, RedisLike, DEFAULT_SCENARIOS, client=bench_client,
+    )
+    return price_choices, device_outcomes
+
+
+def test_ext_whatif(benchmark, paper_traces, bench_client, redis_reports):
+    price_choices, device_outcomes = benchmark.pedantic(
+        run, args=(paper_traces, bench_client, redis_reports),
+        rounds=1, iterations=1,
+    )
+
+    lines = ["[price sensitivity: same profile, re-costed]"]
+    lines += table(
+        ["p (NVM/DRAM $)", "cost @10% SLO", "memory saving", "FastMem keys"],
+        [(f"{p:.3f}", pct(c.cost_factor), pct(1 - c.cost_factor),
+          f"{c.n_fast_keys:,}")
+         for p, c in sorted(price_choices.items())],
+    )
+    lines += ["", "[device sensitivity: re-profiled per part]"]
+    lines += table(
+        ["scenario", "B/L factors", "gap", "FastMem share", "cost @SLO"],
+        [(o.scenario.name,
+          f"B:{o.scenario.factors.bandwidth:.2f} "
+          f"L:{o.scenario.factors.latency:.2f}",
+          f"{o.throughput_gap:.2f}x",
+          pct(o.choice.capacity_ratio),
+          pct(o.choice.cost_factor))
+         for o in device_outcomes],
+        fmt="{:>20}",
+    )
+    emit("ext_whatif", lines)
+
+    # price: placement invariant, cost monotone in p
+    key_counts = {c.n_fast_keys for c in price_choices.values()}
+    assert len(key_counts) == 1
+    costs = [price_choices[p].cost_factor for p in sorted(price_choices)]
+    assert costs == sorted(costs)
+
+    # device: slower part -> bigger gap and >= DRAM share
+    by_name = {o.scenario.name: o for o in device_outcomes}
+    assert (by_name["slower part"].throughput_gap
+            > by_name["table-i (emulated)"].throughput_gap
+            > by_name["faster part"].throughput_gap)
+    assert (by_name["slower part"].choice.capacity_ratio
+            >= by_name["faster part"].choice.capacity_ratio)

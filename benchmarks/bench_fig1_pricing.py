@@ -1,0 +1,56 @@
+"""Figure 1 — memory's share of Memory-Optimized VM cost.
+
+Regenerates the per-SKU memory-cost fractions for the AWS ElastiCache,
+GCE and Azure families via the least-squares unit-cost regression.
+Paper: the share is approximately 60-85 % across providers.
+"""
+
+import numpy as np
+
+from repro.pricing import (
+    MEMORY_OPTIMIZED_FAMILIES,
+    catalog_for,
+    fit_unit_costs,
+    memory_fraction_summary,
+    provider_catalog,
+    providers,
+)
+
+from common import emit, pct, table
+
+
+def compute_figure_1():
+    fits = {p: fit_unit_costs(provider_catalog(p)) for p in providers()}
+    return fits, memory_fraction_summary()
+
+
+def test_fig1_memory_cost_fractions(benchmark):
+    fits, summary = benchmark(compute_figure_1)
+
+    rows = []
+    for family in MEMORY_OPTIMIZED_FAMILIES:
+        for inst in catalog_for(family):
+            rows.append((
+                family, inst.name, inst.vcpus, f"{inst.memory_gb:g}",
+                f"${inst.hourly_usd:.3f}", pct(summary[family][inst.name]),
+            ))
+    lines = table(
+        ["family", "instance", "vCPU", "GB", "$/hr", "mem share"], rows,
+        fmt="{:>22}",
+    )
+    lines.append("")
+    for p, fit in sorted(fits.items()):
+        lines.append(
+            f"{p}: C = ${fit.vcpu_cost:.4f}/vCPU-hr, "
+            f"M = ${fit.memory_cost:.5f}/GB-hr (rms residual {pct(fit.residual)})"
+        )
+    fracs = np.array([f for d in summary.values() for f in d.values()])
+    lines.append(
+        f"memory share across Memory-Optimized SKUs: "
+        f"min {pct(fracs.min())}, median {pct(np.median(fracs))}, "
+        f"max {pct(fracs.max())}  (paper: ~60-85%)"
+    )
+    emit("fig1_pricing", lines)
+
+    assert np.median(fracs) > 0.6
+    assert fracs.min() > 0.5

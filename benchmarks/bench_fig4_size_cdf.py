@@ -1,0 +1,38 @@
+"""Figure 4 — CDF of common social-media data sizes.
+
+Regenerates the record-size CDFs for the caption / text post /
+thumbnail models and the trending-preview mixture.
+"""
+
+import numpy as np
+
+from repro.analysis.cdf import size_cdf
+from repro.ycsb.sizes import PHOTO_CAPTION, PREVIEW_MIX, TEXT_POST, THUMBNAIL
+
+from common import emit, table
+
+MODELS = [PHOTO_CAPTION, TEXT_POST, THUMBNAIL, PREVIEW_MIX]
+N = 50_000
+
+
+def build_size_cdfs():
+    return {m.name: size_cdf(m.sample(N, seed=4)) for m in MODELS}
+
+
+def test_fig4_size_cdf(benchmark):
+    cdfs = benchmark(build_size_cdfs)
+
+    rows = []
+    for m in MODELS:
+        xs, ps = cdfs[m.name]
+        p10, p50, p90 = np.interp([0.1, 0.5, 0.9], ps, xs)
+        rows.append((m.name, f"{p10:,.0f}", f"{p50:,.0f}", f"{p90:,.0f}"))
+    emit("fig4_size_cdf", table(
+        ["model", "p10 (B)", "median (B)", "p90 (B)"], rows, fmt="{:>16}",
+    ) + ["paper: caption ~1 KB, text post ~10 KB, thumbnail ~100 KB "
+         "(log-scale CDF)"])
+
+    med = lambda name: np.interp(0.5, cdfs[name][1], cdfs[name][0])
+    assert 800 < med("photo_caption") < 1_300
+    assert 8_000 < med("text_post") < 13_000
+    assert 80_000 < med("thumbnail") < 130_000

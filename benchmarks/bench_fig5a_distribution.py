@@ -1,0 +1,66 @@
+"""Figure 5a — Redis throughput vs memory cost per key distribution.
+
+For each read-only Table III workload: measure real executions at 11
+incremental FastMem:SlowMem ratios along the touch order, overlay
+Mnemo's estimate, and print the (cost, throughput) series the paper
+plots.
+"""
+
+import numpy as np
+
+from repro.core import estimate_errors, measure_curve, prefix_counts
+from repro.kvstore import RedisLike
+
+from common import emit, pct, table
+
+WORKLOADS = ["trending", "news_feed", "timeline"]
+N_POINTS = 11
+
+
+def sweep(trace, report, client):
+    counts = prefix_counts(trace.n_keys, N_POINTS)
+    points = measure_curve(trace, report.pattern.order, RedisLike, counts,
+                           client=client)
+    errors = estimate_errors(report.curve, points)
+    return points, errors
+
+
+def test_fig5a_key_distribution(benchmark, paper_traces, redis_reports,
+                                bench_client):
+    results = {}
+
+    def run_all():
+        for name in WORKLOADS:
+            results[name] = sweep(paper_traces[name], redis_reports[name],
+                                  bench_client)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = []
+    for name in WORKLOADS:
+        points, errors = results[name]
+        curve = redis_reports[name].curve
+        lines.append(f"[{name}]")
+        rows = [
+            (f"{p.cost_factor:.2f}",
+             f"{p.result.throughput_ops_s:,.0f}",
+             f"{curve.throughput_ops_s[p.n_fast_keys]:,.0f}",
+             f"{e:+.3f}%")
+            for p, e in zip(points, errors)
+        ]
+        lines += table(
+            ["cost factor", "measured ops/s", "estimate ops/s", "error"],
+            rows,
+        )
+        gap = redis_reports[name].baselines.throughput_gap
+        lines.append(f"FastMem-only / SlowMem-only throughput: {gap:.2f}x")
+        lines.append("")
+    emit("fig5a_distribution", lines)
+
+    # paper shape: ~40 % gap, estimate within a fraction of a percent
+    for name in WORKLOADS:
+        _, errors = results[name]
+        assert np.median(np.abs(errors)) < 0.3
+        gap = redis_reports[name].baselines.throughput_gap
+        assert 1.25 < gap < 1.55

@@ -1,0 +1,60 @@
+"""Figure 5b — throughput vs cost per read:write ratio.
+
+Compares the read-only Timeline against the 50:50 Edit Thumbnail (same
+scrambled-zipfian pattern, same record sizes) and adds denser ratio
+steps to expose the trend: the more writes, the smaller the SlowMem
+penalty.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core import Mnemo
+from repro.kvstore import RedisLike
+from repro.ycsb import generate_trace
+from repro.ycsb.presets import TIMELINE
+
+from common import emit, pct, table
+
+READ_FRACTIONS = [1.0, 0.75, 0.5, 0.25]
+
+
+def sweep_rw_ratios(client):
+    out = {}
+    for rf in READ_FRACTIONS:
+        spec = replace(TIMELINE, name=f"timeline_rw{int(rf * 100)}",
+                       read_fraction=rf)
+        report = Mnemo(engine_factory=RedisLike, client=client).profile(
+            generate_trace(spec)
+        )
+        out[rf] = report
+    return out
+
+
+def test_fig5b_read_write_ratio(benchmark, bench_client):
+    reports = benchmark.pedantic(
+        sweep_rw_ratios, args=(bench_client,), rounds=1, iterations=1
+    )
+
+    rows = []
+    for rf in READ_FRACTIONS:
+        b = reports[rf].baselines
+        rows.append((
+            f"{int(rf * 100)}:{int((1 - rf) * 100)}",
+            f"{b.fast.throughput_ops_s:,.0f}",
+            f"{b.slow.throughput_ops_s:,.0f}",
+            f"{b.throughput_gap:.3f}x",
+            pct(reports[rf].choose(0.10).cost_factor),
+        ))
+    emit("fig5b_rw_ratio", table(
+        ["read:write", "Fast ops/s", "Slow ops/s", "gap",
+         "cost @10% SLO"], rows,
+    ) + ["paper: write-heavy workloads are less impacted by SlowMem "
+         "than read-heavy ones"])
+
+    gaps = [reports[rf].baselines.throughput_gap for rf in READ_FRACTIONS]
+    assert gaps == sorted(gaps, reverse=True)  # more writes -> smaller gap
+    # and smaller gap -> cheaper SLO-compliant sizing
+    costs = [reports[rf].choose(0.10).cost_factor for rf in READ_FRACTIONS]
+    assert costs[-1] < costs[0]

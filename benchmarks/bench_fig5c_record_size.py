@@ -1,0 +1,62 @@
+"""Figure 5c — throughput vs cost per record size.
+
+Same access pattern at 1 KB / 10 KB / 100 KB records: bigger records
+make the curve's knee bigger (more performance to recover by placing
+them in FastMem).
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core import Mnemo
+from repro.kvstore import RedisLike
+from repro.ycsb import generate_trace
+from repro.ycsb.presets import TIMELINE
+from repro.ycsb.sizes import SizeModel
+
+from common import emit, pct, table
+
+MEDIANS = [1_000, 10_000, 100_000]
+
+
+def sweep_record_sizes(client):
+    out = {}
+    for m in MEDIANS:
+        spec = replace(
+            TIMELINE, name=f"timeline_{m}b",
+            size_model=SizeModel(name=f"s{m}", median_bytes=m, sigma=0.2),
+        )
+        out[m] = Mnemo(engine_factory=RedisLike, client=client).profile(
+            generate_trace(spec)
+        )
+    return out
+
+
+def test_fig5c_record_size(benchmark, bench_client):
+    reports = benchmark.pedantic(
+        sweep_record_sizes, args=(bench_client,), rounds=1, iterations=1
+    )
+
+    rows = []
+    for m in MEDIANS:
+        b = reports[m].baselines
+        curve = reports[m].curve
+        # knee magnitude: total throughput recoverable, relative to ideal
+        knee = 1 - float(curve.throughput_ops_s[0] / curve.throughput_ops_s[-1])
+        rows.append((
+            f"{m:,} B",
+            f"{b.fast.throughput_ops_s:,.0f}",
+            f"{b.slow.throughput_ops_s:,.0f}",
+            f"{b.throughput_gap:.3f}x",
+            pct(knee),
+        ))
+    emit("fig5c_record_size", table(
+        ["record size", "Fast ops/s", "Slow ops/s", "gap", "knee size"],
+        rows,
+    ) + ["paper: big records influence performance much more than small "
+         "ones (the knee of the line is bigger)"])
+
+    gaps = [reports[m].baselines.throughput_gap for m in MEDIANS]
+    assert gaps[0] < gaps[1] < gaps[2]
+    assert gaps[0] < 1.02 and gaps[2] > 1.30

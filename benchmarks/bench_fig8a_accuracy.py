@@ -1,0 +1,60 @@
+"""Figure 8a — estimate percentage-error boxplots per key-value store.
+
+Runs every Table III workload on every engine, measures real executions
+at 11 intermediate ratios, and summarises the percentage error
+``(r - e)/r * 100`` as Tukey boxplot statistics per store.
+Paper: 0.07 % median error overall.
+"""
+
+import numpy as np
+
+from repro.analysis import boxplot_stats
+from repro.core import estimate_errors, measure_curve, prefix_counts
+
+from common import emit, table
+from conftest import ENGINES
+
+N_POINTS = 11
+
+
+def collect_errors(paper_traces, all_reports, client):
+    errors = {name: [] for name in ENGINES}
+    for (engine_name, wname), report in all_reports.items():
+        trace = paper_traces[wname]
+        points = measure_curve(
+            trace, report.pattern.order, ENGINES[engine_name],
+            prefix_counts(trace.n_keys, N_POINTS), client=client,
+        )
+        errors[engine_name].extend(
+            estimate_errors(report.curve, points).tolist()
+        )
+    return {name: np.array(v) for name, v in errors.items()}
+
+
+def test_fig8a_estimate_accuracy(benchmark, paper_traces, all_reports,
+                                 bench_client):
+    errors = benchmark.pedantic(
+        collect_errors, args=(paper_traces, all_reports, bench_client),
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for name, errs in errors.items():
+        stats = boxplot_stats(errs)
+        rows.append((
+            name, f"{stats.median:+.4f}%", f"{stats.q1:+.4f}%",
+            f"{stats.q3:+.4f}%", f"{stats.whisker_low:+.3f}%",
+            f"{stats.whisker_high:+.3f}%", stats.n,
+        ))
+    all_errs = np.concatenate(list(errors.values()))
+    from repro.analysis.bootstrap import bootstrap_ci
+
+    ci = bootstrap_ci(np.abs(all_errs), seed=8)
+    emit("fig8a_accuracy", table(
+        ["store", "median", "q1", "q3", "whisk lo", "whisk hi", "n"], rows,
+    ) + [f"overall median |error|: {ci.statistic:.4f}% "
+         f"(95% bootstrap CI {ci.low:.4f}%..{ci.high:.4f}%; paper: 0.07%)"])
+
+    assert np.median(np.abs(all_errs)) < 0.15
+    for errs in errors.values():
+        assert np.median(np.abs(errs)) < 0.3

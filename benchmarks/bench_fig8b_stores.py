@@ -1,0 +1,43 @@
+"""Figure 8b — application performance across stores (Trending).
+
+Measures the throughput-vs-cost behaviour of DynamoDB, Redis and
+Memcached on the Trending workload.  Paper: DynamoDB is severely
+impacted by SlowMem, Memcached barely influenced, Redis in between.
+"""
+
+import numpy as np
+
+from common import emit, pct, table
+from conftest import ENGINES
+
+
+def gather(all_reports):
+    out = {}
+    for name in ENGINES:
+        report = all_reports[(name, "trending")]
+        out[name] = report
+    return out
+
+
+def test_fig8b_store_comparison(benchmark, all_reports):
+    reports = benchmark(gather, all_reports)
+
+    rows = []
+    for name, report in reports.items():
+        b = report.baselines
+        rows.append((
+            name,
+            f"{b.fast.throughput_ops_s:,.0f}",
+            f"{b.slow.throughput_ops_s:,.0f}",
+            f"{b.throughput_gap:.2f}x",
+            pct(1 - 1 / b.throughput_gap),
+        ))
+    emit("fig8b_stores", table(
+        ["store", "FastMem ops/s", "SlowMem ops/s", "gap",
+         "SlowMem penalty"], rows,
+    ) + ["paper: DynamoDB severely impacted, Memcached barely influenced"])
+
+    gaps = {n: r.baselines.throughput_gap for n, r in reports.items()}
+    assert gaps["dynamodb"] > gaps["redis"] > gaps["memcached"]
+    assert gaps["memcached"] < 1.06
+    assert gaps["dynamodb"] > 2.0

@@ -1,0 +1,56 @@
+"""Figure 8c — average-latency estimate accuracy.
+
+Mnemo also estimates the average request latency; this bench measures
+real average latencies at intermediate ratios on Trending across all
+three stores and reports the estimate error.
+"""
+
+import numpy as np
+
+from repro.core import estimate_errors, measure_curve, prefix_counts
+
+from common import emit, table
+from conftest import ENGINES
+
+N_POINTS = 9
+
+
+def collect(paper_traces, all_reports, client):
+    out = {}
+    trace = paper_traces["trending"]
+    for name, factory in ENGINES.items():
+        report = all_reports[(name, "trending")]
+        points = measure_curve(
+            trace, report.pattern.order, factory,
+            prefix_counts(trace.n_keys, N_POINTS), client=client,
+        )
+        errors = estimate_errors(report.curve, points, metric="avg_latency")
+        out[name] = (report, points, errors)
+    return out
+
+
+def test_fig8c_average_latency(benchmark, paper_traces, all_reports,
+                               bench_client):
+    results = benchmark.pedantic(
+        collect, args=(paper_traces, all_reports, bench_client),
+        rounds=1, iterations=1,
+    )
+
+    lines = []
+    for name, (report, points, errors) in results.items():
+        lines.append(f"[{name}]")
+        rows = [
+            (f"{p.cost_factor:.2f}",
+             f"{p.result.avg_latency_ns / 1000:.1f}",
+             f"{report.curve.avg_latency_ns[p.n_fast_keys] / 1000:.1f}",
+             f"{e:+.3f}%")
+            for p, e in zip(points, errors)
+        ]
+        lines += table(
+            ["cost factor", "measured us", "estimate us", "error"], rows,
+        )
+        lines.append("")
+    emit("fig8c_latency", lines)
+
+    for name, (_, _, errors) in results.items():
+        assert np.median(np.abs(errors)) < 0.3

@@ -1,0 +1,52 @@
+"""Figure 9 — cost reduction at a 10 % slowdown SLO, all workloads x stores.
+
+For every (workload, store) pair: the cheapest estimated sizing whose
+throughput stays within 10 % of FastMem-only.  The 20 % floor is the
+assumed SlowMem-only cost (p = 0.2).
+"""
+
+import numpy as np
+import pytest
+
+from common import emit, pct, table
+from conftest import ENGINES
+
+WORKLOAD_ORDER = ["trending", "news_feed", "timeline", "edit_thumbnail",
+                  "trending_preview"]
+
+
+def choose_all(all_reports):
+    return {
+        key: report.choose(0.10) for key, report in all_reports.items()
+    }
+
+
+def test_fig9_cost_reduction(benchmark, all_reports):
+    choices = benchmark(choose_all, all_reports)
+
+    rows = []
+    for wname in WORKLOAD_ORDER:
+        rows.append((
+            wname,
+            *(pct(choices[(e, wname)].cost_factor) for e in ENGINES),
+        ))
+    emit("fig9_cost_reduction", table(
+        ["workload", *ENGINES], rows, fmt="{:>18}",
+    ) + ["cost as % of FastMem-only; floor = 20% (p = 0.2); "
+         "lower is better (paper Fig 9)"])
+
+    c = {k: v.cost_factor for k, v in choices.items()}
+
+    # memcached: insensitive -> floor everywhere
+    for w in WORKLOAD_ORDER:
+        assert c[("memcached", w)] == pytest.approx(0.2, abs=0.02)
+
+    # redis: trending cheap, news feed barely saves, writes help
+    assert c[("redis", "trending")] < 0.55
+    assert c[("redis", "news_feed")] > c[("redis", "trending")]
+    assert c[("redis", "edit_thumbnail")] < c[("redis", "timeline")]
+
+    # dynamodb: most impacted, but still 20-30 % savings on hotspots
+    for w in WORKLOAD_ORDER:
+        assert c[("dynamodb", w)] >= c[("redis", w)] - 0.02
+    assert 0.60 <= c[("dynamodb", "trending")] <= 0.85

@@ -1,0 +1,48 @@
+"""Table I — testbed bandwidth and latency.
+
+Runs latency (pointer-chase) and bandwidth (streaming) microbenchmarks
+against the emulated hybrid memory system and reports the recovered
+device parameters with the paper's B:x L:y factor notation.
+"""
+
+import pytest
+
+from repro.memsim import HybridMemorySystem
+from repro.units import MiB
+
+from common import emit, table
+
+
+def microbenchmark(system: HybridMemorySystem):
+    """Recover each node's latency and bandwidth from synthetic kernels."""
+    results = {}
+    for node in system.nodes:
+        # latency: dependent 64 B line accesses; transfer term is negligible
+        lat = node.access_time_ns(64) - 64 / node.bytes_per_ns
+        # bandwidth: one large streaming transfer amortises latency away
+        stream = 64 * MiB
+        bw = stream / (node.access_time_ns(stream) - node.latency_ns)
+        results[node.name] = (lat, bw)
+    return results
+
+
+def test_table1_testbed_parameters(benchmark):
+    system = HybridMemorySystem.testbed()
+    results = benchmark(microbenchmark, system)
+
+    fast_lat, fast_bw = results["FastMem"]
+    slow_lat, slow_bw = results["SlowMem"]
+    rows = [
+        ("FastMem", f"{fast_lat:.1f}", f"{fast_bw:.2f}", "B:1 L:1"),
+        ("SlowMem", f"{slow_lat:.1f}", f"{slow_bw:.2f}",
+         f"B:{slow_bw / fast_bw:.2f} L:{slow_lat / fast_lat:.2f}"),
+    ]
+    emit("table1_testbed", table(
+        ["node", "latency (ns)", "BW (GB/s)", "factors"], rows,
+    ) + ["paper: Fast 65.7 ns / 14.9 GB/s; Slow 238.1 ns / 1.81 GB/s "
+         "(B:0.12 L:3.62)"])
+
+    assert fast_lat == pytest.approx(65.7, rel=1e-6)
+    assert slow_lat == pytest.approx(238.1, rel=1e-6)
+    assert slow_bw / fast_bw == pytest.approx(0.12, abs=0.01)
+    assert slow_lat / fast_lat == pytest.approx(3.62, abs=0.01)

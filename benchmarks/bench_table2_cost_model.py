@@ -1,0 +1,38 @@
+"""Table II — performance baselines and cost-reduction factors.
+
+Sweeps the cost model over the three anchor sizings (best case, the
+paper's in-between example, worst case) at p = 0.2.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cost import CostModel
+
+from common import emit, table
+
+
+def sweep_cost_model(total_bytes: int = 1_000_000_000):
+    model = CostModel(total_bytes=total_bytes, p=0.2)
+    fast = np.linspace(0, total_bytes, 101)
+    return model, model.factor(fast)
+
+
+def test_table2_cost_model(benchmark):
+    model, curve = benchmark(sweep_cost_model)
+
+    total = model.total_bytes
+    rows = [
+        ("Best Case", "C bytes", "0 bytes", f"{model.factor(total):.2f}"),
+        ("In between (hot 20%)", "0.2C", "0.8C",
+         f"{model.factor(0.2 * total):.2f}"),
+        ("Worst Case", "0 bytes", "C bytes", f"{model.factor(0):.2f}"),
+    ]
+    emit("table2_cost_model", table(
+        ["runtime", "FastMem", "SlowMem", "cost factor"], rows, fmt="{:>20}",
+    ) + [f"p = {model.p} (SlowMem {model.p:.0%} of FastMem per-byte cost)"])
+
+    assert model.factor(total) == 1.0
+    assert model.factor(0) == pytest.approx(0.2)
+    assert model.factor(0.2 * total) == pytest.approx(0.36)
+    assert (np.diff(curve) > 0).all()

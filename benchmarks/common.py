@@ -1,0 +1,39 @@
+"""Reporting helpers shared by the benchmark files.
+
+Every bench regenerates one of the paper's tables or figures and prints
+it in a paper-comparable layout (run pytest with ``-s`` to see the
+tables inline); the same text is also written to ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def emit(experiment_id: str, lines: Iterable[str]) -> str:
+    """Print a result block and persist it to ``benchmarks/out/``."""
+    text = "\n".join([f"== {experiment_id} ==", *lines, ""])
+    print("\n" + text)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{experiment_id}.txt").write_text(text)
+    return text
+
+
+def table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+          fmt: str = "{:>14}") -> list[str]:
+    """Fixed-width text table."""
+    def render(cells):
+        return " ".join(fmt.format(str(c)) for c in cells)
+
+    out = [render(headers)]
+    out.append("-" * len(out[0]))
+    out.extend(render(r) for r in rows)
+    return out
+
+
+def pct(x: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{100 * x:.{digits}f}%"

@@ -1,0 +1,70 @@
+"""Capacity planning — which store, which sizing, what does it save?
+
+The scenario the paper's introduction motivates: an operator hosts a
+data-serving workload in the cloud, where memory is 60-85 % of the VM
+bill.  This example:
+
+1. reproduces the Figure 1 analysis to get the memory share of a
+   Memory-Optimized VM's price;
+2. profiles every Table III workload on all three store engines;
+3. prints, per (store, workload), the cheapest hybrid sizing meeting a
+   10 % slowdown SLO and the resulting saving on the *whole VM bill*.
+
+Run:  python examples/capacity_planning.py
+"""
+
+import numpy as np
+
+from repro import DynamoLike, MemcachedLike, Mnemo, RedisLike
+from repro.pricing import (
+    catalog_for,
+    fit_unit_costs,
+    memory_cost_fractions,
+    provider_catalog,
+)
+from repro.ycsb import TABLE_III_WORKLOADS, generate_trace
+
+ENGINES = {
+    "redis": RedisLike,
+    "memcached": MemcachedLike,
+    "dynamodb": DynamoLike,
+}
+
+
+def vm_memory_share() -> float:
+    """Median memory-cost share of the AWS ElastiCache r5 family."""
+    fit = fit_unit_costs(provider_catalog("aws"))
+    fractions = memory_cost_fractions(catalog_for("aws/cache.r5"), fit)
+    return float(np.median(list(fractions.values())))
+
+
+def main() -> None:
+    mem_share = vm_memory_share()
+    print(f"memory is {mem_share:.0%} of a cache.r5 VM's hourly price\n")
+
+    header = (f"{'store':<12} {'workload':<18} {'mem cost':>9} "
+              f"{'mem saving':>11} {'VM bill saving':>15}")
+    print(header)
+    print("-" * len(header))
+
+    traces = {w.name: generate_trace(w) for w in TABLE_III_WORKLOADS}
+    for engine_name, factory in ENGINES.items():
+        mnemo = Mnemo(engine_factory=factory)
+        for wname, trace in traces.items():
+            choice = mnemo.profile(trace).choose(max_slowdown=0.10)
+            mem_saving = 1 - choice.cost_factor
+            # the hybrid sizing only touches the memory share of the bill
+            bill_saving = mem_saving * mem_share
+            print(f"{engine_name:<12} {wname:<18} "
+                  f"{choice.cost_factor:>8.0%} {mem_saving:>10.0%} "
+                  f"{bill_saving:>14.0%}")
+
+    print(
+        "\nreading: memcached tolerates SlowMem everywhere (cost floor "
+        "20%); redis saves most on hotspot patterns; dynamodb only "
+        "tolerates small SlowMem shares."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""SLO guardrails — the checks to run before trusting a sizing.
+
+A Mnemo recommendation is only as good as its assumptions.  This
+example runs the consultant on a workload and then stress-tests the
+recommendation along the three axes the extensions cover:
+
+1. **drift** — is the access pattern stationary enough for a static
+   placement at all?
+2. **price/device uncertainty** — how far does the recommendation move
+   across the projected NVM price band and across faster/slower parts?
+3. **tail latency under load** — what p99 does the chosen configuration
+   produce at realistic offered loads (the model only predicts means)?
+
+Run:  python examples/slo_guardrails.py [workload]
+"""
+
+import sys
+
+from repro import Mnemo, RedisLike
+from repro.core.drift import analyze_drift
+from repro.core.whatif import (
+    DEFAULT_SCENARIOS,
+    PRICE_BAND,
+    device_sensitivity,
+    price_sensitivity,
+)
+from repro.kvstore import HybridDeployment
+from repro.memsim import HybridMemorySystem
+from repro.queueing import simulate_open_loop
+from repro.ycsb import generate_trace, workload_by_name
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "trending"
+    trace = generate_trace(workload_by_name(name))
+
+    mnemo = Mnemo(engine_factory=RedisLike)
+    report = mnemo.profile(trace)
+    choice = report.choose(0.10)
+    print(f"recommendation for {name!r}: {choice.capacity_ratio:.0%} "
+          f"FastMem at {choice.cost_factor:.0%} of DRAM-only cost\n")
+
+    # 1. drift guardrail -----------------------------------------------------
+    drift = analyze_drift(trace, capacity_fraction=choice.capacity_ratio
+                          or 0.05)
+    print(f"[drift]   {drift.recommendation}\n")
+
+    # 2. uncertainty guardrail -----------------------------------------------
+    price_choices = price_sensitivity(report.curve, PRICE_BAND)
+    costs = [c.cost_factor for c in price_choices.values()]
+    print(f"[price]   across the 3-7x NVM price band the cost lands in "
+          f"{min(costs):.0%}..{max(costs):.0%} of DRAM-only "
+          f"(placement itself is price-independent)")
+    outcomes = device_sensitivity(trace, RedisLike, DEFAULT_SCENARIOS)
+    shares = {o.scenario.name: o.choice.capacity_ratio for o in outcomes}
+    print(f"[device]  DRAM share needed: "
+          + ", ".join(f"{n} -> {s:.0%}" for n, s in shares.items()) + "\n")
+
+    # 3. tail guardrail --------------------------------------------------------
+    deployment = mnemo.place(report, choice)
+    print(f"[tails]   p99 at the chosen placement (model predicts means "
+          f"only):")
+    for rho in (0.5, 0.8, 0.95):
+        r = simulate_open_loop(trace, deployment, rho, seed=9)
+        print(f"            load {rho:.0%}: avg "
+              f"{r.avg_sojourn_ns / 1000:.0f} us, "
+              f"p99 {r.p99_ns / 1000:.0f} us "
+              f"({r.tail_inflation:.1f}x the mean service time)")
+
+
+if __name__ == "__main__":
+    main()

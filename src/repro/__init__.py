@@ -1,0 +1,79 @@
+"""repro — a full reproduction of *Mnemo: Boosting Memory Cost Efficiency
+in Hybrid Memory Systems* (Doudali & Gavrilovska, IPDPS-W 2019).
+
+Mnemo is a memory capacity sizing and data tiering consultant for
+in-memory key-value stores on hybrid (DRAM + NVM) memory systems.  This
+package provides the consultant itself (:mod:`repro.core`) plus every
+substrate the paper's evaluation needs, built from scratch:
+
+- :mod:`repro.memsim` — the emulated hybrid-memory testbed (Table I);
+- :mod:`repro.kvstore` — Redis/Memcached/DynamoDB-like store engines;
+- :mod:`repro.ycsb` — YCSB-style workloads and the measuring client;
+- :mod:`repro.pricing` — the cloud VM memory-cost analysis (Fig 1);
+- :mod:`repro.cost` — the hybrid memory cost model (Table II);
+- :mod:`repro.baselines` — comparator profiling methodologies (Table IV);
+- :mod:`repro.analysis` — CDF/error/latency/curve utilities.
+
+Quickstart::
+
+    from repro import Mnemo, RedisLike
+    from repro.ycsb import generate_trace, workload_by_name
+
+    trace = generate_trace(workload_by_name("trending"))
+    report = Mnemo(engine_factory=RedisLike).profile(trace)
+    print(report.summary())
+"""
+
+from repro.core import (
+    EstimateCurve,
+    ExternalTieringMnemo,
+    Mnemo,
+    MnemoReport,
+    MnemoT,
+    PerformanceBaselines,
+    SizingChoice,
+    WorkloadDescriptor,
+)
+from repro.cost import CostModel, cost_reduction_factor
+from repro.kvstore import (
+    DynamoLike,
+    HybridDeployment,
+    MemcachedLike,
+    RedisLike,
+)
+from repro.memsim import HybridMemorySystem
+from repro.ycsb import (
+    TABLE_III_WORKLOADS,
+    Trace,
+    WorkloadSpec,
+    YCSBClient,
+    generate_trace,
+    workload_by_name,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Mnemo",
+    "MnemoT",
+    "ExternalTieringMnemo",
+    "MnemoReport",
+    "EstimateCurve",
+    "SizingChoice",
+    "PerformanceBaselines",
+    "WorkloadDescriptor",
+    "HybridMemorySystem",
+    "RedisLike",
+    "MemcachedLike",
+    "DynamoLike",
+    "HybridDeployment",
+    "YCSBClient",
+    "Trace",
+    "WorkloadSpec",
+    "generate_trace",
+    "workload_by_name",
+    "TABLE_III_WORKLOADS",
+    "CostModel",
+    "cost_reduction_factor",
+    "__version__",
+]

@@ -1,0 +1,85 @@
+"""Terminal rendering of cost/performance curves.
+
+Mnemo's output includes "a graph representation of the estimate"
+(Section IV).  With no display attached, the CLI renders the estimate
+curve as ASCII art — good enough to see the knee and pick a sizing
+interactively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def render_curve(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int = 72,
+    height: int = 18,
+    x_label: str = "cost factor",
+    y_label: str = "throughput",
+    marker: str = "*",
+) -> str:
+    """Render (x, y) as an ASCII scatter/line plot.
+
+    Points are bucketed onto a ``width`` x ``height`` character grid;
+    the y-axis is annotated with min/max values and the x-axis with its
+    range.  Returns the multi-line string (no trailing newline).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1 or x.size < 2:
+        raise ConfigurationError("need aligned 1-D arrays of >= 2 points")
+    if width < 16 or height < 4:
+        raise ConfigurationError("plot area too small")
+
+    x_span = x.max() - x.min()
+    y_span = y.max() - y.min()
+    cols = ((x - x.min()) / x_span * (width - 1)).astype(int) if x_span else \
+        np.zeros(x.size, dtype=int)
+    rows = ((y - y.min()) / y_span * (height - 1)).astype(int) if y_span else \
+        np.zeros(x.size, dtype=int)
+
+    grid = [[" "] * width for _ in range(height)]
+    for c, r in zip(cols, rows):
+        grid[height - 1 - r][c] = marker
+
+    y_hi = f"{y.max():,.0f}"
+    y_lo = f"{y.min():,.0f}"
+    pad = max(len(y_hi), len(y_lo))
+    lines = []
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = y_hi.rjust(pad)
+        elif i == height - 1:
+            label = y_lo.rjust(pad)
+        else:
+            label = " " * pad
+        lines.append(f"{label} |{''.join(row)}")
+    axis = " " * pad + " +" + "-" * width
+    lines.append(axis)
+    x_lo, x_hi = f"{x.min():g}", f"{x.max():g}"
+    gap = width - len(x_lo) - len(x_hi)
+    lines.append(" " * (pad + 2) + x_lo + " " * max(1, gap) + x_hi)
+    lines.append(" " * (pad + 2) + f"{x_label} -> ({y_label} on y)")
+    return "\n".join(lines)
+
+
+def render_estimate(curve, width: int = 72, height: int = 18,
+                    points: int = 120) -> str:
+    """Render an :class:`~repro.core.estimate.EstimateCurve`.
+
+    Downsamples the per-key curve to ``points`` plot points first.
+    """
+    n = curve.cost_factor.size
+    idx = np.unique(np.linspace(0, n - 1, min(points, n)).astype(int))
+    return render_curve(
+        curve.cost_factor[idx],
+        curve.throughput_ops_s[idx],
+        width=width,
+        height=height,
+        x_label="cost factor (fraction of FastMem-only cost)",
+        y_label="estimated ops/s",
+    )

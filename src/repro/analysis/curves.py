@@ -1,0 +1,74 @@
+"""Cost/performance curve utilities.
+
+Helpers for working with the (cost factor, throughput) trade-off curves
+Mnemo produces: normalisation, interpolation onto a common cost grid,
+and knee detection ("the knee of the line is bigger", Section III).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def _validate_xy(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ConfigurationError("x and y must be aligned 1-D arrays")
+    if x.size < 2:
+        raise ConfigurationError("need at least two curve points")
+    if (np.diff(x) < 0).any():
+        raise ConfigurationError("x must be non-decreasing")
+    return x, y
+
+
+def relative_curve(y: np.ndarray, reference: float | None = None) -> np.ndarray:
+    """Normalise *y* to a reference (default: its last point)."""
+    y = np.asarray(y, dtype=np.float64)
+    ref = float(y[-1]) if reference is None else float(reference)
+    if ref == 0:
+        raise ConfigurationError("reference must be non-zero")
+    return y / ref
+
+
+def interpolate_curve(
+    x: np.ndarray, y: np.ndarray, grid: np.ndarray
+) -> np.ndarray:
+    """Linear interpolation of (x, y) onto *grid* (clipped to range)."""
+    x, y = _validate_xy(x, y)
+    grid = np.clip(np.asarray(grid, dtype=np.float64), x[0], x[-1])
+    return np.interp(grid, x, y)
+
+
+def curve_knee(x: np.ndarray, y: np.ndarray) -> int:
+    """Index of the curve's knee (Kneedle-style max distance method).
+
+    Normalises both axes to [0, 1] and returns the point furthest above
+    the chord from first to last point — for a saturating throughput
+    curve this is where extra FastMem stops paying off.
+    """
+    x, y = _validate_xy(x, y)
+    xs = (x - x[0]) / (x[-1] - x[0]) if x[-1] > x[0] else np.zeros_like(x)
+    span = y.max() - y.min()
+    if span == 0:
+        return 0
+    ys = (y - y.min()) / span
+    return int(np.argmax(ys - xs))
+
+
+def knee_sharpness(x: np.ndarray, y: np.ndarray) -> float:
+    """How pronounced the knee is: max normalised distance above the chord.
+
+    0 for a straight line; approaches 1 for a step.  Section III uses
+    this notion qualitatively — big records make "the knee of the line"
+    bigger than small records do.
+    """
+    x, y = _validate_xy(x, y)
+    xs = (x - x[0]) / (x[-1] - x[0]) if x[-1] > x[0] else np.zeros_like(x)
+    span = y.max() - y.min()
+    if span == 0:
+        return 0.0
+    ys = (y - y.min()) / span
+    return float((ys - xs).max())

@@ -1,0 +1,66 @@
+"""Estimate-error statistics (paper Figure 8a).
+
+The paper reports "the percentage error ``(r - e) / r * 100%`` between
+the real performance points r and their corresponding estimate e" as
+per-store boxplots, with 0.07 % median error overall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def percentage_error(real, estimate) -> np.ndarray:
+    """``(r - e) / r * 100`` — positive when the estimate undershoots."""
+    real = np.asarray(real, dtype=np.float64)
+    estimate = np.asarray(estimate, dtype=np.float64)
+    if real.shape != estimate.shape:
+        raise ConfigurationError(
+            f"real and estimate must align: {real.shape} vs {estimate.shape}"
+        )
+    if (real == 0).any():
+        raise ConfigurationError("real values must be non-zero")
+    return (real - estimate) / real * 100.0
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """Five-number summary plus whiskers, Tukey style."""
+
+    median: float
+    q1: float
+    q3: float
+    whisker_low: float
+    whisker_high: float
+    n_outliers: int
+    n: int
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range."""
+        return self.q3 - self.q1
+
+
+def boxplot_stats(values: np.ndarray, whisker: float = 1.5) -> BoxplotStats:
+    """Tukey boxplot statistics for *values*."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ConfigurationError("cannot summarise no values")
+    q1, med, q3 = np.percentile(values, [25, 50, 75])
+    iqr = q3 - q1
+    lo_fence = q1 - whisker * iqr
+    hi_fence = q3 + whisker * iqr
+    inside = values[(values >= lo_fence) & (values <= hi_fence)]
+    return BoxplotStats(
+        median=float(med),
+        q1=float(q1),
+        q3=float(q3),
+        whisker_low=float(inside.min()),
+        whisker_high=float(inside.max()),
+        n_outliers=int(values.size - inside.size),
+        n=int(values.size),
+    )

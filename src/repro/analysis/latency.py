@@ -1,0 +1,41 @@
+"""Latency percentile analysis (paper Figures 8c-8e).
+
+Mnemo estimates *average* latency accurately but deliberately does not
+estimate tail latency — "the simple analytical model it uses is not
+sufficient to capture the variabilities of the tail latencies"
+(Section V-A); the paper reports measured tails instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ycsb.client import RunResult
+
+
+def tail_percentiles(samples: np.ndarray,
+                     qs: tuple[float, ...] = (95.0, 99.0)) -> dict[float, float]:
+    """Requested percentiles of a latency sample array (ns)."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size == 0:
+        raise ConfigurationError("no latency samples")
+    return {q: float(v) for q, v in zip(qs, np.percentile(samples, qs))}
+
+
+def latency_summary(result: RunResult) -> dict[str, float]:
+    """Flat summary of a run's latency metrics (ns)."""
+    out = {
+        "avg_ns": result.avg_latency_ns,
+        "avg_read_ns": result.avg_read_ns,
+        "avg_write_ns": result.avg_write_ns,
+    }
+    for q, v in sorted(result.latency_percentiles_ns.items()):
+        out[f"p{q:g}_ns"] = v
+    return out
+
+
+def tail_to_average_ratio(result: RunResult, q: float = 99.0) -> float:
+    """How heavy the tail is relative to the mean — the variability the
+    analytic model cannot track."""
+    return result.percentile(q) / result.avg_latency_ns

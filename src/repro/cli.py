@@ -1,0 +1,280 @@
+"""Command-line interface.
+
+The tool the paper describes is operated by infrastructure people, so
+the reproduction ships a CLI mirroring the paper's interface
+(Section IV, "Interfacing with Mnemo"):
+
+    python -m repro workloads
+    python -m repro profile --workload trending --engine redis \
+        --slo 0.10 --csv curve.csv --plot
+    python -m repro profile --requests req.csv --dataset data.csv
+    python -m repro compare --workload trending
+    python -m repro pricing
+
+Exit code 0 on success; errors print to stderr and exit 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.asciiplot import render_estimate
+from repro.core import Mnemo, MnemoT, WorkloadDescriptor
+from repro.errors import ReproError
+from repro.kvstore import DynamoLike, MemcachedLike, RedisLike
+from repro.ycsb import (
+    TABLE_III_WORKLOADS,
+    YCSBClient,
+    downsample,
+    generate_trace,
+    workload_by_name,
+)
+
+ENGINES = {
+    "redis": RedisLike,
+    "memcached": MemcachedLike,
+    "dynamodb": DynamoLike,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mnemo: hybrid-memory capacity sizing consultant "
+                    "(IPDPS-W 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list the built-in Table III workloads")
+
+    prof = sub.add_parser("profile", help="profile a workload")
+    prof.add_argument("--workload", help="built-in workload name")
+    prof.add_argument("--requests", help="requests CSV (key,op)")
+    prof.add_argument("--dataset", help="dataset CSV (key,size_bytes)")
+    prof.add_argument("--engine", default="redis", choices=sorted(ENGINES))
+    prof.add_argument("--mode", default="touch", choices=["touch", "weight"],
+                      help="tiering order: touch = Mnemo, weight = MnemoT")
+    prof.add_argument("--p", type=float, default=0.2,
+                      help="SlowMem price factor (default 0.2)")
+    prof.add_argument("--slo", type=float, default=0.10,
+                      help="max slowdown vs FastMem-only (default 0.10)")
+    prof.add_argument("--csv", help="write the 3-column estimate curve here")
+    prof.add_argument("--plot", action="store_true",
+                      help="render the estimate curve as ASCII art")
+    prof.add_argument("--downsample", type=float, default=0.0, metavar="N",
+                      help="profile a 1/N random sample of the workload")
+    prof.add_argument("--repeats", type=int, default=3)
+    prof.add_argument("--seed", type=int, default=None)
+
+    comp = sub.add_parser("compare",
+                          help="compare all engines on one workload")
+    comp.add_argument("--workload", default="trending")
+    comp.add_argument("--slo", type=float, default=0.10)
+
+    sub.add_parser("pricing",
+                   help="Figure 1: memory share of Memory-Optimized VM cost")
+
+    drift = sub.add_parser(
+        "drift", help="diagnose access-pattern drift (static-placement fit)"
+    )
+    drift.add_argument("--workload", required=True)
+    drift.add_argument("--capacity", type=float, default=0.2,
+                       help="FastMem budget as a dataset fraction")
+    drift.add_argument("--windows", type=int, default=10)
+
+    retier = sub.add_parser(
+        "retier",
+        help="estimate whether periodic re-tiering beats static placement",
+    )
+    retier.add_argument("--workload", required=True)
+    retier.add_argument("--engine", default="redis", choices=sorted(ENGINES))
+    retier.add_argument("--capacity", type=float, default=0.2)
+    retier.add_argument("--windows", type=int, default=10)
+
+    mt = sub.add_parser(
+        "multitier",
+        help="sweep a DRAM+NVM+Far three-tier system (Pareto + SLO choice)",
+    )
+    mt.add_argument("--workload", required=True)
+    mt.add_argument("--slo", type=float, default=0.10)
+    mt.add_argument("--grid", type=int, default=15,
+                    help="capacity grid resolution per tier")
+    return parser
+
+
+def _load_workload(args) -> WorkloadDescriptor:
+    if args.workload and (args.requests or args.dataset):
+        raise ReproError("give either --workload or --requests/--dataset")
+    if args.workload:
+        trace = generate_trace(workload_by_name(args.workload))
+    elif args.requests and args.dataset:
+        return WorkloadDescriptor.from_csv(args.requests, args.dataset)
+    else:
+        raise ReproError("need --workload or both --requests and --dataset")
+    if args.downsample and args.downsample > 1:
+        trace = downsample(trace, factor=args.downsample, seed=args.seed)
+    return WorkloadDescriptor.from_trace(trace)
+
+
+def _cmd_workloads(_args) -> int:
+    print(f"{'name':<18} {'distribution':<18} {'R:W':>6} {'sizes':<14} "
+          f"{'keys':>7} {'requests':>9}")
+    for w in TABLE_III_WORKLOADS:
+        rw = f"{int(w.read_fraction * 100)}:{int((1 - w.read_fraction) * 100)}"
+        print(f"{w.name:<18} {w.distribution.name:<18} {rw:>6} "
+              f"{w.size_model.name:<14} {w.n_keys:>7,} {w.n_requests:>9,}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    descriptor = _load_workload(args)
+    cls = MnemoT if args.mode == "weight" else Mnemo
+    mnemo = cls(
+        engine_factory=ENGINES[args.engine],
+        client=YCSBClient(repeats=args.repeats, seed=args.seed),
+        p=args.p,
+    )
+    report = mnemo.profile(descriptor)
+    print(report.summary())
+    choice = report.choose(args.slo)
+    print(
+        f"\nat the {args.slo:.0%} slowdown SLO: place "
+        f"{choice.n_fast_keys:,} keys ({choice.fast_bytes / 1e6:.0f} MB, "
+        f"{choice.capacity_ratio:.0%} of data) in FastMem -> "
+        f"{choice.savings_percent:.0f}% memory-cost saving"
+    )
+    if args.csv:
+        path = report.write_csv(args.csv)
+        print(f"wrote estimate curve: {path}")
+    if args.plot:
+        print()
+        print(render_estimate(report.curve))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    trace = generate_trace(workload_by_name(args.workload))
+    print(f"{'engine':<12} {'Fast ops/s':>12} {'Slow ops/s':>12} "
+          f"{'gap':>7} {'cost @SLO':>10}")
+    for name, factory in ENGINES.items():
+        report = Mnemo(engine_factory=factory).profile(trace)
+        b = report.baselines
+        choice = report.choose(args.slo)
+        print(f"{name:<12} {b.fast.throughput_ops_s:>12,.0f} "
+              f"{b.slow.throughput_ops_s:>12,.0f} "
+              f"{b.throughput_gap:>6.2f}x {choice.cost_factor:>9.0%}")
+    return 0
+
+
+def _cmd_pricing(_args) -> int:
+    from repro.pricing import (
+        catalog_for,
+        memory_fraction_summary,
+    )
+
+    summary = memory_fraction_summary()
+    print(f"{'family':<26} {'instance':<20} {'mem share':>10}")
+    for family, fractions in summary.items():
+        for inst in catalog_for(family):
+            print(f"{family:<26} {inst.name:<20} "
+                  f"{fractions[inst.name]:>9.1%}")
+    return 0
+
+
+def _cmd_drift(args) -> int:
+    from repro.core.drift import analyze_drift
+
+    trace = generate_trace(workload_by_name(args.workload))
+    report = analyze_drift(trace, capacity_fraction=args.capacity,
+                           n_windows=args.windows)
+    print(f"workload : {report.workload}")
+    print(f"drift    : {report.drift:.2f}")
+    print(f"regret   : {report.regret.regret:.0%} at a "
+          f"{args.capacity:.0%} FastMem budget "
+          f"(static {report.regret.static_hit_fraction:.0%} vs oracle "
+          f"{report.regret.oracle_hit_fraction:.0%} fast-served)")
+    print(report.recommendation)
+    return 0
+
+
+def _cmd_retier(args) -> int:
+    from repro.core import Mnemo
+    from repro.core.dynamic import simulate_periodic_retiering
+
+    trace = generate_trace(workload_by_name(args.workload))
+    report = Mnemo(engine_factory=ENGINES[args.engine]).profile(trace)
+    out = simulate_periodic_retiering(
+        trace, report.baselines,
+        capacity_fraction=args.capacity, n_windows=args.windows,
+    )
+    print(f"workload        : {out.workload} ({args.engine})")
+    print(f"static          : {out.static_throughput_ops_s:,.0f} ops/s")
+    print(f"retiered        : {out.dynamic_throughput_ops_s:,.0f} ops/s "
+          f"({out.migrated_bytes / 1e6:,.0f} MB migrated)")
+    print(f"net speedup     : {out.speedup:.3f}x")
+    print("verdict         : "
+          + ("periodic re-tiering pays for its copies"
+             if out.worth_migrating
+             else "stay static (the paper's scope is the right call)"))
+    return 0
+
+
+def _cmd_multitier(args) -> int:
+    import numpy as np
+
+    from repro.kvstore.profiles import profile_for
+    from repro.multitier import MultiTierAdvisor, TieredMemorySystem
+
+    trace = generate_trace(workload_by_name(args.workload))
+    total = int(trace.record_sizes.sum())
+    advisor = MultiTierAdvisor(
+        TieredMemorySystem.dram_nvm_far(), profile_for("redis")
+    )
+    baselines = advisor.measure(trace)
+    fracs = np.linspace(0.01, 1.0, args.grid)
+    grid = [
+        [max(1, int(f0 * total)), max(1, int(f1 * total)), None]
+        for f0 in fracs for f1 in fracs if f0 + f1 <= 1.0
+    ]
+    plans = advisor.sweep(trace, baselines, grid)
+    frontier = advisor.pareto(plans)
+    choice = advisor.cheapest_within_slo(plans, baselines, args.slo)
+
+    print(f"{'cost':>7} {'est ops/s':>11} {'DRAM':>6} {'NVM':>6} {'Far':>6}")
+    step = max(1, len(frontier) // 12)
+    for plan in frontier[::step]:
+        d, nv, far = plan.tier_shares()
+        print(f"{plan.cost_factor:>6.0%} "
+              f"{plan.est_throughput_ops_s:>11,.0f} "
+              f"{d:>6.0%} {nv:>6.0%} {far:>6.0%}")
+    d, nv, far = choice.tier_shares()
+    print(f"\nchoice @{args.slo:.0%} SLO: cost {choice.cost_factor:.0%} "
+          f"(DRAM {d:.0%} / NVM {nv:.0%} / Far {far:.0%})")
+    return 0
+
+
+_COMMANDS = {
+    "workloads": _cmd_workloads,
+    "profile": _cmd_profile,
+    "compare": _cmd_compare,
+    "pricing": _cmd_pricing,
+    "drift": _cmd_drift,
+    "retier": _cmd_retier,
+    "multitier": _cmd_multitier,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

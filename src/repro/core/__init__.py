@@ -1,0 +1,81 @@
+"""Mnemo — the memory sizing and data tiering consultant (paper core).
+
+The four engines of Figure 6:
+
+- :class:`~repro.core.sensitivity.SensitivityEngine` — real baselines by
+  workload execution;
+- :class:`~repro.core.pattern.PatternEngine` — Req(keys) and the tiering
+  order;
+- :class:`~repro.core.estimate.EstimateEngine` — the analytic sweep over
+  incremental FastMem sizings;
+- :class:`~repro.core.placement.PlacementEngine` — static key placement.
+
+Facades: :class:`~repro.core.mnemo.Mnemo` (stand-alone, Fig 2a),
+:class:`~repro.core.mnemo.ExternalTieringMnemo` (Fig 2b) and
+:class:`~repro.core.mnemot.MnemoT` (Fig 2c).
+"""
+
+from repro.core.descriptor import WorkloadDescriptor
+from repro.core.drift import (
+    DriftReport,
+    analyze_drift,
+    drift_score,
+    static_placement_regret,
+)
+from repro.core.dynamic import RetieringOutcome, simulate_periodic_retiering
+from repro.core.estimate import EstimateCurve, EstimateEngine
+from repro.core.mnemo import ExternalTieringMnemo, Mnemo
+from repro.core.mnemot import MnemoT
+from repro.core.pattern import KeyAccessPattern, PatternEngine
+from repro.core.placement import PlacementEngine
+from repro.core.report import MnemoReport
+from repro.core.sensitivity import PerformanceBaselines, SensitivityEngine
+from repro.core.slo import (
+    DEFAULT_MAX_SLOWDOWN,
+    SizingChoice,
+    min_cost_for_slowdown,
+)
+from repro.core.validate import (
+    MeasuredPoint,
+    estimate_errors,
+    measure_curve,
+    prefix_counts,
+)
+from repro.core.whatif import (
+    DeviceScenario,
+    device_sensitivity,
+    price_sensitivity,
+    recost_curve,
+)
+
+__all__ = [
+    "WorkloadDescriptor",
+    "SensitivityEngine",
+    "PerformanceBaselines",
+    "PatternEngine",
+    "KeyAccessPattern",
+    "EstimateEngine",
+    "EstimateCurve",
+    "PlacementEngine",
+    "MnemoReport",
+    "Mnemo",
+    "ExternalTieringMnemo",
+    "MnemoT",
+    "SizingChoice",
+    "min_cost_for_slowdown",
+    "DEFAULT_MAX_SLOWDOWN",
+    "MeasuredPoint",
+    "measure_curve",
+    "estimate_errors",
+    "prefix_counts",
+    "DriftReport",
+    "analyze_drift",
+    "drift_score",
+    "static_placement_regret",
+    "DeviceScenario",
+    "device_sensitivity",
+    "price_sensitivity",
+    "recost_curve",
+    "RetieringOutcome",
+    "simulate_periodic_retiering",
+]

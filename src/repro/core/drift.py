@@ -1,0 +1,202 @@
+"""Access-pattern drift analysis (extension).
+
+Mnemo "provides a static key allocation, with no support for dynamic
+data migration" (Section IV), and Figure 9 shows the consequence: the
+News Feed workload — whose hot set *shifts* through the key space —
+barely presents any cost-reduction opportunity under static placement.
+
+This module quantifies that effect so the consultant can warn its user:
+
+- :func:`window_counts` splits a trace into time windows and counts
+  per-key accesses per window;
+- :func:`drift_score` measures how much the hot set moves between
+  consecutive windows (1 − mean Jaccard overlap of the top keys);
+- :func:`static_placement_regret` compares the FastMem hit fraction of
+  the best *static* placement against a per-window *oracle* placement
+  at the same capacity — the headroom a dynamic tiering system could
+  reclaim;
+- :func:`analyze_drift` bundles both into a recommendation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ycsb.workload import Trace
+
+
+def window_counts(trace: Trace, n_windows: int = 10) -> np.ndarray:
+    """Per-window per-key access counts, shape ``(n_windows, n_keys)``.
+
+    Windows are equal slices of the request sequence (the trace's
+    temporal order is meaningful — the generator preserves it).
+    """
+    if n_windows < 2:
+        raise ConfigurationError(f"need >= 2 windows, got {n_windows}")
+    if trace.n_requests < n_windows:
+        raise ConfigurationError(
+            f"trace has {trace.n_requests} requests < {n_windows} windows"
+        )
+    bounds = np.linspace(0, trace.n_requests, n_windows + 1).astype(int)
+    out = np.zeros((n_windows, trace.n_keys), dtype=np.int64)
+    for w in range(n_windows):
+        segment = trace.keys[bounds[w]:bounds[w + 1]]
+        out[w] = np.bincount(segment, minlength=trace.n_keys)
+    return out
+
+
+def _top_keys(counts: np.ndarray, k: int) -> np.ndarray:
+    """Ids of the k most-accessed keys (ties by key id)."""
+    return np.argsort(-counts, kind="stable")[:k]
+
+
+def drift_score(trace: Trace, n_windows: int = 10,
+                metric: str = "intersection",
+                top_fraction: float = 0.1) -> float:
+    """How much the request distribution moves between windows (0..1).
+
+    ``metric="intersection"`` (default): 1 − mean histogram
+    intersection of consecutive windows' key distributions — robust to
+    sampling noise inside a uniform hot set.  ``metric="jaccard"``:
+    1 − mean Jaccard overlap of the top-``top_fraction`` key sets
+    (sharper, but noisy when hot keys are near-equally popular).
+    """
+    if metric not in ("intersection", "jaccard"):
+        raise ConfigurationError(f"unknown drift metric {metric!r}")
+    if not 0 < top_fraction <= 1:
+        raise ConfigurationError("top_fraction must be in (0, 1]")
+    counts = window_counts(trace, n_windows)
+    if metric == "intersection":
+        probs = counts / counts.sum(axis=1, keepdims=True)
+        overlaps = np.minimum(probs[:-1], probs[1:]).sum(axis=1)
+        return float(1.0 - overlaps.mean())
+    k = max(1, int(round(top_fraction * trace.n_keys)))
+    tops = [set(_top_keys(c, k).tolist()) for c in counts]
+    overlaps = [
+        len(a & b) / len(a | b) for a, b in zip(tops, tops[1:])
+    ]
+    return float(1.0 - np.mean(overlaps))
+
+
+@dataclass(frozen=True)
+class RegretResult:
+    """Static-vs-oracle FastMem hit fractions at one capacity."""
+
+    capacity_fraction: float
+    static_hit_fraction: float   # requests served fast, global placement
+    oracle_hit_fraction: float   # requests served fast, per-window placement
+    n_windows: int
+
+    @property
+    def regret(self) -> float:
+        """Headroom a dynamic tiering system could reclaim (0..1)."""
+        if self.oracle_hit_fraction == 0:
+            return 0.0
+        return max(
+            0.0,
+            1.0 - self.static_hit_fraction / self.oracle_hit_fraction,
+        )
+
+
+def static_placement_regret(
+    trace: Trace,
+    capacity_fraction: float = 0.2,
+    n_windows: int = 10,
+) -> RegretResult:
+    """Compare static vs per-window-oracle placement at a byte budget.
+
+    Both placements use the accesses/size weight (MnemoT's ordering);
+    the oracle re-computes it within each window, modelling an ideal
+    migration system with free moves.
+    """
+    if not 0 < capacity_fraction <= 1:
+        raise ConfigurationError("capacity_fraction must be in (0, 1]")
+    counts = window_counts(trace, n_windows)
+    sizes = trace.record_sizes
+    budget = int(capacity_fraction * sizes.sum())
+    total_requests = trace.n_requests
+
+    def mask_for(placement_counts: np.ndarray) -> np.ndarray:
+        """Greedy weight-ordered FastMem mask under the byte budget."""
+        order = np.argsort(-(placement_counts / sizes), kind="stable")
+        csum = np.cumsum(sizes[order])
+        n_fit = int(np.searchsorted(csum, budget, side="right"))
+        mask = np.zeros(sizes.size, dtype=bool)
+        mask[order[:n_fit]] = True
+        return mask
+
+    global_counts = counts.sum(axis=0)
+    static_mask = mask_for(global_counts)
+    static_hits = int(global_counts[static_mask].sum())
+    # the oracle migrator re-places per window but keeps the static
+    # placement whenever the greedy window fill would do worse — an
+    # ideal migrator never loses to staying put
+    oracle_hits = sum(
+        max(int(c[mask_for(c)].sum()), int(c[static_mask].sum()))
+        for c in counts
+    )
+
+    return RegretResult(
+        capacity_fraction=capacity_fraction,
+        static_hit_fraction=static_hits / total_requests,
+        oracle_hit_fraction=oracle_hits / total_requests,
+        n_windows=n_windows,
+    )
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Drift diagnosis for a workload."""
+
+    workload: str
+    drift: float
+    regret: RegretResult
+    stationary: bool
+    drift_threshold: float = 0.5
+
+    @property
+    def recommendation(self) -> str:
+        """Human-readable guidance on static-placement suitability."""
+        if self.drift < self.drift_threshold:
+            return (
+                f"access pattern is stationary (drift {self.drift:.2f}); "
+                "Mnemo's static placement captures the available savings"
+            )
+        if self.stationary:
+            return (
+                f"access pattern drifts (drift {self.drift:.2f}) but the "
+                f"{self.regret.capacity_fraction:.0%} FastMem budget covers "
+                f"the moving hot set ({self.regret.regret:.0%} regret); a "
+                "static placement remains adequate at this sizing"
+            )
+        return (
+            f"access pattern drifts (drift {self.drift:.2f}): a static "
+            f"placement serves {self.regret.static_hit_fraction:.0%} of "
+            f"requests from FastMem vs {self.regret.oracle_hit_fraction:.0%} "
+            f"for an ideal migrating tier ({self.regret.regret:.0%} regret) "
+            "- consider dynamic tiering or frequent re-profiling"
+        )
+
+
+def analyze_drift(
+    trace: Trace,
+    capacity_fraction: float = 0.2,
+    n_windows: int = 10,
+    drift_threshold: float = 0.5,
+    regret_threshold: float = 0.15,
+) -> DriftReport:
+    """Full drift diagnosis with a stationarity verdict."""
+    drift = drift_score(trace, n_windows)
+    regret = static_placement_regret(trace, capacity_fraction, n_windows)
+    stationary = (drift < drift_threshold
+                  or regret.regret < regret_threshold)
+    return DriftReport(
+        workload=trace.name,
+        drift=drift,
+        regret=regret,
+        stationary=stationary,
+        drift_threshold=drift_threshold,
+    )

@@ -1,0 +1,132 @@
+"""The Mnemo facade — wires the four engines together (Figure 6).
+
+Typical use::
+
+    from repro import Mnemo, RedisLike
+    from repro.ycsb import generate_trace, workload_by_name
+
+    trace = generate_trace(workload_by_name("trending"))
+    mnemo = Mnemo(engine_factory=RedisLike)
+    report = mnemo.profile(trace)
+    choice = report.choose(max_slowdown=0.10)
+    deployment = mnemo.place(report, choice)
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.cost.model import DEFAULT_PRICE_FACTOR
+from repro.kvstore.redislike import RedisLike
+from repro.kvstore.server import EngineFactory, HybridDeployment
+from repro.memsim.system import HybridMemorySystem
+from repro.ycsb.client import YCSBClient
+from repro.ycsb.workload import Trace
+from repro.core.descriptor import WorkloadDescriptor
+from repro.core.estimate import EstimateEngine
+from repro.core.pattern import PatternEngine
+from repro.core.placement import PlacementEngine
+from repro.core.report import MnemoReport
+from repro.core.sensitivity import SensitivityEngine
+from repro.core.slo import SizingChoice
+
+
+class Mnemo:
+    """The capacity-sizing consultant (stand-alone configuration, Fig 2a).
+
+    Parameters
+    ----------
+    engine_factory:
+        The key-value store under test (default: :class:`RedisLike`).
+    system_factory:
+        Builds fresh hybrid memory systems (default: Table I testbed).
+    client:
+        The measuring YCSB client.
+    p:
+        SlowMem per-byte price as a fraction of FastMem's (paper: 0.2).
+    pattern_mode:
+        Tiering-order mode for the Pattern Engine; the stand-alone tool
+        uses ``"touch"`` (keys as the workload touches them).
+    """
+
+    pattern_mode = "touch"
+
+    def __init__(
+        self,
+        engine_factory: EngineFactory = RedisLike,
+        system_factory: Callable[[], HybridMemorySystem] = HybridMemorySystem.testbed,
+        client: YCSBClient | None = None,
+        p: float = DEFAULT_PRICE_FACTOR,
+    ):
+        self.engine_factory = engine_factory
+        self.system_factory = system_factory
+        self.client = client if client is not None else YCSBClient()
+        self.sensitivity = SensitivityEngine(
+            engine_factory, system_factory, self.client
+        )
+        self.pattern_engine = PatternEngine(mode=self.pattern_mode)
+        self.estimate_engine = EstimateEngine(p=p)
+        self.placement_engine = PlacementEngine(engine_factory)
+
+    # -- profiling -------------------------------------------------------------------
+
+    def profile(
+        self,
+        workload: Trace | WorkloadDescriptor,
+        external_order: np.ndarray | None = None,
+    ) -> MnemoReport:
+        """Run the full Mnemo pipeline on a workload.
+
+        Parameters
+        ----------
+        workload:
+            A generated trace or a user-supplied descriptor.
+        external_order:
+            A key ordering from an existing tiering solution (the
+            Fig 2b configuration); only valid when ``pattern_mode`` is
+            ``"external"``.
+        """
+        descriptor = (
+            workload
+            if isinstance(workload, WorkloadDescriptor)
+            else WorkloadDescriptor.from_trace(workload)
+        )
+        baselines = self.sensitivity.measure(descriptor)
+        pattern = self.pattern_engine.analyze(descriptor, external_order)
+        curve = self.estimate_engine.estimate(baselines, pattern)
+        return MnemoReport(
+            workload=descriptor.name,
+            engine=curve.engine,
+            baselines=baselines,
+            pattern=pattern,
+            curve=curve,
+        )
+
+    # -- placement --------------------------------------------------------------------
+
+    def place(
+        self,
+        report: MnemoReport,
+        choice: SizingChoice,
+        system: HybridMemorySystem | None = None,
+    ) -> HybridDeployment:
+        """Statically deploy the sizing selected from *report*."""
+        return self.placement_engine.realize(
+            report.curve,
+            choice,
+            report.pattern.sizes,
+            system if system is not None else self.system_factory(),
+        )
+
+
+class ExternalTieringMnemo(Mnemo):
+    """Mnemo fed by an existing generic tiering solution (Fig 2b).
+
+    ``profile`` requires ``external_order`` — the DRAM-priority key
+    ordering the external tool produced; Mnemo then sweeps incremental
+    sizings along that ordering.
+    """
+
+    pattern_mode = "external"

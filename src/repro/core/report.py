@@ -1,0 +1,153 @@
+"""Mnemo's report object — everything a profiling run produced."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.units import format_bytes, ns_to_ms
+from repro.core.estimate import EstimateCurve
+from repro.core.pattern import KeyAccessPattern
+from repro.core.sensitivity import PerformanceBaselines
+from repro.core.slo import DEFAULT_MAX_SLOWDOWN, SizingChoice, min_cost_for_slowdown
+
+
+@dataclass(frozen=True)
+class MnemoReport:
+    """Output of one Mnemo profiling run.
+
+    Bundles the measured baselines, the analyzed access pattern and the
+    estimate curve; offers the paper's CSV output and the SLO query.
+    """
+
+    workload: str
+    engine: str
+    baselines: PerformanceBaselines
+    pattern: KeyAccessPattern
+    curve: EstimateCurve
+
+    def write_csv(self, path: str | Path) -> Path:
+        """The 3-column output file of Section IV (key, estimate, cost)."""
+        return self.curve.write_csv(path)
+
+    def choose(
+        self, max_slowdown: float = DEFAULT_MAX_SLOWDOWN
+    ) -> SizingChoice:
+        """Cheapest sizing within *max_slowdown* of FastMem-only."""
+        return min_cost_for_slowdown(self.curve, max_slowdown)
+
+    def drift_check(
+        self,
+        trace,
+        max_slowdown: float = DEFAULT_MAX_SLOWDOWN,
+        n_windows: int = 10,
+    ):
+        """Diagnose whether this report's sizing survives pattern drift.
+
+        Runs the drift extension at the FastMem budget the SLO choice
+        selects (static placement is Mnemo's scope; a drifting hot set
+        can invalidate it — see Fig 9's News Feed).  Returns a
+        :class:`~repro.core.drift.DriftReport`.
+        """
+        from repro.core.drift import analyze_drift  # avoid an import cycle
+
+        choice = self.choose(max_slowdown)
+        capacity = max(0.01, choice.capacity_ratio)
+        return analyze_drift(trace, capacity_fraction=capacity,
+                             n_windows=n_windows)
+
+    def to_markdown(
+        self,
+        slacks: tuple[float, ...] = (0.02, 0.05, 0.10, 0.20),
+        curve_points: int = 12,
+    ) -> str:
+        """A full shareable report in Markdown.
+
+        Contains the baselines, SLO sizing options at several slacks,
+        and a sampled view of the estimate curve — what an operator
+        would paste into a capacity-planning ticket.
+        """
+        b = self.baselines
+        curve = self.curve
+        lines = [
+            f"# Mnemo report — `{self.workload}` on `{self.engine}`",
+            "",
+            f"- pattern mode: `{self.pattern.mode}`",
+            f"- requests: {b.slow.n_requests:,} "
+            f"({b.slow.n_reads:,} reads / {b.slow.n_writes:,} writes)",
+            f"- dataset: {format_bytes(float(curve.fast_bytes[-1]))} across "
+            f"{self.pattern.n_keys:,} keys",
+            f"- price factor p = {curve.p}",
+            "",
+            "## Baselines",
+            "",
+            "| configuration | throughput | runtime |",
+            "|---|---|---|",
+            f"| FastMem-only | {b.fast.throughput_ops_s:,.0f} ops/s | "
+            f"{ns_to_ms(b.fast_runtime_ns):,.1f} ms |",
+            f"| SlowMem-only | {b.slow.throughput_ops_s:,.0f} ops/s | "
+            f"{ns_to_ms(b.slow_runtime_ns):,.1f} ms |",
+            "",
+            f"Fast/Slow throughput gap: **{b.throughput_gap:.2f}x**",
+            "",
+            "## Sizing options",
+            "",
+            "| max slowdown | FastMem share | memory cost | saving |",
+            "|---|---|---|---|",
+        ]
+        for slack in slacks:
+            choice = self.choose(slack)
+            lines.append(
+                f"| {slack:.0%} | {choice.capacity_ratio:.1%} | "
+                f"{choice.cost_factor:.1%} | "
+                f"{choice.savings_percent:.0f}% |"
+            )
+        lines += [
+            "",
+            "## Estimate curve (sampled)",
+            "",
+            "| cost factor | est. throughput | est. avg latency |",
+            "|---|---|---|",
+        ]
+        idx = np.unique(
+            np.linspace(0, curve.n_keys, curve_points).astype(int)
+        )
+        thr = curve.throughput_ops_s
+        lat = curve.avg_latency_ns
+        for i in idx:
+            lines.append(
+                f"| {curve.cost_factor[i]:.2f} | {thr[i]:,.0f} ops/s | "
+                f"{lat[i] / 1000:.1f} us |"
+            )
+        return "\n".join(lines)
+
+    def write_markdown(self, path: str | Path, **kwargs) -> Path:
+        """Write :meth:`to_markdown` to *path*."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_markdown(**kwargs) + "\n")
+        return path
+
+    def summary(self) -> str:
+        """Human-readable digest of the profiling run."""
+        b = self.baselines
+        choice = self.choose()
+        lines = [
+            f"Mnemo report — workload {self.workload!r} on {self.engine}",
+            f"  pattern mode        : {self.pattern.mode}",
+            f"  requests            : {b.slow.n_requests:,} "
+            f"({b.slow.n_reads:,} reads / {b.slow.n_writes:,} writes)",
+            f"  dataset             : {format_bytes(self.curve.fast_bytes[-1])} "
+            f"across {self.pattern.n_keys:,} keys",
+            f"  FastMem-only        : {b.fast.throughput_ops_s:,.0f} ops/s "
+            f"({ns_to_ms(b.fast_runtime_ns):,.1f} ms)",
+            f"  SlowMem-only        : {b.slow.throughput_ops_s:,.0f} ops/s "
+            f"({ns_to_ms(b.slow_runtime_ns):,.1f} ms)",
+            f"  throughput gap      : {b.throughput_gap:.2f}x",
+            f"  at 10% slowdown SLO : cost factor {choice.cost_factor:.2f} "
+            f"({choice.savings_percent:.0f}% memory-cost saving, "
+            f"FastMem share {choice.capacity_ratio:.0%})",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""The Sensitivity Engine.
+
+"A customized YCSB client, which executes the actual workload itself
+... determines the performance baselines for the best case, where all
+data is in FastMem, and worst case, where all data is in SlowMem,
+including average total runtime and average read and write request
+response times" (Section IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.kvstore.server import EngineFactory, HybridDeployment
+from repro.memsim.system import HybridMemorySystem
+from repro.ycsb.client import RunResult, YCSBClient
+from repro.core.descriptor import WorkloadDescriptor
+
+SystemFactory = Callable[[], HybridMemorySystem]
+
+
+@dataclass(frozen=True)
+class PerformanceBaselines:
+    """The two extreme-configuration measurements the model is built on."""
+
+    fast: RunResult  # best case: all data in FastMem
+    slow: RunResult  # worst case: all data in SlowMem
+
+    @property
+    def read_delta_ns(self) -> float:
+        """Per-read runtime saving from moving its key to FastMem.
+
+        Expressed as a *runtime contribution* — response-time deltas
+        divided by the measurement concurrency — so the telescoped
+        estimate stays exact for multi-threaded clients too.
+        """
+        return (self.slow.read_runtime_contrib_ns
+                - self.fast.read_runtime_contrib_ns)
+
+    @property
+    def write_delta_ns(self) -> float:
+        """Per-write runtime saving from moving its key to FastMem."""
+        return (self.slow.write_runtime_contrib_ns
+                - self.fast.write_runtime_contrib_ns)
+
+    @property
+    def fast_runtime_ns(self) -> float:
+        """Best-case total runtime."""
+        return self.fast.runtime_ns
+
+    @property
+    def slow_runtime_ns(self) -> float:
+        """Worst-case total runtime."""
+        return self.slow.runtime_ns
+
+    @property
+    def throughput_gap(self) -> float:
+        """FastMem-only over SlowMem-only throughput (>= 1 normally)."""
+        return self.fast.throughput_ops_s / self.slow.throughput_ops_s
+
+
+class SensitivityEngine:
+    """Obtains the real performance baselines by workload execution.
+
+    Parameters
+    ----------
+    engine_factory:
+        The key-value store under test.
+    system_factory:
+        Builds a fresh hybrid memory system per deployment (default:
+        the Table I testbed).
+    client:
+        The measuring client; defaults to 3 repeats at 1 % noise, as
+        the paper reports means over multiple runs.
+    """
+
+    def __init__(
+        self,
+        engine_factory: EngineFactory,
+        system_factory: SystemFactory = HybridMemorySystem.testbed,
+        client: YCSBClient | None = None,
+    ):
+        self.engine_factory = engine_factory
+        self.system_factory = system_factory
+        self.client = client if client is not None else YCSBClient()
+
+    def measure(self, descriptor: WorkloadDescriptor) -> PerformanceBaselines:
+        """Execute the workload in both extreme configurations."""
+        trace = descriptor.to_trace()
+        fast_dep = HybridDeployment.all_fast(
+            self.engine_factory, self.system_factory(), trace.record_sizes
+        )
+        slow_dep = HybridDeployment.all_slow(
+            self.engine_factory, self.system_factory(), trace.record_sizes
+        )
+        return PerformanceBaselines(
+            fast=self.client.execute(trace, fast_dep),
+            slow=self.client.execute(trace, slow_dep),
+        )

@@ -1,0 +1,87 @@
+"""SLO-driven sizing choices.
+
+"Mnemo is able to automate the process of finding the sweet spot between
+cost efficiency and ensured performance guarantees" (Section VI).
+Figure 9 uses the common 10 % permissible-slowdown SLO: find the
+cheapest configuration whose estimated throughput stays within 10 % of
+the FastMem-only ideal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, EstimateError
+from repro.core.estimate import EstimateCurve
+
+#: The SLO used throughout the paper's Figure 9.
+DEFAULT_MAX_SLOWDOWN = 0.10
+
+
+@dataclass(frozen=True)
+class SizingChoice:
+    """The selected FastMem:SlowMem sizing and its predicted behaviour."""
+
+    workload: str
+    engine: str
+    max_slowdown: float
+    n_fast_keys: int
+    fast_bytes: float
+    capacity_ratio: float         # FastMem share of total capacity
+    cost_factor: float            # R(p), fraction of FastMem-only cost
+    est_throughput_ops_s: float
+    slowdown: float               # predicted slowdown vs FastMem-only
+
+    @property
+    def savings_percent(self) -> float:
+        """Predicted memory-cost saving vs a FastMem-only system."""
+        return (1.0 - self.cost_factor) * 100.0
+
+
+def min_cost_for_slowdown(
+    curve: EstimateCurve,
+    max_slowdown: float = DEFAULT_MAX_SLOWDOWN,
+    reference_throughput: float | None = None,
+) -> SizingChoice:
+    """Cheapest curve point within *max_slowdown* of the ideal.
+
+    Parameters
+    ----------
+    curve:
+        An estimate curve (cost factors ascend along the prefix).
+    max_slowdown:
+        Permissible throughput loss vs FastMem-only (0.10 = 10 %).
+    reference_throughput:
+        The ideal to compare against; defaults to the curve's last
+        point (the FastMem-only estimate, which matches the measured
+        fast baseline by construction).
+    """
+    if not 0 <= max_slowdown < 1:
+        raise ConfigurationError(
+            f"max_slowdown must be in [0, 1), got {max_slowdown}"
+        )
+    thr = curve.throughput_ops_s
+    ref = reference_throughput if reference_throughput is not None else float(thr[-1])
+    if ref <= 0:
+        raise EstimateError("reference throughput must be positive")
+    floor = (1.0 - max_slowdown) * ref
+    ok = np.nonzero(thr >= floor)[0]
+    if ok.size == 0:
+        raise EstimateError(
+            "no configuration meets the SLO — even FastMem-only is below "
+            "the reference"
+        )
+    i = int(ok[0])  # throughput is monotone along the prefix, first hit = cheapest
+    return SizingChoice(
+        workload=curve.workload,
+        engine=curve.engine,
+        max_slowdown=max_slowdown,
+        n_fast_keys=i,
+        fast_bytes=float(curve.fast_bytes[i]),
+        capacity_ratio=float(curve.capacity_ratio[i]),
+        cost_factor=float(curve.cost_factor[i]),
+        est_throughput_ops_s=float(thr[i]),
+        slowdown=float(1.0 - thr[i] / ref),
+    )

@@ -1,0 +1,137 @@
+"""What-if analysis: sizing robustness to NVM uncertainty (extension).
+
+The paper fixes p = 0.2 "based on price estimates used in prior
+research" while noting that "the concrete price point of these
+technologies is not presently known" and that real deployments should
+derive it "from actual memory hardware cost, or the pricing of Virtual
+Machine instances" (Sections I-II).  Device speeds are projections too.
+
+A consultant should therefore report how sensitive its recommendation
+is to those unknowns:
+
+- :func:`price_sensitivity` re-costs an existing estimate curve under a
+  range of price factors (free — the performance estimate is
+  independent of p) and returns the SLO choice per price point;
+- :func:`device_sensitivity` re-profiles the workload under alternative
+  SlowMem throttle factors (slower/faster NVM parts) and reports how
+  the throughput gap and the SLO sizing move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.cost.model import cost_reduction_factor
+from repro.errors import ConfigurationError
+from repro.kvstore.server import EngineFactory
+from repro.memsim.emulation import ThrottleFactors, emulated_slow_node
+from repro.memsim.node import MemoryNode, NodeKind
+from repro.memsim.system import HybridMemorySystem
+from repro.memsim.emulation import TABLE_I_FAST
+from repro.ycsb.client import YCSBClient
+from repro.ycsb.workload import Trace
+from repro.core.estimate import EstimateCurve
+from repro.core.slo import DEFAULT_MAX_SLOWDOWN, SizingChoice, min_cost_for_slowdown
+
+
+def recost_curve(curve: EstimateCurve, p: float) -> EstimateCurve:
+    """The same performance estimate under a different price factor.
+
+    Performance does not depend on p, so only the cost axis moves —
+    this is free, unlike re-profiling.
+    """
+    total = float(curve.fast_bytes[-1])
+    new_cost = cost_reduction_factor(curve.fast_bytes, total, p)
+    return replace(curve, cost_factor=np.asarray(new_cost), p=p)
+
+
+def price_sensitivity(
+    curve: EstimateCurve,
+    p_values: Sequence[float],
+    max_slowdown: float = DEFAULT_MAX_SLOWDOWN,
+) -> dict[float, SizingChoice]:
+    """SLO sizing choice per candidate price factor."""
+    if not p_values:
+        raise ConfigurationError("need at least one price factor")
+    return {
+        p: min_cost_for_slowdown(recost_curve(curve, p), max_slowdown)
+        for p in p_values
+    }
+
+
+@dataclass(frozen=True)
+class DeviceScenario:
+    """One candidate SlowMem part."""
+
+    name: str
+    factors: ThrottleFactors
+    p: float = 0.2
+
+
+@dataclass(frozen=True)
+class DeviceOutcome:
+    """Profiling results under one device scenario."""
+
+    scenario: DeviceScenario
+    throughput_gap: float
+    choice: SizingChoice
+
+
+def _system_factory_for(
+    factors: ThrottleFactors,
+) -> Callable[[], HybridMemorySystem]:
+    def build() -> HybridMemorySystem:
+        fast = MemoryNode(
+            name="FastMem", kind=NodeKind.FAST,
+            latency_ns=TABLE_I_FAST["latency_ns"],
+            bandwidth_gbps=TABLE_I_FAST["bandwidth_gbps"],
+            capacity_bytes=TABLE_I_FAST["capacity_bytes"],
+        )
+        return HybridMemorySystem(
+            fast=fast, slow=emulated_slow_node(fast, factors)
+        )
+
+    return build
+
+
+def device_sensitivity(
+    trace: Trace,
+    engine_factory: EngineFactory,
+    scenarios: Sequence[DeviceScenario],
+    client: YCSBClient | None = None,
+    max_slowdown: float = DEFAULT_MAX_SLOWDOWN,
+) -> list[DeviceOutcome]:
+    """Re-profile under each device scenario (one Mnemo run each)."""
+    from repro.core.mnemo import Mnemo  # local import avoids a cycle
+
+    if not scenarios:
+        raise ConfigurationError("need at least one device scenario")
+    outcomes = []
+    for scenario in scenarios:
+        mnemo = Mnemo(
+            engine_factory=engine_factory,
+            system_factory=_system_factory_for(scenario.factors),
+            client=client if client is not None else YCSBClient(),
+            p=scenario.p,
+        )
+        report = mnemo.profile(trace)
+        outcomes.append(DeviceOutcome(
+            scenario=scenario,
+            throughput_gap=report.baselines.throughput_gap,
+            choice=report.choose(max_slowdown),
+        ))
+    return outcomes
+
+
+#: Projected NVDIMM price band: 3-7x cheaper than DRAM (paper Section I).
+PRICE_BAND = (1 / 7, 1 / 5, 1 / 4, 1 / 3)
+
+#: Candidate SlowMem parts around the Table I emulation.
+DEFAULT_SCENARIOS = (
+    DeviceScenario("table-i (emulated)", ThrottleFactors(0.12, 3.62)),
+    DeviceScenario("faster part", ThrottleFactors(0.25, 2.0)),
+    DeviceScenario("slower part", ThrottleFactors(0.06, 6.0)),
+)

@@ -1,0 +1,15 @@
+"""Memory-system cost model (paper Section II, Table II)."""
+
+from repro.cost.model import (
+    DEFAULT_PRICE_FACTOR,
+    CostModel,
+    capacity_for_cost,
+    cost_reduction_factor,
+)
+
+__all__ = [
+    "CostModel",
+    "cost_reduction_factor",
+    "capacity_for_cost",
+    "DEFAULT_PRICE_FACTOR",
+]

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the Mnemo reproduction.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with one clause while letting genuine
+programming errors (``TypeError``, ``ValueError`` from NumPy, ...) surface.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class CapacityError(ReproError):
+    """An allocation did not fit in the requested memory node or slab."""
+
+
+class AllocationError(ReproError):
+    """The address-space allocator could not satisfy a request."""
+
+
+class KeyNotFoundError(ReproError, KeyError):
+    """A GET/DELETE referenced a key that is not present in the store."""
+
+
+class ConfigurationError(ReproError):
+    """Inconsistent or out-of-range configuration parameters."""
+
+
+class WorkloadError(ReproError):
+    """A workload descriptor or trace is malformed."""
+
+
+class EstimateError(ReproError):
+    """The Estimate Engine was asked for something it cannot produce."""
+
+
+class PlacementError(ReproError):
+    """The Placement Engine could not realise the requested tiering."""
+
+
+class PricingError(ReproError):
+    """The VM pricing regression received an unusable catalog."""

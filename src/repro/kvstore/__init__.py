@@ -1,0 +1,56 @@
+"""From-scratch in-memory key-value store engines.
+
+The paper evaluates three unmodified stores — Redis, Memcached and
+DynamoDB (local) — deployed as two server instances bound to FastMem and
+SlowMem respectively.  This package provides simulator-native equivalents
+with genuinely different internals:
+
+- :class:`~repro.kvstore.redislike.RedisLike` — single-threaded event
+  loop over an open-addressing hash index;
+- :class:`~repro.kvstore.memcachedlike.MemcachedLike` — slab-allocated
+  records, the least memory-sensitive engine;
+- :class:`~repro.kvstore.dynamolike.DynamoLike` — B-tree index with
+  serialization/checksum passes, the most memory-sensitive engine.
+
+Per-request timing is governed by each engine's
+:class:`~repro.kvstore.profiles.EngineProfile`; the
+:class:`~repro.kvstore.cluster.HybridDeployment` pairs a FastMem and a
+SlowMem server instance behind a key router, mirroring the paper's
+two-server setup driven by a modified YCSB core.
+"""
+
+from repro.kvstore.base import KVEngine, OpResult
+from repro.kvstore.btree import BTree
+from repro.kvstore.server import HybridDeployment
+from repro.kvstore.dynamolike import DynamoLike
+from repro.kvstore.hashindex import HashIndex
+from repro.kvstore.memcachedlike import MemcachedLike
+from repro.kvstore.profiles import (
+    DYNAMO_PROFILE,
+    MEMCACHED_PROFILE,
+    REDIS_PROFILE,
+    EngineProfile,
+    profile_for,
+)
+from repro.kvstore.redislike import RedisLike
+from repro.kvstore.server import ServerInstance  # noqa: F401  (HybridDeployment above)
+from repro.kvstore.slab import SlabAllocator, SlabClass
+
+__all__ = [
+    "KVEngine",
+    "OpResult",
+    "BTree",
+    "HashIndex",
+    "SlabAllocator",
+    "SlabClass",
+    "RedisLike",
+    "MemcachedLike",
+    "DynamoLike",
+    "ServerInstance",
+    "HybridDeployment",
+    "EngineProfile",
+    "REDIS_PROFILE",
+    "MEMCACHED_PROFILE",
+    "DYNAMO_PROFILE",
+    "profile_for",
+]

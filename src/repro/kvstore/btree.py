@@ -1,0 +1,271 @@
+"""B-tree index.
+
+The ordered index behind :class:`~repro.kvstore.dynamolike.DynamoLike`
+(DynamoDB-local persists tables through SQLite, whose tables are
+B-trees).  Implemented from scratch: fixed fan-out, split-on-insert,
+borrow/merge-on-delete, and range scans.  Node visits are counted so the
+engine can charge realistic index traffic per request.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, Optional
+
+from repro.errors import ConfigurationError, KeyNotFoundError
+
+
+class _Node:
+    __slots__ = ("keys", "values", "children")
+
+    def __init__(self) -> None:
+        self.keys: list[int] = []
+        self.values: list[Any] = []
+        self.children: list["_Node"] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class BTree:
+    """A classic B-tree mapping integer keys to opaque values.
+
+    Parameters
+    ----------
+    order:
+        Maximum number of children per node (fan-out).  Minimum degree is
+        ``order // 2``.  Defaults to 64, a realistic page fan-out.
+    """
+
+    def __init__(self, order: int = 64):
+        if order < 4:
+            raise ConfigurationError(f"order must be >= 4, got {order}")
+        self.order = order
+        self._min_keys = (order // 2) - 1
+        self._max_keys = order - 1
+        self._root = _Node()
+        self._size = 0
+        self.node_visits = 0  # cumulative, for traffic accounting
+
+    # -- dunder ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: int) -> bool:
+        try:
+            self.lookup(key)
+            return True
+        except KeyNotFoundError:
+            return False
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        """Levels from root to leaf (1 for a lone root)."""
+        h, node = 1, self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            h += 1
+        return h
+
+    # -- search ------------------------------------------------------------------
+
+    def lookup(self, key: int) -> Any:
+        """Value for *key*; raises :class:`KeyNotFoundError` if absent."""
+        node = self._root
+        while True:
+            self.node_visits += 1
+            i = bisect.bisect_left(node.keys, key)
+            if i < len(node.keys) and node.keys[i] == key:
+                return node.values[i]
+            if node.is_leaf:
+                raise KeyNotFoundError(key)
+            node = node.children[i]
+
+    def get(self, key: int, default: Any = None) -> Any:
+        """Value for *key*, or *default*."""
+        try:
+            return self.lookup(key)
+        except KeyNotFoundError:
+            return default
+
+    # -- insert ------------------------------------------------------------------
+
+    def insert(self, key: int, value: Any) -> bool:
+        """Insert or update; returns True if the key was new."""
+        root = self._root
+        if len(root.keys) > self._max_keys:  # pragma: no cover - invariant guard
+            raise AssertionError("root overfull outside insert")
+        new = self._insert(root, key, value)
+        if len(root.keys) > self._max_keys:
+            sibling, median_key, median_val = self._split(root)
+            new_root = _Node()
+            new_root.keys = [median_key]
+            new_root.values = [median_val]
+            new_root.children = [root, sibling]
+            self._root = new_root
+        if new:
+            self._size += 1
+        return new
+
+    def _insert(self, node: _Node, key: int, value: Any) -> bool:
+        self.node_visits += 1
+        i = bisect.bisect_left(node.keys, key)
+        if i < len(node.keys) and node.keys[i] == key:
+            node.values[i] = value
+            return False
+        if node.is_leaf:
+            node.keys.insert(i, key)
+            node.values.insert(i, value)
+            return True
+        child = node.children[i]
+        new = self._insert(child, key, value)
+        if len(child.keys) > self._max_keys:
+            sibling, median_key, median_val = self._split(child)
+            node.keys.insert(i, median_key)
+            node.values.insert(i, median_val)
+            node.children.insert(i + 1, sibling)
+        return new
+
+    def _split(self, node: _Node) -> tuple[_Node, int, Any]:
+        """Split an overfull node; return (right sibling, median k, median v)."""
+        mid = len(node.keys) // 2
+        median_key = node.keys[mid]
+        median_val = node.values[mid]
+        right = _Node()
+        right.keys = node.keys[mid + 1 :]
+        right.values = node.values[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        if node.children:
+            right.children = node.children[mid + 1 :]
+            node.children = node.children[: mid + 1]
+        return right, median_key, median_val
+
+    # -- delete ------------------------------------------------------------------
+
+    def remove(self, key: int) -> Any:
+        """Delete *key* and return its value; raises if absent."""
+        value = self._remove(self._root, key)
+        if not self._root.keys and self._root.children:
+            self._root = self._root.children[0]
+        self._size -= 1
+        return value
+
+    def _remove(self, node: _Node, key: int) -> Any:
+        self.node_visits += 1
+        i = bisect.bisect_left(node.keys, key)
+        if i < len(node.keys) and node.keys[i] == key:
+            if node.is_leaf:
+                node.keys.pop(i)
+                return node.values.pop(i)
+            # replace with predecessor from the left subtree, then delete it
+            value = node.values[i]
+            pred = node.children[i]
+            while not pred.is_leaf:
+                pred = pred.children[-1]
+            node.keys[i] = pred.keys[-1]
+            node.values[i] = pred.values[-1]
+            self._remove_and_rebalance(node, i, node.keys[i])
+            return value
+        if node.is_leaf:
+            raise KeyNotFoundError(key)
+        return self._remove_and_rebalance(node, i, key)
+
+    def _remove_and_rebalance(self, node: _Node, i: int, key: int) -> Any:
+        child = node.children[i]
+        value = self._remove(child, key)
+        if len(child.keys) < self._min_keys:
+            self._rebalance(node, i)
+        return value
+
+    def _rebalance(self, parent: _Node, i: int) -> None:
+        child = parent.children[i]
+        # borrow from left sibling
+        if i > 0 and len(parent.children[i - 1].keys) > self._min_keys:
+            left = parent.children[i - 1]
+            child.keys.insert(0, parent.keys[i - 1])
+            child.values.insert(0, parent.values[i - 1])
+            parent.keys[i - 1] = left.keys.pop()
+            parent.values[i - 1] = left.values.pop()
+            if left.children:
+                child.children.insert(0, left.children.pop())
+            return
+        # borrow from right sibling
+        if i + 1 < len(parent.children) and (
+            len(parent.children[i + 1].keys) > self._min_keys
+        ):
+            right = parent.children[i + 1]
+            child.keys.append(parent.keys[i])
+            child.values.append(parent.values[i])
+            parent.keys[i] = right.keys.pop(0)
+            parent.values[i] = right.values.pop(0)
+            if right.children:
+                child.children.append(right.children.pop(0))
+            return
+        # merge with a sibling
+        if i + 1 < len(parent.children):
+            left_i = i
+        else:
+            left_i = i - 1
+        left = parent.children[left_i]
+        right = parent.children[left_i + 1]
+        left.keys.append(parent.keys.pop(left_i))
+        left.values.append(parent.values.pop(left_i))
+        left.keys.extend(right.keys)
+        left.values.extend(right.values)
+        left.children.extend(right.children)
+        parent.children.pop(left_i + 1)
+
+    # -- iteration -----------------------------------------------------------------
+
+    def items(self) -> Iterator[tuple[int, Any]]:
+        """All (key, value) pairs in key order."""
+        yield from self._walk(self._root)
+
+    def _walk(self, node: _Node) -> Iterator[tuple[int, Any]]:
+        if node.is_leaf:
+            yield from zip(node.keys, node.values)
+            return
+        for i, key in enumerate(node.keys):
+            yield from self._walk(node.children[i])
+            yield key, node.values[i]
+        yield from self._walk(node.children[-1])
+
+    def range(self, lo: int, hi: Optional[int] = None) -> Iterator[tuple[int, Any]]:
+        """Pairs with ``lo <= key`` (and ``key < hi`` when given), in order."""
+        for key, value in self.items():
+            if key < lo:
+                continue
+            if hi is not None and key >= hi:
+                return
+            yield key, value
+
+    def check_invariants(self) -> None:
+        """Assert structural B-tree invariants (tests / debugging)."""
+        def depth_of(node: _Node) -> int:
+            d = 0
+            while not node.is_leaf:
+                node = node.children[0]
+                d += 1
+            return d
+
+        leaf_depth = depth_of(self._root)
+
+        def recurse(node: _Node, depth: int, is_root: bool) -> None:
+            assert node.keys == sorted(node.keys), "keys out of order"
+            if not is_root:
+                assert len(node.keys) >= self._min_keys, "underfull node"
+            assert len(node.keys) <= self._max_keys, "overfull node"
+            if node.is_leaf:
+                assert depth == leaf_depth, "leaves at unequal depth"
+            else:
+                assert len(node.children) == len(node.keys) + 1
+                for child in node.children:
+                    recurse(child, depth + 1, False)
+
+        recurse(self._root, 0, True)
+        assert sum(1 for _ in self.items()) == self._size

@@ -1,0 +1,167 @@
+"""Open-addressing hash index.
+
+The index used by :class:`~repro.kvstore.redislike.RedisLike` and
+:class:`~repro.kvstore.memcachedlike.MemcachedLike`.  Linear probing with
+power-of-two tables, tombstone deletion, and incremental growth at 2/3
+load — roughly the shape of Redis's dict / memcached's assoc table,
+implemented from scratch so probe statistics (used for metadata-traffic
+accounting) are observable.
+
+Keys are non-negative integers (the workload key space); values are
+opaque Python objects (the engines store record descriptors).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.errors import ConfigurationError, KeyNotFoundError
+
+_EMPTY = object()
+_TOMBSTONE = object()
+
+#: 64-bit Fibonacci hashing multiplier (2^64 / phi), a standard integer mix.
+_FIB = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+def _mix(key: int) -> int:
+    """Cheap 64-bit integer hash (Fibonacci multiply + xor-shift)."""
+    h = (key * _FIB) & _MASK64
+    h ^= h >> 29
+    return h
+
+
+class HashIndex:
+    """Open-addressing hash table with linear probing.
+
+    Parameters
+    ----------
+    initial_capacity:
+        Starting number of slots; rounded up to a power of two, min 8.
+    """
+
+    def __init__(self, initial_capacity: int = 64):
+        if initial_capacity <= 0:
+            raise ConfigurationError(
+                f"initial capacity must be positive, got {initial_capacity}"
+            )
+        cap = 8
+        while cap < initial_capacity:
+            cap <<= 1
+        self._keys: list[Any] = [_EMPTY] * cap
+        self._values: list[Any] = [None] * cap
+        self._size = 0  # live entries
+        self._fill = 0  # live entries + tombstones
+        self.total_probes = 0  # cumulative probe count, for traffic accounting
+
+    # -- dunder --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: int) -> bool:
+        return self._find(key) is not None
+
+    def __iter__(self) -> Iterator[int]:
+        for k in self._keys:
+            if k is not _EMPTY and k is not _TOMBSTONE:
+                yield k
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Current number of slots."""
+        return len(self._keys)
+
+    @property
+    def load_factor(self) -> float:
+        """Live entries / slots."""
+        return self._size / len(self._keys)
+
+    # -- internals -----------------------------------------------------------
+
+    def _probe_sequence(self, key: int) -> Iterator[int]:
+        mask = len(self._keys) - 1
+        i = _mix(key) & mask
+        while True:
+            yield i
+            i = (i + 1) & mask
+
+    def _find(self, key: int) -> Optional[int]:
+        """Slot of a live *key*, or None."""
+        keys = self._keys
+        for i in self._probe_sequence(key):
+            self.total_probes += 1
+            slot = keys[i]
+            if slot is _EMPTY:
+                return None
+            if slot is not _TOMBSTONE and slot == key:
+                return i
+
+    def _grow(self) -> None:
+        old_keys, old_values = self._keys, self._values
+        cap = len(old_keys) * 2
+        self._keys = [_EMPTY] * cap
+        self._values = [None] * cap
+        self._size = 0
+        self._fill = 0
+        for k, v in zip(old_keys, old_values):
+            if k is not _EMPTY and k is not _TOMBSTONE:
+                self.insert(k, v)
+
+    # -- operations ----------------------------------------------------------
+
+    def insert(self, key: int, value: Any) -> bool:
+        """Insert or update; returns True if the key was new."""
+        if self._fill * 3 >= len(self._keys) * 2:
+            self._grow()
+        keys = self._keys
+        first_tombstone = None
+        for i in self._probe_sequence(key):
+            self.total_probes += 1
+            slot = keys[i]
+            if slot is _EMPTY:
+                target = first_tombstone if first_tombstone is not None else i
+                keys[target] = key
+                self._values[target] = value
+                self._size += 1
+                if first_tombstone is None:
+                    self._fill += 1
+                return True
+            if slot is _TOMBSTONE:
+                if first_tombstone is None:
+                    first_tombstone = i
+            elif slot == key:
+                self._values[i] = value
+                return False
+
+    def lookup(self, key: int) -> Any:
+        """Value for *key*; raises :class:`KeyNotFoundError` if absent."""
+        i = self._find(key)
+        if i is None:
+            raise KeyNotFoundError(key)
+        return self._values[i]
+
+    def get(self, key: int, default: Any = None) -> Any:
+        """Value for *key*, or *default*."""
+        i = self._find(key)
+        return default if i is None else self._values[i]
+
+    def remove(self, key: int) -> Any:
+        """Delete *key* and return its value; raises if absent."""
+        i = self._find(key)
+        if i is None:
+            raise KeyNotFoundError(key)
+        value = self._values[i]
+        self._keys[i] = _TOMBSTONE
+        self._values[i] = None
+        self._size -= 1
+        return value
+
+    def items(self) -> Iterator[tuple[int, Any]]:
+        """Iterate live (key, value) pairs in slot order."""
+        for k, v in zip(self._keys, self._values):
+            if k is not _EMPTY and k is not _TOMBSTONE:
+                yield k, v

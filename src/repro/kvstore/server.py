@@ -1,0 +1,193 @@
+"""A server instance bound to one memory node.
+
+The paper deploys *two* unmodified server processes on the testbed and
+uses ``numactl`` to bind each one's allocations to a single node
+(Section II, "Server Configuration").  :class:`ServerInstance` mirrors
+that: it owns an engine whose records all land on the bound node.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.kvstore.base import FAST, SLOW, KVEngine, OpResult
+from repro.memsim.system import HybridMemorySystem
+
+EngineFactory = Callable[..., KVEngine]
+
+
+class ServerInstance:
+    """One key-value store process ``numactl``-bound to a memory node.
+
+    Parameters
+    ----------
+    engine_factory:
+        Engine class (``RedisLike`` / ``MemcachedLike`` / ``DynamoLike``)
+        or any callable with the ``(fast, slow)`` signature.
+    system:
+        The hybrid memory system hosting the server.
+    bind:
+        ``"fast"`` or ``"slow"`` — the node all allocations go to.
+    """
+
+    def __init__(
+        self,
+        engine_factory: EngineFactory,
+        system: HybridMemorySystem,
+        bind: str,
+    ):
+        node = system.bind(bind)  # validates the binding target
+        self.system = system
+        self.bound_node = node
+        self._bind_code = FAST if node is system.fast else SLOW
+        self.engine = engine_factory(system.fast, system.slow)
+        self.name = f"{self.engine.profile.name}@{node.name}"
+
+    @property
+    def is_fast(self) -> bool:
+        """True when bound to FastMem."""
+        return self._bind_code == FAST
+
+    def load_records(
+        self, sizes: Mapping[int, int] | Iterable[tuple[int, int]]
+    ) -> None:
+        """Load records; every allocation lands on the bound node."""
+        pairs = sizes.items() if isinstance(sizes, Mapping) else sizes
+        pairs = list(pairs)
+        if self._bind_code == FAST:
+            self.engine.load(pairs, fast_keys=[k for k, _ in pairs])
+        else:
+            self.engine.load(pairs, fast_keys=())
+
+    def get(self, key: int) -> OpResult:
+        """Serve a read."""
+        return self.engine.get(key)
+
+    def put(self, key: int, size: int | None = None) -> OpResult:
+        """Serve an update."""
+        return self.engine.put(key, size)
+
+    def stored_bytes(self) -> int:
+        """Bytes reserved on the bound node (payload + overhead)."""
+        return self.engine.stored_bytes(self._bind_code)
+
+    def __len__(self) -> int:
+        return len(self.engine)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ServerInstance {self.name} records={len(self)}>"
+
+
+class HybridDeployment:
+    """Two server instances (FastServer + SlowServer) behind a key router.
+
+    This is the paper's experimental configuration: the YCSB client's
+    core module is modified to redirect each request to the instance
+    holding the key.  The deployment also exposes the aligned NumPy
+    arrays the vectorized client path consumes.
+
+    Parameters
+    ----------
+    engine_factory:
+        Engine class shared by both instances.
+    system:
+        The hybrid memory system.
+    record_sizes:
+        Dense array: ``record_sizes[key]`` is the size of key ``key``;
+        the key space is ``0 .. len(record_sizes) - 1``.
+    fast_keys:
+        Iterable of keys placed on the FastMem instance (default: none,
+        the SlowMem-only worst case).
+    """
+
+    def __init__(
+        self,
+        engine_factory: EngineFactory,
+        system: HybridMemorySystem,
+        record_sizes: np.ndarray,
+        fast_keys: Iterable[int] = (),
+    ):
+        record_sizes = np.asarray(record_sizes, dtype=np.int64)
+        if record_sizes.ndim != 1 or record_sizes.size == 0:
+            raise ConfigurationError("record_sizes must be a non-empty 1-D array")
+        if (record_sizes <= 0).any():
+            raise ConfigurationError("all record sizes must be positive")
+        self.system = system
+        self.record_sizes = record_sizes
+        self._engine_factory = engine_factory
+        self.fast_server = ServerInstance(engine_factory, system, "fast")
+        self.slow_server = ServerInstance(engine_factory, system, "slow")
+        self.fast_mask = np.zeros(record_sizes.size, dtype=bool)
+        self._load(fast_keys)
+
+    # -- construction helpers -----------------------------------------------------
+
+    @classmethod
+    def all_fast(
+        cls, engine_factory: EngineFactory, system: HybridMemorySystem,
+        record_sizes: np.ndarray,
+    ) -> "HybridDeployment":
+        """Best-case baseline deployment: every record on FastMem."""
+        n = np.asarray(record_sizes).size
+        return cls(engine_factory, system, record_sizes, fast_keys=range(n))
+
+    @classmethod
+    def all_slow(
+        cls, engine_factory: EngineFactory, system: HybridMemorySystem,
+        record_sizes: np.ndarray,
+    ) -> "HybridDeployment":
+        """Worst-case baseline deployment: every record on SlowMem."""
+        return cls(engine_factory, system, record_sizes, fast_keys=())
+
+    def _load(self, fast_keys: Iterable[int]) -> None:
+        fast_keys = np.fromiter(fast_keys, dtype=np.int64, count=-1)
+        if fast_keys.size:
+            if fast_keys.min() < 0 or fast_keys.max() >= self.record_sizes.size:
+                raise ConfigurationError("fast_keys outside the key space")
+            self.fast_mask[fast_keys] = True
+        fast_pairs = [(int(k), int(self.record_sizes[k])) for k in fast_keys]
+        slow_ids = np.nonzero(~self.fast_mask)[0]
+        slow_pairs = [(int(k), int(self.record_sizes[k])) for k in slow_ids]
+        self.fast_server.load_records(fast_pairs)
+        self.slow_server.load_records(slow_pairs)
+
+    # -- routing --------------------------------------------------------------------
+
+    @property
+    def profile(self):
+        """The engine cost profile (both instances share it)."""
+        return self.fast_server.engine.profile
+
+    @property
+    def n_keys(self) -> int:
+        """Size of the key space."""
+        return self.record_sizes.size
+
+    def route(self, key: int) -> ServerInstance:
+        """The server instance holding *key*."""
+        return self.fast_server if self.fast_mask[key] else self.slow_server
+
+    def get(self, key: int) -> OpResult:
+        """Routed read."""
+        return self.route(key).get(key)
+
+    def put(self, key: int, size: int | None = None) -> OpResult:
+        """Routed update."""
+        return self.route(key).put(key, size)
+
+    # -- sizing ----------------------------------------------------------------------
+
+    def fast_bytes(self) -> int:
+        """Payload bytes placed on FastMem."""
+        return int(self.record_sizes[self.fast_mask].sum())
+
+    def capacity_ratio(self) -> float:
+        """FastMem payload / total payload (the paper's x-axis driver)."""
+        return self.fast_bytes() / int(self.record_sizes.sum())
+
+    def placement_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """(record_sizes, fast_mask) for the vectorized client path."""
+        return self.record_sizes, self.fast_mask

@@ -1,0 +1,136 @@
+"""Memcached-style slab allocator.
+
+Records are stored in fixed-size chunks drawn from size classes that grow
+geometrically (memcached's default growth factor is 1.25).  Each class
+carves chunks out of 1 MB slab pages requested from the node-backed
+address-space allocator, so slab overhead (internal fragmentation +
+partially used pages) shows up in real node occupancy — exactly the
+accounting a capacity-sizing consultant cares about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AllocationError, CapacityError, ConfigurationError
+from repro.memsim.allocator import AddressSpaceAllocator, Allocation
+from repro.units import MiB
+
+
+@dataclass
+class SlabClass:
+    """One size class: all chunks in it have the same size."""
+
+    chunk_size: int
+    pages: list[Allocation] = field(default_factory=list)
+    free_chunks: list[int] = field(default_factory=list)  # chunk offsets
+    used_chunks: int = 0
+
+    @property
+    def chunks_per_page(self) -> int:
+        """How many chunks one slab page yields for this class."""
+        return max(1, SlabAllocator.PAGE_SIZE // self.chunk_size)
+
+    @property
+    def total_chunks(self) -> int:
+        """Chunks carved so far across all of this class's pages."""
+        return self.chunks_per_page * len(self.pages) if self.pages else 0
+
+
+class SlabAllocator:
+    """Slab allocation over a node-backed address space.
+
+    Parameters
+    ----------
+    backing:
+        The address-space allocator slab pages are carved from.
+    growth_factor:
+        Geometric ratio between consecutive chunk sizes (memcached: 1.25).
+    min_chunk:
+        Smallest chunk size.
+    """
+
+    PAGE_SIZE = 1 * MiB
+
+    def __init__(
+        self,
+        backing: AddressSpaceAllocator,
+        growth_factor: float = 1.25,
+        min_chunk: int = 96,
+    ):
+        if growth_factor <= 1.0:
+            raise ConfigurationError(
+                f"growth factor must exceed 1, got {growth_factor}"
+            )
+        if min_chunk <= 0:
+            raise ConfigurationError(f"min chunk must be positive, got {min_chunk}")
+        self.backing = backing
+        self.growth_factor = growth_factor
+        self._classes: list[SlabClass] = []
+        size = min_chunk
+        while size < self.PAGE_SIZE:
+            self._classes.append(SlabClass(chunk_size=size))
+            size = int(size * growth_factor) + 1
+        self._classes.append(SlabClass(chunk_size=self.PAGE_SIZE))
+        self._chunk_owner: dict[int, SlabClass] = {}  # chunk offset -> class
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def classes(self) -> list[SlabClass]:
+        """All size classes, smallest first."""
+        return list(self._classes)
+
+    def class_for(self, size: int) -> SlabClass:
+        """Smallest class whose chunk fits *size*."""
+        if size <= 0:
+            raise ConfigurationError(f"record size must be positive, got {size}")
+        for cls in self._classes:
+            if cls.chunk_size >= size:
+                return cls
+        raise CapacityError(
+            f"record of {size} B exceeds the largest slab chunk "
+            f"({self._classes[-1].chunk_size} B)"
+        )
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Bytes reserved from the backing store (page granularity)."""
+        return sum(len(c.pages) * self.PAGE_SIZE for c in self._classes)
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes in live chunks (chunk granularity, includes slack)."""
+        return sum(c.used_chunks * c.chunk_size for c in self._classes)
+
+    def overhead_ratio(self, payload_bytes: int) -> float:
+        """Allocator overhead: reserved bytes / payload bytes."""
+        if payload_bytes <= 0:
+            raise ConfigurationError("payload must be positive")
+        return self.allocated_bytes / payload_bytes
+
+    # -- operations -----------------------------------------------------------
+
+    def allocate(self, size: int) -> int:
+        """Store a record of *size* bytes; return its chunk offset."""
+        cls = self.class_for(size)
+        if not cls.free_chunks:
+            page = self.backing.allocate(self.PAGE_SIZE)
+            cls.pages.append(page)
+            step = cls.chunk_size
+            count = cls.chunks_per_page
+            cls.free_chunks.extend(
+                page.offset + i * step for i in range(count - 1, -1, -1)
+            )
+        offset = cls.free_chunks.pop()
+        cls.used_chunks += 1
+        self._chunk_owner[offset] = cls
+        return offset
+
+    def release(self, offset: int) -> None:
+        """Return a chunk to its class's free list."""
+        cls = self._chunk_owner.pop(offset, None)
+        if cls is None:
+            raise AllocationError(f"chunk at {offset} is not live")
+        cls.free_chunks.append(offset)
+        cls.used_chunks -= 1

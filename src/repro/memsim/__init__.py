@@ -1,0 +1,44 @@
+"""Hybrid memory system simulator.
+
+This package stands in for the paper's throttled dual-socket testbed
+(Section II, Table I).  It models:
+
+- :class:`~repro.memsim.node.MemoryNode` — a memory component with latency,
+  bandwidth and capacity (FastMem = DRAM, SlowMem = emulated NVM);
+- :class:`~repro.memsim.cache.LLCModel` — the 12 MB shared last-level cache;
+- :class:`~repro.memsim.timing.AccessTimer` — the per-access cost model with
+  an optional measurement-noise term;
+- :class:`~repro.memsim.allocator.AddressSpaceAllocator` — a first-fit
+  allocator so node occupancy accounting is real;
+- :class:`~repro.memsim.system.HybridMemorySystem` — the Fast/Slow node pair
+  with ``numactl``-style binding and the Table I preset.
+"""
+
+from repro.memsim.allocator import AddressSpaceAllocator, Allocation
+from repro.memsim.cache import LLCModel
+from repro.memsim.emulation import (
+    TABLE_I_FAST,
+    TABLE_I_SLOW,
+    ThrottleFactors,
+    emulated_slow_node,
+    table_i_factors,
+)
+from repro.memsim.node import MemoryNode, NodeKind
+from repro.memsim.system import HybridMemorySystem
+from repro.memsim.timing import AccessTimer, NoiseModel
+
+__all__ = [
+    "AddressSpaceAllocator",
+    "Allocation",
+    "LLCModel",
+    "MemoryNode",
+    "NodeKind",
+    "HybridMemorySystem",
+    "AccessTimer",
+    "NoiseModel",
+    "ThrottleFactors",
+    "emulated_slow_node",
+    "table_i_factors",
+    "TABLE_I_FAST",
+    "TABLE_I_SLOW",
+]

@@ -1,0 +1,134 @@
+"""First-fit address-space allocator.
+
+Backs the slab allocator and the engines' record placement so that node
+occupancy is tracked against a real address space, not just a byte
+counter.  Adjacent free ranges are coalesced on release, keeping the
+free list small even under churn-heavy (update) workloads.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.errors import AllocationError, ConfigurationError
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A live allocation: half-open byte range ``[offset, offset + size)``."""
+
+    offset: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the range."""
+        return self.offset + self.size
+
+
+class AddressSpaceAllocator:
+    """First-fit allocator over a contiguous byte range.
+
+    The free list is kept sorted by offset; allocation scans for the
+    first range large enough, release re-inserts and coalesces with
+    neighbours.  Both operations are O(free ranges), which stays tiny
+    for the KV-store allocation patterns exercised here.
+    """
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ConfigurationError(
+                f"capacity must be positive, got {capacity_bytes}"
+            )
+        self.capacity_bytes = int(capacity_bytes)
+        # parallel sorted lists: free range offsets and sizes
+        self._free_offsets: list[int] = [0]
+        self._free_sizes: list[int] = [self.capacity_bytes]
+        self._live: dict[int, int] = {}  # offset -> size
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently allocated."""
+        return self.capacity_bytes - self.free_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes currently free (possibly fragmented)."""
+        return sum(self._free_sizes)
+
+    @property
+    def largest_free_block(self) -> int:
+        """Largest single free range (0 when full)."""
+        return max(self._free_sizes, default=0)
+
+    @property
+    def fragmentation(self) -> float:
+        """1 - largest_free/total_free; 0 when free space is contiguous."""
+        free = self.free_bytes
+        if free == 0:
+            return 0.0
+        return 1.0 - self.largest_free_block / free
+
+    def live_allocations(self) -> list[Allocation]:
+        """Snapshot of current allocations, sorted by offset."""
+        return [Allocation(off, size) for off, size in sorted(self._live.items())]
+
+    # -- operation -----------------------------------------------------------
+
+    def allocate(self, size: int) -> Allocation:
+        """Allocate *size* bytes; raises :class:`AllocationError` if no fit."""
+        if size <= 0:
+            raise ConfigurationError(f"allocation size must be positive, got {size}")
+        for i, (off, free) in enumerate(zip(self._free_offsets, self._free_sizes)):
+            if free >= size:
+                if free == size:
+                    del self._free_offsets[i]
+                    del self._free_sizes[i]
+                else:
+                    self._free_offsets[i] = off + size
+                    self._free_sizes[i] = free - size
+                self._live[off] = size
+                return Allocation(off, size)
+        raise AllocationError(
+            f"no free range of {size} B (free={self.free_bytes} B, "
+            f"largest block={self.largest_free_block} B)"
+        )
+
+    def release(self, alloc: Allocation) -> None:
+        """Free a previously returned allocation, coalescing neighbours."""
+        size = self._live.pop(alloc.offset, None)
+        if size is None:
+            raise AllocationError(f"offset {alloc.offset} is not a live allocation")
+        if size != alloc.size:
+            # restore before raising so the allocator stays consistent
+            self._live[alloc.offset] = size
+            raise AllocationError(
+                f"allocation at {alloc.offset} has size {size}, not {alloc.size}"
+            )
+        i = bisect.bisect_left(self._free_offsets, alloc.offset)
+        self._free_offsets.insert(i, alloc.offset)
+        self._free_sizes.insert(i, alloc.size)
+        # coalesce with successor
+        if i + 1 < len(self._free_offsets) and (
+            self._free_offsets[i] + self._free_sizes[i] == self._free_offsets[i + 1]
+        ):
+            self._free_sizes[i] += self._free_sizes[i + 1]
+            del self._free_offsets[i + 1]
+            del self._free_sizes[i + 1]
+        # coalesce with predecessor
+        if i > 0 and (
+            self._free_offsets[i - 1] + self._free_sizes[i - 1]
+            == self._free_offsets[i]
+        ):
+            self._free_sizes[i - 1] += self._free_sizes[i]
+            del self._free_offsets[i]
+            del self._free_sizes[i]
+
+    def reset(self) -> None:
+        """Drop every allocation and restore one contiguous free range."""
+        self._free_offsets = [0]
+        self._free_sizes = [self.capacity_bytes]
+        self._live.clear()

@@ -1,0 +1,89 @@
+"""Testbed emulation presets (paper Section II, Table I).
+
+The paper emulates NVM by throttling one DRAM socket: bandwidth reduced
+to 0.12x and latency increased to 3.62x of the unmodified node.  This
+module captures those factors and builds node presets from them, so the
+same throttling methodology can be applied to arbitrary "DRAM" nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.memsim.node import MemoryNode, NodeKind
+from repro.units import GiB
+
+#: Table I FastMem (unmodified DRAM node): 65.7 ns, 14.9 GB/s, 4 GiB DDR3.
+TABLE_I_FAST = {
+    "latency_ns": 65.7,
+    "bandwidth_gbps": 14.9,
+    "capacity_bytes": 4 * GiB,
+}
+
+#: Table I SlowMem (throttled node): 238.1 ns, 1.81 GB/s, 4 GiB DDR3.
+TABLE_I_SLOW = {
+    "latency_ns": 238.1,
+    "bandwidth_gbps": 1.81,
+    "capacity_bytes": 4 * GiB,
+}
+
+
+@dataclass(frozen=True)
+class ThrottleFactors:
+    """Throttling factors relative to DRAM: ``B:bandwidth L:latency``.
+
+    Table I reports SlowMem as ``B:0.12 L:3.62`` — 0.12x the bandwidth and
+    3.62x the latency of FastMem.
+    """
+
+    bandwidth: float
+    latency: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.bandwidth <= 1:
+            raise ConfigurationError(
+                f"bandwidth throttle factor must be in (0, 1], got {self.bandwidth}"
+            )
+        if self.latency < 1:
+            raise ConfigurationError(
+                f"latency throttle factor must be >= 1, got {self.latency}"
+            )
+
+
+def table_i_factors() -> ThrottleFactors:
+    """The B:0.12 L:3.62 factors measured on the paper's testbed."""
+    return ThrottleFactors(
+        bandwidth=TABLE_I_SLOW["bandwidth_gbps"] / TABLE_I_FAST["bandwidth_gbps"],
+        latency=TABLE_I_SLOW["latency_ns"] / TABLE_I_FAST["latency_ns"],
+    )
+
+
+def emulated_slow_node(
+    fast: MemoryNode,
+    factors: ThrottleFactors | None = None,
+    name: str = "SlowMem",
+    capacity_bytes: int | None = None,
+) -> MemoryNode:
+    """Build a SlowMem node by throttling *fast*, as the paper does.
+
+    Parameters
+    ----------
+    fast:
+        The unmodified DRAM node to derive timing from.
+    factors:
+        Bandwidth/latency throttle factors; defaults to Table I's
+        ``B:0.12 L:3.62``.
+    capacity_bytes:
+        SlowMem capacity; defaults to the fast node's capacity (the
+        testbed has two equal 4 GiB nodes).
+    """
+    if factors is None:
+        factors = table_i_factors()
+    return MemoryNode(
+        name=name,
+        kind=NodeKind.SLOW,
+        latency_ns=fast.latency_ns * factors.latency,
+        bandwidth_gbps=fast.bandwidth_gbps * factors.bandwidth,
+        capacity_bytes=capacity_bytes or fast.capacity_bytes,
+    )

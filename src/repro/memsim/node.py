@@ -1,0 +1,134 @@
+"""Memory node model.
+
+A :class:`MemoryNode` is one memory component of the hybrid system — DRAM
+("FastMem") or emulated NVM ("SlowMem").  It carries the device timing
+parameters used by the access cost model and tracks occupancy so that
+capacity sizing decisions are enforced rather than assumed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.units import gbps_to_bytes_per_ns
+
+
+class NodeKind(enum.Enum):
+    """Which tier a node belongs to."""
+
+    FAST = "fast"
+    SLOW = "slow"
+
+
+@dataclass
+class MemoryNode:
+    """One memory component of a hybrid memory system.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (``"FastMem"`` / ``"SlowMem"``).
+    kind:
+        Tier of the node (:class:`NodeKind`).
+    latency_ns:
+        Idle access latency in nanoseconds (Table I: 65.7 for DRAM,
+        238.1 for the throttled node).
+    bandwidth_gbps:
+        Sustained bandwidth in GB/s (Table I: 14.9 / 1.81).
+    capacity_bytes:
+        Total capacity of the node.  ``allocate``/``release`` enforce it.
+    """
+
+    name: str
+    kind: NodeKind
+    latency_ns: float
+    bandwidth_gbps: float
+    capacity_bytes: int
+    used_bytes: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.latency_ns <= 0:
+            raise ConfigurationError(f"latency must be positive, got {self.latency_ns}")
+        if self.bandwidth_gbps <= 0:
+            raise ConfigurationError(
+                f"bandwidth must be positive, got {self.bandwidth_gbps}"
+            )
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError(
+                f"capacity must be positive, got {self.capacity_bytes}"
+            )
+
+    # -- occupancy ---------------------------------------------------------
+
+    @property
+    def free_bytes(self) -> int:
+        """Remaining capacity."""
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of capacity currently in use (0..1)."""
+        return self.used_bytes / self.capacity_bytes
+
+    def allocate(self, nbytes: int) -> None:
+        """Reserve *nbytes* on this node.
+
+        Raises
+        ------
+        CapacityError
+            If the node does not have *nbytes* free.
+        """
+        if nbytes < 0:
+            raise ConfigurationError(f"cannot allocate negative bytes: {nbytes}")
+        if nbytes > self.free_bytes:
+            raise CapacityError(
+                f"{self.name}: requested {nbytes} B but only "
+                f"{self.free_bytes} B free of {self.capacity_bytes} B"
+            )
+        self.used_bytes += nbytes
+
+    def release(self, nbytes: int) -> None:
+        """Return *nbytes* to the node."""
+        if nbytes < 0:
+            raise ConfigurationError(f"cannot release negative bytes: {nbytes}")
+        if nbytes > self.used_bytes:
+            raise CapacityError(
+                f"{self.name}: releasing {nbytes} B but only "
+                f"{self.used_bytes} B are allocated"
+            )
+        self.used_bytes -= nbytes
+
+    def reset(self) -> None:
+        """Drop all occupancy accounting (fresh server deployment)."""
+        self.used_bytes = 0
+
+    # -- timing --------------------------------------------------------------
+
+    @property
+    def bytes_per_ns(self) -> float:
+        """Bandwidth expressed in bytes per nanosecond."""
+        return gbps_to_bytes_per_ns(self.bandwidth_gbps)
+
+    def access_time_ns(self, nbytes: float) -> float:
+        """Raw device time to move *nbytes*: ``latency + nbytes / bandwidth``.
+
+        This is the noise-free cost of a single access touching *nbytes*
+        of data on this node; the :class:`~repro.memsim.timing.AccessTimer`
+        layers cache effects, per-engine pass counts and noise on top.
+        """
+        return self.latency_ns + float(nbytes) / self.bytes_per_ns
+
+    # -- derived metrics -----------------------------------------------------
+
+    def slowdown_factors(self, other: "MemoryNode") -> tuple[float, float]:
+        """Return (bandwidth factor, latency factor) of *self* vs *other*.
+
+        Matches the Table I ``B:x L:y`` notation: SlowMem relative to
+        FastMem is ``B:0.12 L:3.62``.
+        """
+        return (
+            self.bandwidth_gbps / other.bandwidth_gbps,
+            self.latency_ns / other.latency_ns,
+        )

@@ -1,0 +1,121 @@
+"""The hybrid memory system: a FastMem/SlowMem node pair.
+
+Mirrors the paper's testbed (Section II): two memory nodes, a shared
+12 MB LLC, and ``numactl``-style binding of server processes to one node.
+SlowMem extends the flat address space; FastMem does not act as a cache
+for SlowMem (explicit assumption in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.memsim.cache import LLCModel
+from repro.memsim.emulation import TABLE_I_FAST, TABLE_I_SLOW
+from repro.memsim.node import MemoryNode, NodeKind
+from repro.units import MB
+
+
+@dataclass
+class HybridMemorySystem:
+    """A two-node hybrid memory system with a shared LLC.
+
+    Use :meth:`testbed` for the paper's Table I configuration, or
+    construct nodes directly for what-if studies (larger capacities,
+    different throttle factors, projected Optane parts, ...).
+    """
+
+    fast: MemoryNode
+    slow: MemoryNode
+    llc: LLCModel = field(default_factory=lambda: LLCModel(capacity_bytes=12 * MB))
+
+    def __post_init__(self) -> None:
+        if self.fast.kind is not NodeKind.FAST:
+            raise ConfigurationError("fast node must have kind NodeKind.FAST")
+        if self.slow.kind is not NodeKind.SLOW:
+            raise ConfigurationError("slow node must have kind NodeKind.SLOW")
+        if self.slow.latency_ns < self.fast.latency_ns:
+            raise ConfigurationError(
+                "SlowMem latency is below FastMem latency; nodes are swapped?"
+            )
+
+    # -- presets ---------------------------------------------------------------
+
+    @classmethod
+    def testbed(
+        cls,
+        fast_capacity_bytes: int | None = None,
+        slow_capacity_bytes: int | None = None,
+        llc_bytes: int = 12 * MB,
+    ) -> "HybridMemorySystem":
+        """The paper's emulated testbed (Table I).
+
+        FastMem: 65.7 ns / 14.9 GB/s; SlowMem: 238.1 ns / 1.81 GB/s
+        (B:0.12 L:3.62); 12 MB shared LLC; 4 GiB per node by default.
+        """
+        fast = MemoryNode(
+            name="FastMem",
+            kind=NodeKind.FAST,
+            latency_ns=TABLE_I_FAST["latency_ns"],
+            bandwidth_gbps=TABLE_I_FAST["bandwidth_gbps"],
+            capacity_bytes=fast_capacity_bytes or TABLE_I_FAST["capacity_bytes"],
+        )
+        slow = MemoryNode(
+            name="SlowMem",
+            kind=NodeKind.SLOW,
+            latency_ns=TABLE_I_SLOW["latency_ns"],
+            bandwidth_gbps=TABLE_I_SLOW["bandwidth_gbps"],
+            capacity_bytes=slow_capacity_bytes or TABLE_I_SLOW["capacity_bytes"],
+        )
+        return cls(fast=fast, slow=slow, llc=LLCModel(capacity_bytes=llc_bytes))
+
+    # -- numactl-style binding ---------------------------------------------------
+
+    def bind(self, node: str | NodeKind) -> MemoryNode:
+        """Resolve a binding target, as ``numactl --membind`` would.
+
+        Accepts ``"fast"``/``"slow"``, a node name, or a :class:`NodeKind`.
+        """
+        if isinstance(node, NodeKind):
+            return self.fast if node is NodeKind.FAST else self.slow
+        label = node.lower()
+        if label in ("fast", self.fast.name.lower()):
+            return self.fast
+        if label in ("slow", self.slow.name.lower()):
+            return self.slow
+        raise ConfigurationError(f"unknown memory node {node!r}")
+
+    @property
+    def nodes(self) -> tuple[MemoryNode, MemoryNode]:
+        """Both nodes, fast first."""
+        return (self.fast, self.slow)
+
+    @property
+    def total_capacity_bytes(self) -> int:
+        """Combined capacity of both nodes (flat address space)."""
+        return self.fast.capacity_bytes + self.slow.capacity_bytes
+
+    def reset(self) -> None:
+        """Fresh deployment: drop occupancy and flush the LLC."""
+        self.fast.reset()
+        self.slow.reset()
+        self.llc.reset()
+
+    def describe(self) -> dict[str, dict[str, float]]:
+        """Table I-style summary: per-node latency, bandwidth and factors."""
+        bw_f, lat_f = self.slow.slowdown_factors(self.fast)
+        return {
+            "FastMem": {
+                "latency_ns": self.fast.latency_ns,
+                "bandwidth_gbps": self.fast.bandwidth_gbps,
+                "bandwidth_factor": 1.0,
+                "latency_factor": 1.0,
+            },
+            "SlowMem": {
+                "latency_ns": self.slow.latency_ns,
+                "bandwidth_gbps": self.slow.bandwidth_gbps,
+                "bandwidth_factor": bw_f,
+                "latency_factor": lat_f,
+            },
+        }

@@ -1,0 +1,109 @@
+"""Access-time model.
+
+The cost of one key-value request against a memory node is modelled as
+
+    t = cpu_ns + passes * (node latency + touched_bytes / node bandwidth)
+
+where ``cpu_ns`` and ``passes`` come from the engine's sensitivity profile
+(:mod:`repro.kvstore.profiles`) and the node parameters from Table I.  A
+multiplicative noise term reproduces run-to-run measurement variability
+(the paper reports the mean of multiple runs; our client does the same).
+
+Everything here is vectorized: the client hands over NumPy arrays of
+per-request sizes / node parameters and gets per-request times back in a
+single pass, per the project's HPC idioms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Multiplicative Gaussian noise on per-request service times.
+
+    ``sigma`` is the relative standard deviation; each request time is
+    multiplied by ``max(eps, 1 + sigma * z)`` with ``z ~ N(0, 1)``.
+    ``sigma = 0`` disables noise (useful in unit tests).
+    """
+
+    sigma: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ConfigurationError(f"noise sigma must be >= 0, got {self.sigma}")
+
+    def apply(self, times_ns: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return a noisy copy of *times_ns* (or the input when sigma==0)."""
+        if self.sigma == 0.0:
+            return times_ns
+        factors = 1.0 + self.sigma * rng.standard_normal(times_ns.shape)
+        np.maximum(factors, 1e-3, out=factors)
+        return times_ns * factors
+
+
+class AccessTimer:
+    """Vectorized per-request access-cost calculator.
+
+    Parameters
+    ----------
+    noise:
+        The measurement-noise model; defaults to 1 % relative sigma.
+    seed:
+        Seed (or generator) for the noise stream.
+    """
+
+    def __init__(self, noise: NoiseModel | None = None, seed: SeedLike = None):
+        self.noise = noise if noise is not None else NoiseModel()
+        self._rng = ensure_rng(seed)
+
+    def request_times_ns(
+        self,
+        sizes: np.ndarray,
+        latency_ns: np.ndarray,
+        bytes_per_ns: np.ndarray,
+        passes: np.ndarray,
+        cpu_ns: np.ndarray,
+        cached: np.ndarray | None = None,
+        cache_latency_ns: float = 0.0,
+        noisy: bool = True,
+    ) -> np.ndarray:
+        """Compute per-request service times in nanoseconds.
+
+        Parameters
+        ----------
+        sizes:
+            Bytes touched by each request (record size + metadata).
+        latency_ns, bytes_per_ns:
+            Per-request node parameters (already gathered by placement).
+        passes:
+            How many times the engine walks the record per request.
+        cpu_ns:
+            Fixed per-request CPU cost of the engine.
+        cached:
+            Optional boolean mask of LLC hits; hits replace the memory
+            term with ``cache_latency_ns`` (data is already on-chip).
+        cache_latency_ns:
+            LLC hit latency.
+        noisy:
+            Apply the noise model (disable for analytic ground truth).
+
+        Returns
+        -------
+        numpy.ndarray
+            Per-request times, same shape as *sizes*.
+        """
+        sizes = np.asarray(sizes, dtype=np.float64)
+        mem_ns = passes * (latency_ns + sizes / bytes_per_ns)
+        if cached is not None:
+            mem_ns = np.where(cached, cache_latency_ns, mem_ns)
+        times = cpu_ns + mem_ns
+        if noisy:
+            times = self.noise.apply(times, self._rng)
+        return times

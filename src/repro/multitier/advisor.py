@@ -1,0 +1,242 @@
+"""The multi-tier sizing advisor.
+
+Generalises Mnemo's pipeline to N tiers:
+
+1. *baselines*: execute the workload with all data in each tier
+   (N runs instead of 2);
+2. *placement*: waterfall the MnemoT weight ordering into the tier
+   capacities (hottest keys to the fastest tier until full, then the
+   next tier, ...);
+3. *estimate*: runtime = Σ_tier reads_t·avg_read_t + writes_t·avg_write_t
+   with the per-tier averages taken from the baselines — the exact
+   N-tier analog of the paper's telescoped two-tier model;
+4. *sweep*: evaluate a grid of capacity vectors, keep the Pareto
+   frontier, answer SLO queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, EstimateError
+from repro.kvstore.profiles import EngineProfile
+from repro.rng import SeedLike
+from repro.units import NS_PER_S
+from repro.ycsb.client import RunResult
+from repro.ycsb.workload import Trace
+from repro.multitier.client import MultiTierClient
+from repro.multitier.system import TieredMemorySystem
+
+
+@dataclass(frozen=True)
+class MultiTierBaselines:
+    """One all-in-tier-k measurement per tier, fastest first."""
+
+    runs: tuple[RunResult, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.runs) < 2:
+            raise ConfigurationError("need baselines for at least two tiers")
+
+    @property
+    def n_requests(self) -> int:
+        """Requests per baseline run (identical across tiers)."""
+        return self.runs[0].n_requests
+
+    def read_times(self) -> np.ndarray:
+        """Per-tier average read service time."""
+        return np.array([r.avg_read_ns for r in self.runs])
+
+    def write_times(self) -> np.ndarray:
+        """Per-tier average write service time."""
+        return np.array([r.avg_write_ns for r in self.runs])
+
+
+@dataclass(frozen=True)
+class TieredPlan:
+    """A concrete placement plus its predicted behaviour."""
+
+    workload: str
+    assignment: np.ndarray        # key -> tier index
+    bytes_per_tier: np.ndarray
+    cost_factor: float
+    est_runtime_ns: float
+    n_requests: int
+
+    @property
+    def est_throughput_ops_s(self) -> float:
+        """Estimated operations per second."""
+        return self.n_requests / (self.est_runtime_ns / NS_PER_S)
+
+    def tier_shares(self) -> np.ndarray:
+        """Fraction of the dataset per tier."""
+        return self.bytes_per_tier / self.bytes_per_tier.sum()
+
+
+class MultiTierAdvisor:
+    """N-tier capacity sizing consultant."""
+
+    def __init__(
+        self,
+        system: TieredMemorySystem,
+        profile: EngineProfile,
+        repeats: int = 3,
+        noise_sigma: float = 0.01,
+        seed: SeedLike = None,
+    ):
+        self.system = system
+        self.profile = profile
+        self.client = MultiTierClient(
+            system, profile, repeats=repeats, noise_sigma=noise_sigma,
+            seed=seed,
+        )
+
+    # -- baselines -----------------------------------------------------------
+
+    def measure(self, trace: Trace) -> MultiTierBaselines:
+        """Execute the workload all-in-tier-k for every tier.
+
+        Capacity bounds are ignored during profiling (as in the paper,
+        where total capacity is fixed to the dataset size); they only
+        constrain the placements being evaluated.
+        """
+        runs = []
+        for k in range(len(self.system)):
+            assignment = np.full(trace.n_keys, k, dtype=np.int64)
+            runs.append(self.client.execute(trace, assignment))
+        return MultiTierBaselines(runs=tuple(runs))
+
+    # -- placement -----------------------------------------------------------
+
+    def waterfall_assignment(
+        self, trace: Trace, capacities: Sequence[int | None]
+    ) -> np.ndarray:
+        """Fill tiers in order with the accesses/size weight ordering.
+
+        ``capacities[k] = None`` means unbounded; at least the last
+        tier must absorb whatever is left.
+        """
+        if len(capacities) != len(self.system):
+            raise ConfigurationError(
+                f"need one capacity per tier ({len(self.system)})"
+            )
+        counts = np.bincount(trace.keys, minlength=trace.n_keys)
+        order = np.argsort(-(counts / trace.record_sizes), kind="stable")
+        assignment = np.full(trace.n_keys, -1, dtype=np.int64)
+        sizes = trace.record_sizes
+
+        tier = 0
+        used = 0
+        for key in order:
+            size = int(sizes[key])
+            while tier < len(capacities) - 1:
+                cap = capacities[tier]
+                if cap is None or used + size <= cap:
+                    break
+                tier += 1
+                used = 0
+            cap = capacities[tier]
+            if cap is not None and used + size > cap:
+                raise EstimateError(
+                    "dataset does not fit the given tier capacities"
+                )
+            assignment[key] = tier
+            used += size
+        return assignment
+
+    # -- estimation -----------------------------------------------------------
+
+    def estimate(
+        self,
+        trace: Trace,
+        baselines: MultiTierBaselines,
+        capacities: Sequence[int | None],
+    ) -> TieredPlan:
+        """Predict runtime and cost of the waterfall placement."""
+        assignment = self.waterfall_assignment(trace, capacities)
+        return self.estimate_assignment(trace, baselines, assignment)
+
+    def estimate_assignment(
+        self,
+        trace: Trace,
+        baselines: MultiTierBaselines,
+        assignment: np.ndarray,
+    ) -> TieredPlan:
+        """Predict runtime and cost of an explicit assignment."""
+        n_tiers = len(self.system)
+        reads, writes = trace.per_key_counts()
+        reads_t = np.bincount(assignment, weights=reads, minlength=n_tiers)
+        writes_t = np.bincount(assignment, weights=writes, minlength=n_tiers)
+        bytes_t = np.bincount(assignment, weights=trace.record_sizes,
+                              minlength=n_tiers)
+        runtime = float(
+            (reads_t * baselines.read_times()).sum()
+            + (writes_t * baselines.write_times()).sum()
+        )
+        if runtime <= 0:
+            raise EstimateError("estimated runtime is non-positive")
+        return TieredPlan(
+            workload=trace.name,
+            assignment=assignment,
+            bytes_per_tier=bytes_t,
+            cost_factor=self.system.cost_factor(bytes_t),
+            est_runtime_ns=runtime,
+            n_requests=trace.n_requests,
+        )
+
+    # -- sweeps ---------------------------------------------------------------
+
+    def sweep(
+        self,
+        trace: Trace,
+        baselines: MultiTierBaselines,
+        capacity_grid: Iterable[Sequence[int | None]],
+    ) -> list[TieredPlan]:
+        """Estimate every capacity vector in *capacity_grid*."""
+        plans = []
+        for capacities in capacity_grid:
+            try:
+                plans.append(self.estimate(trace, baselines, capacities))
+            except EstimateError:
+                continue  # vector cannot hold the dataset
+        if not plans:
+            raise EstimateError("no capacity vector in the grid fits")
+        return plans
+
+    @staticmethod
+    def pareto(plans: Sequence[TieredPlan]) -> list[TieredPlan]:
+        """Cost-ascending Pareto frontier (no plan dominated on both axes)."""
+        ordered = sorted(plans, key=lambda p: (p.cost_factor,
+                                               -p.est_throughput_ops_s))
+        frontier: list[TieredPlan] = []
+        best = -np.inf
+        for plan in ordered:
+            if plan.est_throughput_ops_s > best:
+                frontier.append(plan)
+                best = plan.est_throughput_ops_s
+        return frontier
+
+    def cheapest_within_slo(
+        self,
+        plans: Sequence[TieredPlan],
+        baselines: MultiTierBaselines,
+        max_slowdown: float = 0.10,
+    ) -> TieredPlan:
+        """Cheapest plan within *max_slowdown* of the all-tier-0 run."""
+        if not 0 <= max_slowdown < 1:
+            raise ConfigurationError("max_slowdown must be in [0, 1)")
+        ref = baselines.runs[0].throughput_ops_s
+        feasible = [p for p in plans
+                    if p.est_throughput_ops_s >= (1 - max_slowdown) * ref]
+        if not feasible:
+            raise EstimateError("no plan meets the SLO")
+        return min(feasible, key=lambda p: p.cost_factor)
+
+    # -- validation -------------------------------------------------------------
+
+    def validate(self, trace: Trace, plan: TieredPlan) -> RunResult:
+        """Measure the plan's placement for estimate-accuracy checks."""
+        return self.client.execute(trace, plan.assignment)

@@ -1,0 +1,97 @@
+"""Measuring client for arbitrary key→tier assignments.
+
+The two-tier :class:`~repro.ycsb.client.YCSBClient` routes through a
+:class:`~repro.kvstore.server.HybridDeployment`; here placements are an
+assignment array instead (one server instance per tier would be the
+deployment analog), which keeps N-tier sweeps cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.kvstore.profiles import EngineProfile
+from repro.memsim.timing import AccessTimer, NoiseModel
+from repro.rng import SeedLike, derive_seed
+from repro.ycsb.client import RunResult
+from repro.ycsb.workload import Trace
+from repro.multitier.system import TieredMemorySystem
+
+
+class MultiTierClient:
+    """Closed-loop client over an N-tier placement.
+
+    Parameters mirror :class:`~repro.ycsb.client.YCSBClient`.
+    """
+
+    def __init__(
+        self,
+        system: TieredMemorySystem,
+        profile: EngineProfile,
+        repeats: int = 3,
+        noise_sigma: float = 0.01,
+        seed: SeedLike = None,
+    ):
+        if repeats <= 0:
+            raise ConfigurationError(f"repeats must be positive, got {repeats}")
+        self.system = system
+        self.profile = profile
+        self.repeats = repeats
+        self.noise = NoiseModel(sigma=noise_sigma)
+        self._seed = seed
+        self._executions = 0
+
+    def execute(self, trace: Trace, assignment: np.ndarray) -> RunResult:
+        """Run *trace* with keys placed per *assignment* (key -> tier)."""
+        assignment = np.asarray(assignment)
+        if assignment.shape != (trace.n_keys,):
+            raise WorkloadError(
+                f"assignment must map every key ({trace.n_keys}), "
+                f"got shape {assignment.shape}"
+            )
+        n_tiers = len(self.system)
+        if assignment.min() < 0 or assignment.max() >= n_tiers:
+            raise WorkloadError(f"tier indices must be in [0, {n_tiers})")
+
+        prof = self.profile
+        req_tier = assignment[trace.keys]
+        sizes = trace.record_sizes[trace.keys] + prof.metadata_bytes
+        latency = self.system.latency_array()[req_tier]
+        bpns = self.system.bandwidth_array()[req_tier]
+        passes = np.where(trace.is_read, prof.read_passes, prof.write_passes)
+        cpu = np.where(trace.is_read, prof.read_cpu_ns, prof.write_cpu_ns)
+
+        self._executions += 1
+        is_read = trace.is_read
+        n_reads = int(is_read.sum())
+        n_writes = trace.n_requests - n_reads
+        runtimes = np.empty(self.repeats)
+        read_sums = np.empty(self.repeats)
+        for r in range(self.repeats):
+            timer = AccessTimer(
+                noise=self.noise,
+                seed=derive_seed(
+                    self._seed,
+                    f"{trace.name}/mt-exec{self._executions}/run{r}",
+                ),
+            )
+            times = timer.request_times_ns(sizes, latency, bpns, passes, cpu)
+            runtimes[r] = times.sum()
+            read_sums[r] = times[is_read].sum()
+
+        runtime = float(runtimes.mean())
+        read_sum = float(read_sums.mean())
+        return RunResult(
+            workload=trace.name,
+            engine=prof.name,
+            n_requests=trace.n_requests,
+            n_reads=n_reads,
+            n_writes=n_writes,
+            runtime_ns=runtime,
+            avg_read_ns=read_sum / n_reads if n_reads else 0.0,
+            avg_write_ns=(runtime - read_sum) / n_writes if n_writes else 0.0,
+            latency_percentiles_ns={},
+            repeats=self.repeats,
+            runtime_std_ns=float(runtimes.std()),
+        )

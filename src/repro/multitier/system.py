@@ -1,0 +1,141 @@
+"""Tiered memory system description.
+
+Tiers are ordered fastest-first; tier 0 is the price reference
+(price_factor = 1), matching the paper's convention of expressing cost
+as a fraction of the FastMem-only system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.memsim.emulation import TABLE_I_FAST, TABLE_I_SLOW
+from repro.units import GiB, gbps_to_bytes_per_ns
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """One memory tier.
+
+    Parameters
+    ----------
+    name:
+        Tier label (``"DRAM"``, ``"NVM"``, ``"Far"``...).
+    latency_ns / bandwidth_gbps:
+        Device timing.
+    price_factor:
+        Per-byte price relative to tier 0 (tier 0 must be 1.0).
+    capacity_bytes:
+        Optional capacity bound used by waterfall placement; ``None``
+        means unbounded (typical for the last, cheapest tier).
+    """
+
+    name: str
+    latency_ns: float
+    bandwidth_gbps: float
+    price_factor: float
+    capacity_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.latency_ns <= 0 or self.bandwidth_gbps <= 0:
+            raise ConfigurationError(f"invalid device timing for {self.name}")
+        if not 0 < self.price_factor <= 1:
+            raise ConfigurationError(
+                f"price factor must be in (0, 1], got {self.price_factor}"
+            )
+        if self.capacity_bytes is not None and self.capacity_bytes <= 0:
+            raise ConfigurationError("capacity must be positive or None")
+
+    @property
+    def bytes_per_ns(self) -> float:
+        """Bandwidth in bytes per nanosecond."""
+        return gbps_to_bytes_per_ns(self.bandwidth_gbps)
+
+
+class TieredMemorySystem:
+    """An ordered set of memory tiers, fastest (and priciest) first."""
+
+    def __init__(self, tiers: list[TierSpec]):
+        if len(tiers) < 2:
+            raise ConfigurationError("need at least two tiers")
+        if tiers[0].price_factor != 1.0:
+            raise ConfigurationError("tier 0 is the price reference (1.0)")
+        lat = [t.latency_ns for t in tiers]
+        price = [t.price_factor for t in tiers]
+        if lat != sorted(lat):
+            raise ConfigurationError("tiers must be ordered fastest first")
+        if price != sorted(price, reverse=True):
+            raise ConfigurationError(
+                "price factors must not increase down the tiers"
+            )
+        self.tiers = list(tiers)
+
+    def __len__(self) -> int:
+        return len(self.tiers)
+
+    def __getitem__(self, i: int) -> TierSpec:
+        return self.tiers[i]
+
+    @property
+    def names(self) -> list[str]:
+        """Tier names, fastest first."""
+        return [t.name for t in self.tiers]
+
+    def latency_array(self) -> np.ndarray:
+        """Per-tier latencies (index = tier)."""
+        return np.array([t.latency_ns for t in self.tiers])
+
+    def bandwidth_array(self) -> np.ndarray:
+        """Per-tier bandwidths in bytes/ns (index = tier)."""
+        return np.array([t.bytes_per_ns for t in self.tiers])
+
+    def price_array(self) -> np.ndarray:
+        """Per-tier price factors (index = tier)."""
+        return np.array([t.price_factor for t in self.tiers])
+
+    def cost_factor(self, bytes_per_tier: np.ndarray) -> float:
+        """Capacity-weighted cost relative to an all-tier-0 system."""
+        bytes_per_tier = np.asarray(bytes_per_tier, dtype=np.float64)
+        if bytes_per_tier.shape != (len(self.tiers),):
+            raise ConfigurationError(
+                f"need one byte count per tier ({len(self.tiers)})"
+            )
+        total = bytes_per_tier.sum()
+        if total <= 0:
+            raise ConfigurationError("placement holds no bytes")
+        return float((bytes_per_tier * self.price_array()).sum() / total)
+
+    # -- presets ---------------------------------------------------------------
+
+    @classmethod
+    def dram_nvm_far(
+        cls,
+        dram_capacity: int | None = 4 * GiB,
+        nvm_capacity: int | None = 8 * GiB,
+    ) -> "TieredMemorySystem":
+        """A projected three-tier system.
+
+        DRAM and NVM use the Table I device parameters; the far tier
+        models CXL-attached / borrowed remote memory: ~2x the NVM
+        latency, half its bandwidth, at 8 % of the DRAM per-byte price.
+        """
+        return cls([
+            TierSpec("DRAM", TABLE_I_FAST["latency_ns"],
+                     TABLE_I_FAST["bandwidth_gbps"], 1.0, dram_capacity),
+            TierSpec("NVM", TABLE_I_SLOW["latency_ns"],
+                     TABLE_I_SLOW["bandwidth_gbps"], 0.2, nvm_capacity),
+            TierSpec("Far", 500.0, 0.9, 0.08, None),
+        ])
+
+    @classmethod
+    def paper_two_tier(cls) -> "TieredMemorySystem":
+        """The paper's FastMem/SlowMem pair, as a degenerate tier list."""
+        return cls([
+            TierSpec("FastMem", TABLE_I_FAST["latency_ns"],
+                     TABLE_I_FAST["bandwidth_gbps"], 1.0, None),
+            TierSpec("SlowMem", TABLE_I_SLOW["latency_ns"],
+                     TABLE_I_SLOW["bandwidth_gbps"], 0.2, None),
+        ])

@@ -1,0 +1,148 @@
+"""Embedded 2018 cloud VM instance catalogs.
+
+The paper estimates per-GB memory cost by regressing
+
+    VM cost = vCPU * C + GB * M
+
+over the Memory-Optimized instance families of AWS ElastiCache
+(cache.r5), Google Compute Engine (n1-ultramem / n1-megamem) and
+Microsoft Azure (E-series, M-series).  We cannot fetch 2018 price
+sheets offline, so this module embeds a snapshot of the published
+on-demand prices from late 2018 (us-east / us-central, Linux).  Values
+are the then-public hourly rates rounded to the mill; small deviations
+from the exact sheets do not change the regression's conclusion (memory
+is 60–85 % of the VM price).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PricingError
+
+
+@dataclass(frozen=True)
+class VMInstance:
+    """One VM SKU: shape and hourly price."""
+
+    provider: str
+    family: str
+    name: str
+    vcpus: int
+    memory_gb: float
+    hourly_usd: float
+
+    def __post_init__(self) -> None:
+        if self.vcpus <= 0 or self.memory_gb <= 0 or self.hourly_usd <= 0:
+            raise PricingError(f"invalid instance definition: {self}")
+
+
+def _mk(provider: str, family: str, rows: list[tuple[str, int, float, float]]):
+    return tuple(
+        VMInstance(provider, family, name, vcpus, gb, usd)
+        for name, vcpus, gb, usd in rows
+    )
+
+
+#: AWS ElastiCache cache.m5 (general purpose), on-demand us-east-1, Nov 2018.
+#: Not Memory Optimized itself — included because the regression pools all
+#: instances per provider, and the m5 shapes (different GB/vCPU ratio)
+#: make the AWS system well-conditioned.
+AWS_CACHE_M5 = _mk("aws", "cache.m5", [
+    ("cache.m5.large", 2, 6.38, 0.156),
+    ("cache.m5.xlarge", 4, 12.93, 0.311),
+    ("cache.m5.2xlarge", 8, 26.04, 0.622),
+    ("cache.m5.4xlarge", 16, 52.26, 1.244),
+    ("cache.m5.12xlarge", 48, 157.12, 3.732),
+    ("cache.m5.24xlarge", 96, 314.32, 7.464),
+])
+
+#: AWS ElastiCache cache.r5, on-demand us-east-1, Nov 2018.
+AWS_CACHE_R5 = _mk("aws", "cache.r5", [
+    ("cache.r5.large", 2, 13.07, 0.216),
+    ("cache.r5.xlarge", 4, 26.32, 0.431),
+    ("cache.r5.2xlarge", 8, 52.82, 0.862),
+    ("cache.r5.4xlarge", 16, 105.81, 1.723),
+    ("cache.r5.12xlarge", 48, 317.77, 5.170),
+    ("cache.r5.24xlarge", 96, 635.61, 10.340),
+])
+
+#: GCE n1-ultramem + n1-megamem, us-central1, Nov 2018.
+GCP_N1_MEM = _mk("gcp", "n1-ultramem/megamem", [
+    ("n1-megamem-96", 96, 1433.6, 10.674),
+    ("n1-ultramem-40", 40, 961.0, 6.304),
+    ("n1-ultramem-80", 80, 1922.0, 12.608),
+    ("n1-ultramem-160", 160, 3844.0, 25.216),
+])
+
+#: Azure E-series (Ev3, Linux, East US), Nov 2018.
+AZURE_E = _mk("azure", "E-series", [
+    ("E2_v3", 2, 16.0, 0.126),
+    ("E4_v3", 4, 32.0, 0.252),
+    ("E8_v3", 8, 64.0, 0.504),
+    ("E16_v3", 16, 128.0, 1.008),
+    ("E32_v3", 32, 256.0, 2.016),
+    ("E64_v3", 64, 432.0, 3.629),
+])
+
+#: Azure M-series (Linux, East US), Nov 2018.
+AZURE_M = _mk("azure", "M-series", [
+    ("M64s", 64, 1024.0, 6.669),
+    ("M64ms", 64, 1792.0, 10.337),
+    ("M128s", 128, 2048.0, 13.338),
+    ("M128ms", 128, 3892.0, 26.688),
+])
+
+#: All embedded catalogs keyed by ``provider/family``.
+CATALOGS: dict[str, tuple[VMInstance, ...]] = {
+    "aws/cache.m5": AWS_CACHE_M5,
+    "aws/cache.r5": AWS_CACHE_R5,
+    "gcp/n1-ultramem-megamem": GCP_N1_MEM,
+    "azure/E": AZURE_E,
+    "azure/M": AZURE_M,
+}
+
+#: The families Figure 1 reports (the paper plots Memory Optimized VMs).
+MEMORY_OPTIMIZED_FAMILIES: tuple[str, ...] = (
+    "aws/cache.r5",
+    "gcp/n1-ultramem-megamem",
+    "azure/E",
+    "azure/M",
+)
+
+
+def catalog_for(key: str) -> tuple[VMInstance, ...]:
+    """Look up an embedded catalog by ``provider/family`` key."""
+    try:
+        return CATALOGS[key]
+    except KeyError:
+        raise PricingError(
+            f"unknown catalog {key!r}; known: {sorted(CATALOGS)}"
+        ) from None
+
+
+def provider_families() -> list[str]:
+    """All catalog keys, sorted."""
+    return sorted(CATALOGS)
+
+
+def providers() -> list[str]:
+    """All providers with embedded catalogs."""
+    return sorted({i.provider for c in CATALOGS.values() for i in c})
+
+
+def provider_catalog(provider: str) -> tuple[VMInstance, ...]:
+    """Every embedded instance of one provider, across families.
+
+    This is the pool the paper regresses over ("a system of equations
+    derived from all VM instances per cloud provider").
+    """
+    pool = tuple(
+        inst for cat in CATALOGS.values() for inst in cat
+        if inst.provider == provider
+    )
+    if not pool:
+        raise PricingError(
+            f"unknown provider {provider!r}; known: {providers()}"
+        )
+    return pool

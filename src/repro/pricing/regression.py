@@ -1,0 +1,89 @@
+"""Least-squares estimation of per-vCPU and per-GB unit costs.
+
+Following Amur et al. (SoCC'13), the paper describes each VM's hourly
+price as ``vCPU * C + GB * M`` and solves the over-determined system
+across a family's SKUs with least squares.  We use the normal-equation
+solver from :func:`numpy.linalg.lstsq` and optionally constrain the
+solution to non-negative unit costs via :func:`scipy.optimize.nnls`
+(a negative C can occur when a family's pricing is purely memory-driven).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy.optimize import nnls
+
+from repro.errors import PricingError
+from repro.pricing.catalog import VMInstance
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Fitted unit costs for one instance family.
+
+    Attributes
+    ----------
+    vcpu_cost:
+        C — hourly USD per vCPU.
+    memory_cost:
+        M — hourly USD per GB of memory.
+    residual:
+        Root-mean-square relative pricing error of the fit.
+    """
+
+    provider: str
+    family: str
+    vcpu_cost: float
+    memory_cost: float
+    residual: float
+
+    def predict(self, vcpus: float, memory_gb: float) -> float:
+        """Modelled hourly price of a shape."""
+        return vcpus * self.vcpu_cost + memory_gb * self.memory_cost
+
+
+def fit_unit_costs(
+    instances: Sequence[VMInstance], nonnegative: bool = True
+) -> FitResult:
+    """Fit (C, M) over a family's SKUs by least squares.
+
+    Parameters
+    ----------
+    instances:
+        At least two SKUs with non-proportional shapes.
+    nonnegative:
+        Constrain C, M >= 0 (default; matches the economic reading).
+    """
+    if len(instances) < 2:
+        raise PricingError("need at least two instances to fit unit costs")
+    providers = {i.provider for i in instances}
+    if len(providers) > 1:
+        raise PricingError(
+            f"fit one provider at a time; got providers={providers}"
+        )
+    families = {i.family for i in instances}
+
+    a = np.array([[i.vcpus, i.memory_gb] for i in instances], dtype=np.float64)
+    y = np.array([i.hourly_usd for i in instances], dtype=np.float64)
+    if np.linalg.matrix_rank(a) < 2:
+        # all shapes proportional: attribute everything to memory, the
+        # resource the family is sold on.
+        m = float((y / a[:, 1]).mean())
+        c = 0.0
+    elif nonnegative:
+        (c, m), _ = nnls(a, y)
+    else:
+        (c, m), *_ = np.linalg.lstsq(a, y, rcond=None)
+
+    pred = a @ np.array([c, m])
+    residual = float(np.sqrt(np.mean(((pred - y) / y) ** 2)))
+    return FitResult(
+        provider=instances[0].provider,
+        family="+".join(sorted(families)),
+        vcpu_cost=float(c),
+        memory_cost=float(m),
+        residual=residual,
+    )

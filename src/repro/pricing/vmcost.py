@@ -1,0 +1,62 @@
+"""Per-instance memory-cost fractions (paper Figure 1).
+
+Combines the catalog and the regression: unit costs (C, M) are fitted
+per *provider* by pooling every embedded instance of that provider (the
+paper solves "a system of equations derived from all VM instances per
+cloud provider"); the memory share of each SKU's price is then
+``GB * M / price``.  Figure 1 plots the Memory-Optimized families, for
+which this share lands in the paper's 60–85 % band.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.pricing.catalog import (
+    MEMORY_OPTIMIZED_FAMILIES,
+    VMInstance,
+    catalog_for,
+    provider_catalog,
+)
+from repro.pricing.regression import FitResult, fit_unit_costs
+
+
+def memory_cost_fractions(
+    instances: Sequence[VMInstance], fit: FitResult | None = None
+) -> dict[str, float]:
+    """Memory share of each SKU's price, keyed by instance name.
+
+    When *fit* is omitted, the unit costs are fitted over the full
+    provider pool (not just *instances*), matching the paper's method.
+    """
+    if fit is None:
+        providers = {i.provider for i in instances}
+        if len(providers) != 1:
+            raise_from = sorted(providers)
+            from repro.errors import PricingError
+
+            raise PricingError(f"one provider at a time, got {raise_from}")
+        fit = fit_unit_costs(provider_catalog(providers.pop()))
+    return {
+        i.name: min(1.0, i.memory_gb * fit.memory_cost / i.hourly_usd)
+        for i in instances
+    }
+
+
+def memory_fraction_summary(
+    families: Sequence[str] = MEMORY_OPTIMIZED_FAMILIES,
+) -> dict[str, dict[str, float]]:
+    """Figure 1's data: per Memory-Optimized family, the per-SKU
+    memory-cost fractions (unit costs fitted per provider).
+
+    Returns ``{family key: {instance name: fraction}}``.
+    """
+    fits: dict[str, FitResult] = {}
+    out: dict[str, dict[str, float]] = {}
+    for key in families:
+        instances = catalog_for(key)
+        provider = instances[0].provider
+        if provider not in fits:
+            fits[provider] = fit_unit_costs(provider_catalog(provider))
+        out[key] = memory_cost_fractions(instances, fits[provider])
+    return out

@@ -1,0 +1,22 @@
+"""Open-loop queueing simulation for tail latency (extension).
+
+The paper reports tail latencies (Figs 8d/8e) as *measured only*: "the
+simple analytical model it uses is not sufficient to capture the
+variabilities of the tail latencies".  This package supplies the
+substrate that statement implies — an open-loop FIFO queueing simulator
+over the store's service process — so the claim can be demonstrated:
+average latency stays analytically predictable while the tail blows up
+non-linearly as load approaches saturation.
+"""
+
+from repro.queueing.openloop import (
+    OpenLoopResult,
+    simulate_open_loop,
+    tail_blowup_ratio,
+)
+
+__all__ = [
+    "OpenLoopResult",
+    "simulate_open_loop",
+    "tail_blowup_ratio",
+]

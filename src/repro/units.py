@@ -1,0 +1,79 @@
+"""Unit helpers and constants.
+
+The simulator works in *nanoseconds* for time and *bytes* for capacity.
+These helpers keep conversion factors in one place and give the rest of
+the code readable call sites (``4 * GiB``, ``ns_to_s(t)``).
+"""
+
+from __future__ import annotations
+
+# -- capacity ---------------------------------------------------------------
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+KiB = 1024
+MiB = 1024 * 1024
+GiB = 1024 * 1024 * 1024
+
+# -- time -------------------------------------------------------------------
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_S = 1_000_000_000
+
+
+def ns_to_s(ns: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return ns / NS_PER_S
+
+
+def ns_to_us(ns: float) -> float:
+    """Convert nanoseconds to microseconds."""
+    return ns / NS_PER_US
+
+
+def ns_to_ms(ns: float) -> float:
+    """Convert nanoseconds to milliseconds."""
+    return ns / NS_PER_MS
+
+
+def s_to_ns(s: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return s * NS_PER_S
+
+
+def gbps_to_bytes_per_ns(gbps: float) -> float:
+    """Convert a bandwidth in GB/s to bytes per nanosecond.
+
+    1 GB/s = 1e9 bytes / 1e9 ns = exactly 1 byte/ns, which makes the
+    arithmetic in the access-time model pleasantly simple.
+    """
+    return float(gbps)
+
+
+def bytes_per_ns_to_gbps(bpns: float) -> float:
+    """Inverse of :func:`gbps_to_bytes_per_ns`."""
+    return float(bpns)
+
+
+def format_bytes(n: float) -> str:
+    """Human-readable byte count (decimal units, two decimals)."""
+    n = float(n)
+    for unit, factor in (("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(n) >= factor:
+            return f"{n / factor:.2f} {unit}"
+    return f"{n:.0f} B"
+
+
+def format_ns(t: float) -> str:
+    """Human-readable duration from nanoseconds."""
+    t = float(t)
+    if abs(t) >= NS_PER_S:
+        return f"{t / NS_PER_S:.3f} s"
+    if abs(t) >= NS_PER_MS:
+        return f"{t / NS_PER_MS:.3f} ms"
+    if abs(t) >= NS_PER_US:
+        return f"{t / NS_PER_US:.3f} us"
+    return f"{t:.1f} ns"

@@ -1,0 +1,55 @@
+"""YCSB-like workload generation and client.
+
+Reimplements the parts of the Yahoo! Cloud Serving Benchmark the paper
+uses (Section II, "Client Configuration" / "Workloads"):
+
+- request-key distributions (:mod:`~repro.ycsb.distributions`): zipfian,
+  scrambled zipfian, hotspot, latest, uniform, sequential;
+- record-size models for social-media data (:mod:`~repro.ycsb.sizes`);
+- workload specs and deterministic trace generation
+  (:mod:`~repro.ycsb.workload`, :mod:`~repro.ycsb.generator`);
+- the five custom Table III workloads (:mod:`~repro.ycsb.presets`);
+- a closed-loop client that routes requests across the Fast/Slow server
+  pair and measures throughput/latency (:mod:`~repro.ycsb.client`);
+- workload downsampling via random request eviction
+  (:mod:`~repro.ycsb.sampling`).
+"""
+
+from repro.ycsb.adapters import from_requests, load_keyed_csv
+from repro.ycsb.client import RunResult, YCSBClient
+from repro.ycsb.distributions import (
+    DistributionSpec,
+    key_probabilities,
+    sample_keys,
+)
+from repro.ycsb.generator import generate_trace
+from repro.ycsb.presets import TABLE_III_WORKLOADS, workload_by_name
+from repro.ycsb.sampling import downsample
+from repro.ycsb.sizes import SIZE_MODELS, SizeModel, record_sizes
+from repro.ycsb.synthesis import TraceCharacterisation, fit_trace, synthesize
+from repro.ycsb.trace_io import load_trace_csv, save_trace_csv
+from repro.ycsb.workload import Trace, WorkloadSpec
+
+__all__ = [
+    "DistributionSpec",
+    "key_probabilities",
+    "sample_keys",
+    "SizeModel",
+    "SIZE_MODELS",
+    "record_sizes",
+    "WorkloadSpec",
+    "Trace",
+    "generate_trace",
+    "TABLE_III_WORKLOADS",
+    "workload_by_name",
+    "YCSBClient",
+    "RunResult",
+    "downsample",
+    "save_trace_csv",
+    "load_trace_csv",
+    "fit_trace",
+    "synthesize",
+    "TraceCharacterisation",
+    "from_requests",
+    "load_keyed_csv",
+]

@@ -1,0 +1,128 @@
+"""Adapters for externally collected traces.
+
+Real cache traces (production logs, twemcache-style dumps) use opaque
+string keys and carry per-request value sizes.  Mnemo's pipeline wants
+a dense integer key space with per-key sizes.  :func:`from_requests`
+interns arbitrary keys into dense ids (first-appearance order, so the
+touch ordering is preserved) and resolves per-key sizes;
+:func:`load_keyed_csv` reads the common ``key,op,size`` line format.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.ycsb.workload import Trace
+
+_READ_OPS = frozenset({"READ", "GET", "GETS"})
+_WRITE_OPS = frozenset({"UPDATE", "WRITE", "SET", "PUT", "INSERT", "ADD",
+                        "REPLACE", "DELETE", "DEL", "CAS"})
+
+
+def _classify_op(op: str) -> bool:
+    """True for reads; raises on unknown verbs."""
+    verb = op.strip().upper()
+    if verb in _READ_OPS:
+        return True
+    if verb in _WRITE_OPS:
+        return False
+    raise WorkloadError(f"unknown operation verb {op!r}")
+
+
+def from_requests(
+    keys: Sequence[Hashable],
+    ops: Sequence[str],
+    sizes: Sequence[int],
+    name: str = "external",
+    size_policy: str = "max",
+) -> Trace:
+    """Build a :class:`Trace` from raw (key, op, size) request triples.
+
+    Parameters
+    ----------
+    keys:
+        Arbitrary hashable keys; interned to dense ids in
+        first-appearance order.
+    ops:
+        Operation verbs (GET/SET/... — see module constants).
+    sizes:
+        Per-request value sizes in bytes.  A key's record size is
+        resolved across its requests by *size_policy*.
+    size_policy:
+        ``"max"`` (capacity-safe, default), ``"last"`` (current value),
+        or ``"first"``.
+    """
+    if not (len(keys) == len(ops) == len(sizes)):
+        raise WorkloadError("keys, ops and sizes must align")
+    if len(keys) == 0:
+        raise WorkloadError("empty request stream")
+    if size_policy not in ("max", "last", "first"):
+        raise WorkloadError(f"unknown size policy {size_policy!r}")
+
+    intern: dict[Hashable, int] = {}
+    key_ids = np.empty(len(keys), dtype=np.int64)
+    record_sizes: list[int] = []
+    for i, (key, size) in enumerate(zip(keys, sizes)):
+        size = int(size)
+        if size <= 0:
+            raise WorkloadError(f"request {i}: non-positive size {size}")
+        kid = intern.get(key)
+        if kid is None:
+            kid = len(intern)
+            intern[key] = kid
+            record_sizes.append(size)
+        else:
+            if size_policy == "max":
+                record_sizes[kid] = max(record_sizes[kid], size)
+            elif size_policy == "last":
+                record_sizes[kid] = size
+        key_ids[i] = kid
+
+    is_read = np.fromiter((_classify_op(op) for op in ops), dtype=bool,
+                          count=len(ops))
+    return Trace(
+        name=name,
+        keys=key_ids,
+        is_read=is_read,
+        record_sizes=np.array(record_sizes, dtype=np.int64),
+    )
+
+
+def load_keyed_csv(
+    path: str | Path,
+    name: str | None = None,
+    size_policy: str = "max",
+    has_header: bool = True,
+) -> Trace:
+    """Load a ``key,op,size_bytes`` request log into a trace."""
+    path = Path(path)
+    keys: list[str] = []
+    ops: list[str] = []
+    sizes: list[int] = []
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        if has_header:
+            header = next(reader, None)
+            if header is None:
+                raise WorkloadError(f"{path}: empty file")
+        for row in reader:
+            if len(row) != 3:
+                raise WorkloadError(f"{path}: malformed row {row}")
+            keys.append(row[0])
+            ops.append(row[1])
+            try:
+                sizes.append(int(row[2]))
+            except ValueError:
+                raise WorkloadError(
+                    f"{path}: non-integer size {row[2]!r}"
+                ) from None
+    return from_requests(
+        keys, ops, sizes,
+        name=name if name is not None else path.stem,
+        size_policy=size_policy,
+    )

@@ -1,0 +1,117 @@
+"""Record-size models for social-media data (paper Figure 4, Table III).
+
+The paper infers size distributions for common social-media content
+from published "cheat sheets": photo thumbnails ≈ 100 KB, text posts
+≈ 10 KB, photo captions ≈ 1 KB.  Sizes vary around those centres
+(compression, text length), which we model with a clipped lognormal.
+The ``trending_preview`` use case mixes all three (a news thumbnail, a
+caption and a summary per item).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, ensure_rng
+from repro.units import KB
+
+
+@dataclass(frozen=True)
+class SizeModel:
+    """A record-size distribution.
+
+    Sizes are drawn per *key* (a record's size is fixed across the run)
+    from a lognormal centred on ``median_bytes`` with geometric spread
+    ``sigma``, clipped to ``[min_bytes, max_bytes]``.  A mixture is
+    expressed with ``components``: (weight, SizeModel) pairs.
+    """
+
+    name: str
+    median_bytes: int = 0
+    sigma: float = 0.25
+    min_bytes: int = 64
+    max_bytes: int = 10_000_000
+    components: tuple[tuple[float, "SizeModel"], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.components:
+            total = sum(w for w, _ in self.components)
+            if not np.isclose(total, 1.0):
+                raise ConfigurationError(
+                    f"mixture weights must sum to 1, got {total}"
+                )
+            return
+        if self.median_bytes <= 0:
+            raise ConfigurationError("median_bytes must be positive")
+        if self.sigma < 0:
+            raise ConfigurationError("sigma must be >= 0")
+        if not 0 < self.min_bytes <= self.max_bytes:
+            raise ConfigurationError("need 0 < min_bytes <= max_bytes")
+
+    @property
+    def mean_bytes(self) -> float:
+        """Expected record size (lognormal mean, mixture-weighted)."""
+        if self.components:
+            return sum(w * m.mean_bytes for w, m in self.components)
+        return float(self.median_bytes) * float(np.exp(self.sigma**2 / 2))
+
+    def sample(self, n: int, seed: SeedLike = None) -> np.ndarray:
+        """Draw *n* record sizes (int64 bytes)."""
+        if n < 0:
+            raise ConfigurationError(f"n must be >= 0, got {n}")
+        rng = ensure_rng(seed)
+        if self.components:
+            weights = np.array([w for w, _ in self.components])
+            choices = rng.choice(len(self.components), size=n, p=weights)
+            out = np.empty(n, dtype=np.int64)
+            for i, (_, model) in enumerate(self.components):
+                mask = choices == i
+                out[mask] = model.sample(int(mask.sum()), rng)
+            return out
+        draws = self.median_bytes * np.exp(self.sigma * rng.standard_normal(n))
+        return np.clip(draws, self.min_bytes, self.max_bytes).astype(np.int64)
+
+
+#: Photo thumbnail, ≈ 100 KB (Table III "thumbnail").
+THUMBNAIL = SizeModel(name="thumbnail", median_bytes=100 * KB, sigma=0.20)
+
+#: Text post, ≈ 10 KB (Table III "text post").
+TEXT_POST = SizeModel(name="text_post", median_bytes=10 * KB, sigma=0.35)
+
+#: Photo caption, ≈ 1 KB (Table III "photo caption").
+PHOTO_CAPTION = SizeModel(name="photo_caption", median_bytes=1 * KB, sigma=0.40)
+
+#: Trending Preview: thumbnail + caption + summary per item (Table III).
+PREVIEW_MIX = SizeModel(
+    name="preview_mix",
+    components=(
+        (1 / 3, THUMBNAIL),
+        (1 / 3, TEXT_POST),
+        (1 / 3, PHOTO_CAPTION),
+    ),
+)
+
+SIZE_MODELS: dict[str, SizeModel] = {
+    m.name: m for m in (THUMBNAIL, TEXT_POST, PHOTO_CAPTION, PREVIEW_MIX)
+}
+
+
+def size_model(name: str) -> SizeModel:
+    """Look up a built-in size model by name."""
+    try:
+        return SIZE_MODELS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown size model {name!r}; known: {sorted(SIZE_MODELS)}"
+        ) from None
+
+
+def record_sizes(model: SizeModel | str, n_keys: int,
+                 seed: SeedLike = None) -> np.ndarray:
+    """Per-key record sizes for a dataset of *n_keys* records."""
+    if isinstance(model, str):
+        model = size_model(model)
+    return model.sample(n_keys, seed)

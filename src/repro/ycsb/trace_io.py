@@ -1,0 +1,92 @@
+"""Trace persistence.
+
+Mnemo's interface takes "the target workload, in a form of a key
+sequence and the corresponding request type" (Section IV).  These
+helpers serialise a :class:`~repro.ycsb.workload.Trace` to a two-part
+CSV layout — a request file (``key,op``) and a dataset file
+(``key,size``) — and load it back.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.ycsb.workload import Trace
+
+
+def save_trace_csv(trace: Trace, directory: str | Path) -> tuple[Path, Path]:
+    """Write ``<name>.requests.csv`` and ``<name>.dataset.csv``.
+
+    Returns the two paths (requests file, dataset file).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    req_path = directory / f"{trace.name}.requests.csv"
+    data_path = directory / f"{trace.name}.dataset.csv"
+
+    with req_path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["key", "op"])
+        ops = np.where(trace.is_read, "READ", "UPDATE")
+        writer.writerows(zip(trace.keys.tolist(), ops.tolist()))
+
+    with data_path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["key", "size_bytes"])
+        writer.writerows(enumerate(trace.record_sizes.tolist()))
+
+    return req_path, data_path
+
+
+def load_trace_csv(
+    requests_path: str | Path,
+    dataset_path: str | Path,
+    name: str | None = None,
+) -> Trace:
+    """Load a trace written by :func:`save_trace_csv`."""
+    requests_path = Path(requests_path)
+    dataset_path = Path(dataset_path)
+
+    keys, is_read = [], []
+    with requests_path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != ["key", "op"]:
+            raise WorkloadError(f"{requests_path}: unexpected header {header}")
+        for row in reader:
+            if len(row) != 2:
+                raise WorkloadError(f"{requests_path}: malformed row {row}")
+            keys.append(int(row[0]))
+            op = row[1].upper()
+            if op not in ("READ", "UPDATE", "INSERT", "WRITE"):
+                raise WorkloadError(f"{requests_path}: unknown op {row[1]!r}")
+            is_read.append(op == "READ")
+
+    sizes_by_key: dict[int, int] = {}
+    with dataset_path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != ["key", "size_bytes"]:
+            raise WorkloadError(f"{dataset_path}: unexpected header {header}")
+        for row in reader:
+            if len(row) != 2:
+                raise WorkloadError(f"{dataset_path}: malformed row {row}")
+            sizes_by_key[int(row[0])] = int(row[1])
+
+    n_keys = max(sizes_by_key) + 1 if sizes_by_key else 0
+    if set(sizes_by_key) != set(range(n_keys)):
+        raise WorkloadError(f"{dataset_path}: key space is not dense 0..{n_keys - 1}")
+    record_sizes = np.array([sizes_by_key[k] for k in range(n_keys)], dtype=np.int64)
+
+    if name is None:
+        name = requests_path.stem.removesuffix(".requests")
+    return Trace(
+        name=name,
+        keys=np.array(keys, dtype=np.int64),
+        is_read=np.array(is_read, dtype=bool),
+        record_sizes=record_sizes,
+    )

@@ -1,0 +1,57 @@
+"""Tests for the terminal curve renderer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.asciiplot import render_curve, render_estimate
+from repro.core import Mnemo
+from repro.errors import ConfigurationError
+from repro.kvstore import RedisLike
+
+
+class TestRenderCurve:
+    def test_dimensions(self):
+        out = render_curve(np.linspace(0, 1, 20), np.linspace(0, 10, 20),
+                           width=40, height=8)
+        lines = out.splitlines()
+        assert len(lines) == 8 + 3  # grid + axis + x labels + caption
+        grid = lines[:8]
+        assert all("|" in l for l in grid)
+
+    def test_monotone_curve_marks_corners(self):
+        out = render_curve(np.array([0.0, 1.0]), np.array([0.0, 10.0]),
+                           width=20, height=5)
+        lines = out.splitlines()
+        assert "*" in lines[0]          # max y
+        assert "*" in lines[4]          # min y
+
+    def test_y_labels_present(self):
+        out = render_curve(np.array([0.0, 1.0]), np.array([100.0, 9_000.0]))
+        assert "9,000" in out
+        assert "100" in out
+
+    def test_flat_curve_ok(self):
+        out = render_curve(np.array([0.0, 1.0]), np.array([5.0, 5.0]))
+        assert "*" in out
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            render_curve(np.array([0.0]), np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            render_curve(np.array([0.0, 1.0]), np.array([1.0, 2.0]),
+                         width=4)
+
+
+class TestRenderEstimate:
+    def test_renders_report_curve(self, small_trace, quiet_client):
+        report = Mnemo(engine_factory=RedisLike,
+                       client=quiet_client).profile(small_trace)
+        out = render_estimate(report.curve, width=50, height=10)
+        assert "cost factor" in out
+        assert out.count("*") > 10
+
+    def test_downsampling_bounds_points(self, small_trace, quiet_client):
+        report = Mnemo(engine_factory=RedisLike,
+                       client=quiet_client).profile(small_trace)
+        out = render_estimate(report.curve, points=10)
+        assert isinstance(out, str)

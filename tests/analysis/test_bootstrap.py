@@ -1,0 +1,63 @@
+"""Tests for the bootstrap CI helper."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bootstrap import BootstrapCI, bootstrap_ci
+from repro.errors import ConfigurationError
+
+
+class TestBootstrapCI:
+    def test_contains_true_median_usually(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(10.0, 2.0, size=500)
+        ci = bootstrap_ci(samples, seed=1)
+        assert 10.0 in ci
+        assert ci.low <= ci.statistic <= ci.high
+
+    def test_width_shrinks_with_sample_size(self):
+        rng = np.random.default_rng(0)
+        small = bootstrap_ci(rng.normal(0, 1, 50), seed=1)
+        large = bootstrap_ci(rng.normal(0, 1, 5_000), seed=1)
+        assert large.width < small.width
+
+    def test_higher_confidence_wider(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(0, 1, 300)
+        narrow = bootstrap_ci(samples, confidence=0.80, seed=1)
+        wide = bootstrap_ci(samples, confidence=0.99, seed=1)
+        assert wide.width > narrow.width
+
+    def test_custom_statistic(self):
+        samples = np.arange(100, dtype=float)
+        ci = bootstrap_ci(samples, statistic=np.mean, seed=1)
+        assert ci.statistic == pytest.approx(49.5)
+
+    def test_non_axis_statistic_fallback(self):
+        samples = np.arange(50, dtype=float)
+
+        def mid_range(x):
+            return (np.min(x) + np.max(x)) / 2
+
+        ci = bootstrap_ci(samples, statistic=mid_range, n_resamples=100,
+                          seed=1)
+        assert isinstance(ci, BootstrapCI)
+        assert ci.low <= ci.statistic + 1e-9
+
+    def test_deterministic_with_seed(self):
+        samples = np.random.default_rng(0).normal(0, 1, 100)
+        a = bootstrap_ci(samples, seed=5)
+        b = bootstrap_ci(samples, seed=5)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci(np.array([]))
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci(np.array([1.0]), confidence=1.0)
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci(np.array([1.0]), n_resamples=5)
+
+    def test_constant_sample_degenerate(self):
+        ci = bootstrap_ci(np.full(20, 7.0), seed=1)
+        assert ci.low == ci.high == ci.statistic == 7.0

@@ -1,0 +1,70 @@
+"""Tests for the CDF utilities (Figures 3-4)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import empirical_cdf, key_space_cdf, size_cdf
+from repro.analysis.cdf import coverage_fraction
+from repro.errors import ConfigurationError
+from repro.ycsb import generate_trace
+from repro.ycsb.distributions import DistributionSpec
+from repro.ycsb.sizes import PREVIEW_MIX
+from repro.ycsb.workload import WorkloadSpec
+
+
+class TestEmpiricalCdf:
+    def test_sorted_output(self):
+        xs, ps = empirical_cdf(np.array([3, 1, 2]))
+        assert xs.tolist() == [1, 2, 3]
+        assert ps.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            empirical_cdf(np.array([]))
+
+
+class TestKeySpaceCdf:
+    def test_fig3_shapes(self, small_spec):
+        """Hotspot CDF: steep over the hot range then shallow."""
+        trace = generate_trace(small_spec)
+        keys, cum = key_space_cdf(trace)
+        assert keys.size == trace.n_keys
+        hot_end = int(0.2 * trace.n_keys)
+        assert cum[hot_end] == pytest.approx(0.75, abs=0.03)
+        assert cum[-1] == pytest.approx(1.0)
+
+    def test_uniform_is_diagonal(self, small_spec):
+        from dataclasses import replace
+        spec = replace(small_spec, name="u",
+                       distribution=DistributionSpec(name="uniform"))
+        trace = generate_trace(spec)
+        _, cum = key_space_cdf(trace)
+        diag = np.arange(1, trace.n_keys + 1) / trace.n_keys
+        assert np.abs(cum - diag).max() < 0.05
+
+
+class TestSizeCdf:
+    def test_fig4_mixture_steps(self):
+        """Preview mix: three visible plateaus at 1K / 10K / 100K."""
+        sizes = PREVIEW_MIX.sample(30_000, seed=1)
+        xs, ps = size_cdf(sizes)
+        # cumulative shares at the decade boundaries
+        p_at_3k = ps[np.searchsorted(xs, 3_000)]
+        p_at_30k = ps[np.searchsorted(xs, 30_000)]
+        assert p_at_3k == pytest.approx(1 / 3, abs=0.03)
+        assert p_at_30k == pytest.approx(2 / 3, abs=0.03)
+
+
+class TestCoverageFraction:
+    def test_hotspot_coverage(self, small_trace):
+        """~20 % of keys (hot set) serve 75 % of requests."""
+        frac = coverage_fraction(small_trace, 0.75)
+        assert frac == pytest.approx(0.2, abs=0.05)
+
+    def test_full_share_needs_touched_keys_only(self, small_trace):
+        frac = coverage_fraction(small_trace, 1.0)
+        assert frac <= 1.0
+
+    def test_invalid_share(self, small_trace):
+        with pytest.raises(ConfigurationError):
+            coverage_fraction(small_trace, 0.0)

@@ -1,0 +1,71 @@
+"""Tests for curve utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import curve_knee, interpolate_curve, relative_curve
+from repro.analysis.curves import knee_sharpness
+from repro.errors import ConfigurationError
+
+
+class TestRelativeCurve:
+    def test_normalises_to_last(self):
+        y = np.array([1.0, 2.0, 4.0])
+        assert relative_curve(y).tolist() == [0.25, 0.5, 1.0]
+
+    def test_explicit_reference(self):
+        y = np.array([1.0, 2.0])
+        assert relative_curve(y, reference=2.0).tolist() == [0.5, 1.0]
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relative_curve(np.array([1.0, 0.0]))
+
+
+class TestInterpolate:
+    def test_linear_midpoint(self):
+        x = np.array([0.0, 1.0])
+        y = np.array([0.0, 10.0])
+        out = interpolate_curve(x, y, np.array([0.5]))
+        assert out[0] == pytest.approx(5.0)
+
+    def test_clips_outside_range(self):
+        x = np.array([0.0, 1.0])
+        y = np.array([0.0, 10.0])
+        out = interpolate_curve(x, y, np.array([-1.0, 2.0]))
+        assert out.tolist() == [0.0, 10.0]
+
+    def test_decreasing_x_rejected(self):
+        with pytest.raises(ConfigurationError):
+            interpolate_curve(np.array([1.0, 0.0]), np.array([0.0, 1.0]),
+                              np.array([0.5]))
+
+    def test_short_curve_rejected(self):
+        with pytest.raises(ConfigurationError):
+            interpolate_curve(np.array([1.0]), np.array([0.0]),
+                              np.array([0.5]))
+
+
+class TestKnee:
+    def test_saturating_curve_knee(self):
+        x = np.linspace(0, 1, 101)
+        y = 1 - np.exp(-8 * x)  # saturates early
+        knee = curve_knee(x, y)
+        assert 5 <= knee <= 40  # well before the end
+
+    def test_straight_line_no_knee_preference(self):
+        x = np.linspace(0, 1, 11)
+        assert knee_sharpness(x, x.copy()) == pytest.approx(0.0, abs=1e-12)
+
+    def test_sharper_saturation_sharper_knee(self):
+        """Section III: big records -> bigger knee."""
+        x = np.linspace(0, 1, 101)
+        soft = 1 - np.exp(-2 * x)
+        hard = 1 - np.exp(-20 * x)
+        assert knee_sharpness(x, hard) > knee_sharpness(x, soft)
+
+    def test_flat_curve(self):
+        x = np.linspace(0, 1, 11)
+        y = np.ones(11)
+        assert curve_knee(x, y) == 0
+        assert knee_sharpness(x, y) == 0.0

@@ -1,0 +1,65 @@
+"""Tests for the error statistics (Figure 8a)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import BoxplotStats, boxplot_stats, percentage_error
+from repro.errors import ConfigurationError
+
+
+class TestPercentageError:
+    def test_paper_formula(self):
+        # (r - e) / r * 100
+        err = percentage_error(np.array([100.0]), np.array([99.0]))
+        assert err[0] == pytest.approx(1.0)
+
+    def test_sign_convention(self):
+        over = percentage_error(np.array([100.0]), np.array([110.0]))
+        assert over[0] == pytest.approx(-10.0)
+
+    def test_vectorized(self):
+        err = percentage_error(np.array([10.0, 20.0]), np.array([9.0, 22.0]))
+        assert err.tolist() == pytest.approx([10.0, -10.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            percentage_error(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_zero_real_rejected(self):
+        with pytest.raises(ConfigurationError):
+            percentage_error(np.array([0.0]), np.array([1.0]))
+
+
+class TestBoxplotStats:
+    def test_five_number_summary(self):
+        values = np.arange(1, 101, dtype=float)
+        stats = boxplot_stats(values)
+        assert stats.median == pytest.approx(50.5)
+        assert stats.q1 == pytest.approx(25.75)
+        assert stats.q3 == pytest.approx(75.25)
+        assert stats.n == 100
+        assert stats.n_outliers == 0
+
+    def test_outliers_outside_whiskers(self):
+        values = np.concatenate([np.random.default_rng(0).normal(0, 1, 200),
+                                 [50.0, -50.0]])
+        stats = boxplot_stats(values)
+        assert stats.n_outliers >= 2
+        assert stats.whisker_high < 50.0
+        assert stats.whisker_low > -50.0
+
+    def test_iqr(self):
+        stats = boxplot_stats(np.arange(1, 101, dtype=float))
+        assert stats.iqr == pytest.approx(stats.q3 - stats.q1)
+
+    def test_single_value(self):
+        stats = boxplot_stats(np.array([5.0]))
+        assert stats.median == 5.0
+        assert stats.whisker_low == stats.whisker_high == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            boxplot_stats(np.array([]))
+
+    def test_dataclass_type(self):
+        assert isinstance(boxplot_stats(np.array([1.0, 2.0])), BoxplotStats)

@@ -1,0 +1,51 @@
+"""Tests for latency analysis (Figures 8c-8e)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import latency_summary, tail_percentiles
+from repro.analysis.latency import tail_to_average_ratio
+from repro.errors import ConfigurationError
+from repro.kvstore import HybridDeployment, RedisLike
+from repro.memsim import HybridMemorySystem
+from repro.ycsb import YCSBClient
+
+
+@pytest.fixture
+def run_result(small_trace):
+    dep = HybridDeployment.all_slow(
+        RedisLike, HybridMemorySystem.testbed(), small_trace.record_sizes
+    )
+    client = YCSBClient(repeats=2, noise_sigma=0.05, seed=1)
+    return client.execute(small_trace, dep)
+
+
+class TestTailPercentiles:
+    def test_default_tails(self):
+        samples = np.arange(1, 1001, dtype=float)
+        tails = tail_percentiles(samples)
+        assert tails[95.0] == pytest.approx(950.05, rel=0.01)
+        assert tails[99.0] == pytest.approx(990.01, rel=0.01)
+
+    def test_custom_percentiles(self):
+        tails = tail_percentiles(np.arange(100, dtype=float), qs=(50.0,))
+        assert set(tails) == {50.0}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tail_percentiles(np.array([]))
+
+
+class TestLatencySummary:
+    def test_summary_keys(self, run_result):
+        summary = latency_summary(run_result)
+        assert {"avg_ns", "avg_read_ns", "avg_write_ns",
+                "p50_ns", "p95_ns", "p99_ns"} <= set(summary)
+
+    def test_tails_ordered(self, run_result):
+        summary = latency_summary(run_result)
+        assert summary["p50_ns"] <= summary["p95_ns"] <= summary["p99_ns"]
+
+    def test_tail_exceeds_average(self, run_result):
+        """Fig 8d/8e: the tail carries variability the mean hides."""
+        assert tail_to_average_ratio(run_result, 99.0) > 1.0

@@ -1,0 +1,95 @@
+"""Tests for the 0/1 knapsack tiering solvers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import knapsack_tiering
+from repro.baselines.knapsack import dp_knapsack, greedy_knapsack
+from repro.errors import ConfigurationError
+
+
+def value_of(chosen, values):
+    return values[chosen].sum() if chosen.size else 0.0
+
+
+class TestGreedy:
+    def test_fits_capacity(self):
+        rng = np.random.default_rng(0)
+        values = rng.random(100)
+        sizes = rng.integers(1, 50, 100)
+        chosen = greedy_knapsack(values, sizes, 300)
+        assert sizes[chosen].sum() <= 300
+
+    def test_prefers_density(self):
+        values = np.array([10.0, 10.0])
+        sizes = np.array([100, 10])
+        chosen = greedy_knapsack(values, sizes, 10)
+        assert chosen.tolist() == [1]
+
+    def test_squeezes_later_items(self):
+        # item 0 dense but big leftover allows item 2
+        values = np.array([100.0, 50.0, 1.0])
+        sizes = np.array([50, 49, 1])
+        chosen = greedy_knapsack(values, sizes, 51)
+        assert 0 in chosen and 2 in chosen
+
+    def test_zero_capacity(self):
+        chosen = greedy_knapsack(np.array([1.0]), np.array([1]), 0)
+        assert chosen.size == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            greedy_knapsack(np.array([1.0]), np.array([0]), 10)
+        with pytest.raises(ConfigurationError):
+            greedy_knapsack(np.array([-1.0]), np.array([1]), 10)
+        with pytest.raises(ConfigurationError):
+            greedy_knapsack(np.array([1.0, 2.0]), np.array([1]), 10)
+
+
+class TestDP:
+    def test_classic_instance_optimal(self):
+        values = np.array([60.0, 100.0, 120.0])
+        sizes = np.array([10, 20, 30])
+        chosen = dp_knapsack(values, sizes, 50)
+        assert value_of(chosen, values) == 220.0  # items 1+2
+
+    def test_beats_or_ties_greedy(self):
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            values = rng.random(30) * 100
+            sizes = rng.integers(1, 40, 30)
+            cap = int(sizes.sum() // 3)
+            dp_val = value_of(dp_knapsack(values, sizes, cap), values)
+            gr_val = value_of(greedy_knapsack(values, sizes, cap), values)
+            assert dp_val >= gr_val - 1e-9
+
+    def test_never_overfills(self):
+        rng = np.random.default_rng(2)
+        values = rng.random(50)
+        sizes = rng.integers(100, 10_000, 50)
+        cap = int(sizes.sum() // 4)
+        chosen = dp_knapsack(values, sizes, cap)
+        assert sizes[chosen].sum() <= cap
+
+    def test_empty_inputs(self):
+        assert dp_knapsack(np.array([]), np.array([], dtype=int), 10).size == 0
+
+    def test_item_bigger_than_capacity_skipped(self):
+        chosen = dp_knapsack(np.array([5.0, 1.0]), np.array([100, 1]), 10)
+        assert chosen.tolist() == [1]
+
+
+class TestDispatch:
+    def test_default_is_greedy(self):
+        values = np.array([10.0, 10.0])
+        sizes = np.array([100, 10])
+        assert np.array_equal(
+            knapsack_tiering(values, sizes, 10),
+            greedy_knapsack(values, sizes, 10),
+        )
+
+    def test_exact_dispatch(self):
+        values = np.array([60.0, 100.0, 120.0])
+        sizes = np.array([10, 20, 30])
+        chosen = knapsack_tiering(values, sizes, 50, exact=True)
+        assert value_of(chosen, values) == 220.0

@@ -1,0 +1,110 @@
+"""Tests for the periodic re-tiering simulation."""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.core import Mnemo
+from repro.core.dynamic import simulate_periodic_retiering
+from repro.errors import ConfigurationError
+from repro.kvstore import RedisLike
+from repro.ycsb import generate_trace
+from repro.ycsb.distributions import DistributionSpec
+
+
+@pytest.fixture
+def hotspot_setup(small_trace, quiet_client):
+    report = Mnemo(engine_factory=RedisLike, client=quiet_client).profile(
+        small_trace
+    )
+    return small_trace, report.baselines
+
+
+@pytest.fixture
+def latest_setup(small_spec, quiet_client):
+    spec = replace(
+        small_spec, name="dyn_latest",
+        distribution=DistributionSpec(name="latest", window_fraction=0.1),
+    )
+    trace = generate_trace(spec)
+    report = Mnemo(engine_factory=RedisLike, client=quiet_client).profile(
+        trace
+    )
+    return trace, report.baselines
+
+
+class TestOutcomeStructure:
+    def test_fields(self, hotspot_setup):
+        trace, baselines = hotspot_setup
+        out = simulate_periodic_retiering(trace, baselines)
+        assert out.workload == trace.name
+        assert out.migration_ns > 0
+        assert out.migrated_bytes > 0
+        assert out.static_runtime_ns > 0
+        assert out.dynamic_runtime_ns > 0
+
+    def test_throughputs_consistent(self, hotspot_setup):
+        trace, baselines = hotspot_setup
+        out = simulate_periodic_retiering(trace, baselines)
+        assert out.static_throughput_ops_s == pytest.approx(
+            trace.n_requests / (out.static_runtime_ns / 1e9)
+        )
+
+    def test_validation(self, hotspot_setup):
+        trace, baselines = hotspot_setup
+        with pytest.raises(ConfigurationError):
+            simulate_periodic_retiering(trace, baselines,
+                                        capacity_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            simulate_periodic_retiering(trace, baselines,
+                                        migration_bandwidth_gbps=0)
+
+
+class TestVerdicts:
+    def test_stationary_workload_not_worth_migrating(self, hotspot_setup):
+        """The paper's static-only scope is right for stationary
+        patterns: migration is pure overhead."""
+        trace, baselines = hotspot_setup
+        out = simulate_periodic_retiering(trace, baselines,
+                                          capacity_fraction=0.2)
+        assert not out.worth_migrating
+        assert out.speedup == pytest.approx(1.0, abs=0.1)
+
+    def test_drifting_workload_worth_migrating(self, latest_setup):
+        trace, baselines = latest_setup
+        out = simulate_periodic_retiering(trace, baselines,
+                                          capacity_fraction=0.15)
+        assert out.worth_migrating
+        assert out.speedup > 1.05
+
+    def test_free_migration_never_loses(self, latest_setup):
+        """With infinite migration bandwidth the per-window clairvoyant
+        placement dominates the static one."""
+        trace, baselines = latest_setup
+        out = simulate_periodic_retiering(
+            trace, baselines, capacity_fraction=0.15,
+            migration_bandwidth_gbps=1e12,
+        )
+        assert out.migration_ns < 1_000
+        assert out.speedup >= 1.0
+
+    def test_slow_migration_link_kills_the_benefit(self, latest_setup):
+        trace, baselines = latest_setup
+        fast_link = simulate_periodic_retiering(
+            trace, baselines, capacity_fraction=0.15,
+            migration_bandwidth_gbps=10.0,
+        )
+        slow_link = simulate_periodic_retiering(
+            trace, baselines, capacity_fraction=0.15,
+            migration_bandwidth_gbps=0.01,
+        )
+        assert slow_link.speedup < fast_link.speedup
+        assert not slow_link.worth_migrating
+
+    def test_full_capacity_no_migration_needed(self, hotspot_setup):
+        trace, baselines = hotspot_setup
+        out = simulate_periodic_retiering(trace, baselines,
+                                          capacity_fraction=1.0)
+        # everything fits: both variants sit at the fast baseline, and
+        # migration happens once (initial fill)
+        assert out.speedup == pytest.approx(1.0, abs=0.05)

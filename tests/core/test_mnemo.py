@@ -1,0 +1,76 @@
+"""Tests for the Mnemo facade and report."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExternalTieringMnemo, Mnemo, MnemoReport
+from repro.kvstore import RedisLike
+
+
+@pytest.fixture
+def report(small_trace, quiet_client) -> MnemoReport:
+    return Mnemo(engine_factory=RedisLike, client=quiet_client).profile(
+        small_trace
+    )
+
+
+class TestProfile:
+    def test_report_fields(self, report, small_trace):
+        assert report.workload == small_trace.name
+        assert report.engine == "redis"
+        assert report.pattern.mode == "touch"
+        assert report.curve.n_keys == small_trace.n_keys
+
+    def test_accepts_descriptor(self, small_trace, quiet_client):
+        from repro.core import WorkloadDescriptor
+
+        d = WorkloadDescriptor.from_trace(small_trace)
+        report = Mnemo(engine_factory=RedisLike,
+                       client=quiet_client).profile(d)
+        assert report.workload == small_trace.name
+
+    def test_price_factor_propagates(self, small_trace, quiet_client):
+        report = Mnemo(engine_factory=RedisLike, client=quiet_client,
+                       p=0.5).profile(small_trace)
+        assert report.curve.cost_factor[0] == pytest.approx(0.5)
+
+    def test_write_csv(self, report, tmp_path):
+        path = report.write_csv(tmp_path / "curve.csv")
+        assert path.exists()
+        assert len(path.read_text().splitlines()) == report.curve.n_keys + 1
+
+    def test_summary_mentions_key_facts(self, report):
+        text = report.summary()
+        assert "redis" in text
+        assert "FastMem-only" in text
+        assert "10% slowdown SLO" in text
+
+    def test_choose_delegates(self, report):
+        choice = report.choose(0.10)
+        assert choice.workload == report.workload
+        assert choice.max_slowdown == 0.10
+
+
+class TestExternalTiering:
+    def test_external_order_used(self, small_trace, quiet_client):
+        order = np.arange(small_trace.n_keys)[::-1].copy()
+        mnemo = ExternalTieringMnemo(engine_factory=RedisLike,
+                                     client=quiet_client)
+        report = mnemo.profile(small_trace, external_order=order)
+        assert np.array_equal(report.pattern.order, order)
+        assert report.pattern.mode == "external"
+
+    def test_missing_order_raises(self, small_trace, quiet_client):
+        from repro.errors import ConfigurationError
+
+        mnemo = ExternalTieringMnemo(engine_factory=RedisLike,
+                                     client=quiet_client)
+        with pytest.raises(ConfigurationError):
+            mnemo.profile(small_trace)
+
+
+class TestDeterminism:
+    def test_profiles_reproducible(self, small_trace):
+        a = Mnemo(engine_factory=RedisLike).profile(small_trace)
+        b = Mnemo(engine_factory=RedisLike).profile(small_trace)
+        assert np.array_equal(a.curve.runtime_ns, b.curve.runtime_ns)

@@ -1,0 +1,89 @@
+"""Tests for MnemoT (the tiering extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Mnemo, MnemoT
+from repro.errors import ConfigurationError
+from repro.kvstore import RedisLike
+
+
+@pytest.fixture
+def reports(small_trace, quiet_client):
+    plain = Mnemo(engine_factory=RedisLike, client=quiet_client).profile(
+        small_trace
+    )
+    tiered = MnemoT(engine_factory=RedisLike, client=quiet_client).profile(
+        small_trace
+    )
+    return plain, tiered
+
+
+class TestTieredOrdering:
+    def test_mode_is_weight(self, reports):
+        _, tiered = reports
+        assert tiered.pattern.mode == "weight"
+
+    def test_tiered_curve_dominates(self, reports):
+        """At equal cost, MnemoT's ordering never loses to first-touch
+        (hot-first placement is optimal for the linear model)."""
+        plain, tiered = reports
+        grid = np.linspace(0.21, 0.99, 20)
+        for r in grid:
+            assert (tiered.curve.throughput_at_cost(r)
+                    >= plain.curve.throughput_at_cost(r) * (1 - 1e-9))
+
+    def test_tiered_strictly_better_somewhere(self, reports):
+        plain, tiered = reports
+        grid = np.linspace(0.25, 0.8, 12)
+        gains = [
+            tiered.curve.throughput_at_cost(r) - plain.curve.throughput_at_cost(r)
+            for r in grid
+        ]
+        assert max(gains) > 0
+
+    def test_slo_choice_cheaper_or_equal(self, reports):
+        plain, tiered = reports
+        assert (tiered.choose(0.10).cost_factor
+                <= plain.choose(0.10).cost_factor + 1e-12)
+
+    def test_same_baselines_same_endpoints(self, reports):
+        plain, tiered = reports
+        assert tiered.curve.runtime_ns[0] == pytest.approx(
+            plain.curve.runtime_ns[0]
+        )
+        assert tiered.curve.runtime_ns[-1] == pytest.approx(
+            plain.curve.runtime_ns[-1]
+        )
+
+
+class TestKnapsackPlacement:
+    def test_selection_fits_capacity(self, reports, small_trace):
+        _, tiered = reports
+        mnemot = MnemoT(engine_factory=RedisLike)
+        cap = int(small_trace.record_sizes.sum() // 4)
+        chosen = mnemot.knapsack_placement(tiered, cap)
+        assert int(small_trace.record_sizes[chosen].sum()) <= cap
+
+    def test_selection_prefers_hot_keys(self, reports, small_trace):
+        _, tiered = reports
+        mnemot = MnemoT(engine_factory=RedisLike)
+        cap = int(small_trace.record_sizes.sum() // 4)
+        chosen = set(mnemot.knapsack_placement(tiered, cap).tolist())
+        accesses = tiered.pattern.accesses_per_key
+        if chosen:
+            hot_mean = accesses[sorted(chosen)].mean()
+            cold = sorted(set(range(small_trace.n_keys)) - chosen)
+            assert hot_mean > accesses[cold].mean()
+
+    def test_exact_solver_also_fits(self, reports, small_trace):
+        _, tiered = reports
+        mnemot = MnemoT(engine_factory=RedisLike)
+        cap = int(small_trace.record_sizes.sum() // 10)
+        chosen = mnemot.knapsack_placement(tiered, cap, exact=True)
+        assert int(small_trace.record_sizes[chosen].sum()) <= cap
+
+    def test_negative_capacity_rejected(self, reports):
+        _, tiered = reports
+        with pytest.raises(ConfigurationError):
+            MnemoT(engine_factory=RedisLike).knapsack_placement(tiered, -1)

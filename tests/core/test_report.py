@@ -1,0 +1,82 @@
+"""Tests for the Markdown report output."""
+
+import pytest
+
+from repro.core import Mnemo
+from repro.kvstore import RedisLike
+
+
+@pytest.fixture
+def report(small_trace, quiet_client):
+    return Mnemo(engine_factory=RedisLike, client=quiet_client).profile(
+        small_trace
+    )
+
+
+class TestToMarkdown:
+    def test_sections_present(self, report):
+        md = report.to_markdown()
+        assert md.startswith("# Mnemo report")
+        for heading in ("## Baselines", "## Sizing options",
+                        "## Estimate curve"):
+            assert heading in md
+
+    def test_slack_rows(self, report):
+        md = report.to_markdown(slacks=(0.05, 0.10))
+        assert "| 5% |" in md
+        assert "| 10% |" in md
+
+    def test_curve_sampled(self, report):
+        md = report.to_markdown(curve_points=5)
+        # endpoints are always present
+        assert "| 0.20 |" in md
+        assert "| 1.00 |" in md
+
+    def test_costs_in_tables_ascend(self, report):
+        md = report.to_markdown()
+        curve_section = md.split("## Estimate curve")[1]
+        costs = [
+            float(line.split("|")[1])
+            for line in curve_section.splitlines()
+            if line.startswith("| 0.") or line.startswith("| 1.")
+        ]
+        assert costs == sorted(costs)
+
+    def test_mentions_gap(self, report):
+        assert "throughput gap" in report.to_markdown()
+
+
+class TestWriteMarkdown:
+    def test_writes_file(self, report, tmp_path):
+        path = report.write_markdown(tmp_path / "nested" / "report.md")
+        assert path.exists()
+        assert path.read_text().startswith("# Mnemo report")
+
+    def test_kwargs_forwarded(self, report, tmp_path):
+        path = report.write_markdown(tmp_path / "r.md", slacks=(0.5,))
+        assert "| 50% |" in path.read_text()
+
+
+class TestDriftCheck:
+    def test_stationary_workload(self, report, small_trace):
+        drift = report.drift_check(small_trace)
+        assert drift.stationary
+        assert drift.workload == small_trace.name
+
+    def test_drifting_workload(self, small_spec, quiet_client):
+        from dataclasses import replace
+
+        from repro.core import Mnemo
+        from repro.ycsb import generate_trace
+        from repro.ycsb.distributions import DistributionSpec
+
+        spec = replace(
+            small_spec, name="drifty",
+            distribution=DistributionSpec(name="latest",
+                                          window_fraction=0.1),
+        )
+        trace = generate_trace(spec)
+        rep = Mnemo(engine_factory=RedisLike,
+                    client=quiet_client).profile(trace)
+        drift = rep.drift_check(trace)
+        assert drift.drift > 0.5

@@ -1,0 +1,54 @@
+"""Tests for the Sensitivity Engine."""
+
+import pytest
+
+from repro.core import SensitivityEngine, WorkloadDescriptor
+from repro.kvstore import MemcachedLike, RedisLike
+from repro.ycsb import YCSBClient
+
+
+@pytest.fixture
+def baselines(small_trace, quiet_client):
+    engine = SensitivityEngine(RedisLike, client=quiet_client)
+    return engine.measure(WorkloadDescriptor.from_trace(small_trace))
+
+
+class TestBaselines:
+    def test_fast_beats_slow(self, baselines):
+        assert baselines.fast_runtime_ns < baselines.slow_runtime_ns
+        assert baselines.throughput_gap > 1.0
+
+    def test_redis_gap_near_paper(self, baselines):
+        """Fig 5a: FastMem-only ~40 % over SlowMem-only for thumbnails."""
+        assert baselines.throughput_gap == pytest.approx(1.40, abs=0.06)
+
+    def test_read_delta_positive(self, baselines):
+        assert baselines.read_delta_ns > 0
+
+    def test_write_delta_zero_for_readonly(self, baselines):
+        assert baselines.write_delta_ns == 0.0
+
+    def test_runtime_decomposition(self, baselines):
+        slow = baselines.slow
+        total = (slow.n_reads * slow.avg_read_ns
+                 + slow.n_writes * slow.avg_write_ns)
+        assert total == pytest.approx(slow.runtime_ns, rel=1e-9)
+
+    def test_mixed_workload_write_delta(self, mixed_trace, quiet_client):
+        engine = SensitivityEngine(RedisLike, client=quiet_client)
+        b = engine.measure(WorkloadDescriptor.from_trace(mixed_trace))
+        assert b.write_delta_ns > 0
+        assert b.write_delta_ns < b.read_delta_ns  # writes less exposed
+
+
+class TestEngineVariation:
+    def test_memcached_smaller_gap(self, small_trace, quiet_client):
+        descriptor = WorkloadDescriptor.from_trace(small_trace)
+        redis = SensitivityEngine(RedisLike, client=quiet_client)
+        memc = SensitivityEngine(MemcachedLike, client=quiet_client)
+        assert (memc.measure(descriptor).throughput_gap
+                < redis.measure(descriptor).throughput_gap)
+
+    def test_default_client_created(self):
+        engine = SensitivityEngine(RedisLike)
+        assert isinstance(engine.client, YCSBClient)

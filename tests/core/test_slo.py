@@ -1,0 +1,80 @@
+"""Tests for SLO-driven sizing."""
+
+import numpy as np
+import pytest
+
+from repro.core import Mnemo, min_cost_for_slowdown
+from repro.core.slo import DEFAULT_MAX_SLOWDOWN
+from repro.errors import ConfigurationError, EstimateError
+from repro.kvstore import MemcachedLike, RedisLike
+
+
+@pytest.fixture
+def curve(small_trace, quiet_client):
+    report = Mnemo(engine_factory=RedisLike, client=quiet_client).profile(
+        small_trace
+    )
+    return report.curve
+
+
+class TestMinCostForSlowdown:
+    def test_default_is_ten_percent(self):
+        assert DEFAULT_MAX_SLOWDOWN == 0.10
+
+    def test_choice_meets_slo(self, curve):
+        choice = min_cost_for_slowdown(curve, 0.10)
+        ideal = curve.throughput_ops_s[-1]
+        assert choice.est_throughput_ops_s >= 0.9 * ideal
+        assert 0 <= choice.slowdown <= 0.10
+
+    def test_cheapest_point_selected(self, curve):
+        choice = min_cost_for_slowdown(curve, 0.10)
+        if choice.n_fast_keys > 0:
+            prev = curve.throughput_ops_s[choice.n_fast_keys - 1]
+            assert prev < 0.9 * curve.throughput_ops_s[-1]
+
+    def test_zero_slack_needs_everything_fast_or_flat(self, curve):
+        choice = min_cost_for_slowdown(curve, 0.0)
+        assert choice.est_throughput_ops_s >= curve.throughput_ops_s[-1] * (1 - 1e-12)
+
+    def test_looser_slo_costs_less(self, curve):
+        tight = min_cost_for_slowdown(curve, 0.05)
+        loose = min_cost_for_slowdown(curve, 0.20)
+        assert loose.cost_factor <= tight.cost_factor
+
+    def test_huge_slack_hits_price_floor(self, curve):
+        choice = min_cost_for_slowdown(curve, 0.99)
+        assert choice.cost_factor == pytest.approx(0.2)
+        assert choice.n_fast_keys == 0
+
+    def test_savings_percent(self, curve):
+        choice = min_cost_for_slowdown(curve, 0.10)
+        assert choice.savings_percent == pytest.approx(
+            (1 - choice.cost_factor) * 100
+        )
+
+    def test_invalid_slack_rejected(self, curve):
+        with pytest.raises(ConfigurationError):
+            min_cost_for_slowdown(curve, 1.0)
+
+    def test_unreachable_reference_raises(self, curve):
+        with pytest.raises(EstimateError):
+            min_cost_for_slowdown(
+                curve, 0.01,
+                reference_throughput=float(curve.throughput_ops_s[-1]) * 10,
+            )
+
+    def test_custom_reference(self, curve):
+        slow_thr = float(curve.throughput_ops_s[0])
+        choice = min_cost_for_slowdown(curve, 0.0, reference_throughput=slow_thr)
+        assert choice.n_fast_keys == 0
+
+
+class TestMemcachedFloor:
+    def test_insensitive_engine_runs_slow_only(self, small_trace, quiet_client):
+        """Fig 9: Memcached meets the 10 % SLO with zero FastMem."""
+        report = Mnemo(engine_factory=MemcachedLike,
+                       client=quiet_client).profile(small_trace)
+        choice = report.choose(0.10)
+        assert choice.n_fast_keys == 0
+        assert choice.cost_factor == pytest.approx(0.2)

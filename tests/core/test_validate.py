@@ -1,0 +1,114 @@
+"""Tests for the validation helpers (measured points vs estimate)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Mnemo,
+    estimate_errors,
+    measure_curve,
+    prefix_counts,
+)
+from repro.errors import ConfigurationError
+from repro.kvstore import RedisLike
+from repro.ycsb import YCSBClient
+
+
+@pytest.fixture
+def setup(small_trace, quiet_client):
+    report = Mnemo(engine_factory=RedisLike, client=quiet_client).profile(
+        small_trace
+    )
+    counts = prefix_counts(small_trace.n_keys, 5)
+    points = measure_curve(
+        small_trace, report.pattern.order, RedisLike, counts,
+        client=quiet_client,
+    )
+    return report, counts, points
+
+
+class TestPrefixCounts:
+    def test_endpoints_included(self):
+        counts = prefix_counts(100, 5)
+        assert counts[0] == 0 and counts[-1] == 100
+
+    def test_evenly_spaced(self):
+        assert prefix_counts(100, 5) == [0, 25, 50, 75, 100]
+
+    def test_needs_two_points(self):
+        with pytest.raises(ConfigurationError):
+            prefix_counts(100, 1)
+
+
+class TestMeasureCurve:
+    def test_point_metadata(self, setup, small_trace):
+        _, counts, points = setup
+        assert [p.n_fast_keys for p in points] == counts
+        total = int(small_trace.record_sizes.sum())
+        assert points[0].fast_bytes == 0
+        assert points[-1].fast_bytes == total
+        assert points[0].cost_factor == pytest.approx(0.2)
+        assert points[-1].cost_factor == pytest.approx(1.0)
+
+    def test_throughput_improves_with_fast_share(self, setup):
+        _, _, points = setup
+        thr = [p.result.throughput_ops_s for p in points]
+        assert thr[-1] > thr[0]
+
+    def test_out_of_range_count_rejected(self, small_trace, quiet_client):
+        report = Mnemo(engine_factory=RedisLike,
+                       client=quiet_client).profile(small_trace)
+        with pytest.raises(ConfigurationError):
+            measure_curve(small_trace, report.pattern.order, RedisLike,
+                          [small_trace.n_keys + 1], client=quiet_client)
+
+
+class TestEstimateErrors:
+    def test_noiseless_uniform_sizes_exact(self, small_spec, quiet_client):
+        """With noise off and constant record sizes the model is exact:
+        every request saves exactly the average delta."""
+        from dataclasses import replace
+        from repro.ycsb import generate_trace
+        from repro.ycsb.sizes import SizeModel
+
+        spec = replace(
+            small_spec, name="uniform_sizes",
+            size_model=SizeModel(name="const", median_bytes=100_000, sigma=0.0),
+        )
+        trace = generate_trace(spec)
+        report = Mnemo(engine_factory=RedisLike,
+                       client=quiet_client).profile(trace)
+        counts = prefix_counts(trace.n_keys, 5)
+        points = measure_curve(trace, report.pattern.order, RedisLike,
+                               counts, client=quiet_client)
+        errors = estimate_errors(report.curve, points)
+        assert np.abs(errors).max() < 1e-9
+
+    def test_noiseless_mixed_sizes_small_model_error(self, setup):
+        """Varying record sizes leave only the size-mixing approximation;
+        it stays well under 1 % (the paper's model error regime)."""
+        report, _, points = setup
+        errors = estimate_errors(report.curve, points)
+        assert 0 < np.abs(errors).max() < 1.0
+
+    def test_noisy_errors_small(self, small_trace):
+        """With 1 % noise the paper-style median error stays tiny."""
+        client = YCSBClient(repeats=3, noise_sigma=0.01, seed=2)
+        report = Mnemo(engine_factory=RedisLike, client=client).profile(
+            small_trace
+        )
+        counts = prefix_counts(small_trace.n_keys, 6)
+        points = measure_curve(small_trace, report.pattern.order, RedisLike,
+                               counts, client=client)
+        errors = estimate_errors(report.curve, points)
+        assert np.median(np.abs(errors)) < 0.5  # percent
+
+    def test_latency_metric(self, setup):
+        report, _, points = setup
+        errors = estimate_errors(report.curve, points, metric="avg_latency")
+        assert np.abs(errors).max() < 1.0  # same size-mixing regime
+
+    def test_unknown_metric_rejected(self, setup):
+        report, _, points = setup
+        with pytest.raises(ConfigurationError):
+            estimate_errors(report.curve, points, metric="p99")

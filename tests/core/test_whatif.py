@@ -1,0 +1,90 @@
+"""Tests for the what-if sensitivity extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import Mnemo
+from repro.core.whatif import (
+    DEFAULT_SCENARIOS,
+    DeviceScenario,
+    device_sensitivity,
+    price_sensitivity,
+    recost_curve,
+)
+from repro.errors import ConfigurationError
+from repro.kvstore import RedisLike
+from repro.memsim.emulation import ThrottleFactors
+
+
+@pytest.fixture
+def report(small_trace, quiet_client):
+    return Mnemo(engine_factory=RedisLike, client=quiet_client).profile(
+        small_trace
+    )
+
+
+class TestRecost:
+    def test_performance_axis_untouched(self, report):
+        recosted = recost_curve(report.curve, 0.5)
+        assert np.array_equal(recosted.runtime_ns, report.curve.runtime_ns)
+        assert recosted.p == 0.5
+
+    def test_cost_floor_moves_with_p(self, report):
+        recosted = recost_curve(report.curve, 0.5)
+        assert recosted.cost_factor[0] == pytest.approx(0.5)
+        assert recosted.cost_factor[-1] == pytest.approx(1.0)
+
+    def test_identity_at_same_p(self, report):
+        recosted = recost_curve(report.curve, report.curve.p)
+        assert np.allclose(recosted.cost_factor, report.curve.cost_factor)
+
+
+class TestPriceSensitivity:
+    def test_same_keys_cheaper_disks(self, report):
+        """Cheaper SlowMem changes the cost, not the placement — the
+        SLO-binding key count is price-independent."""
+        choices = price_sensitivity(report.curve, [1 / 7, 1 / 5, 1 / 3])
+        n_keys = {c.n_fast_keys for c in choices.values()}
+        assert len(n_keys) == 1
+
+    def test_cost_monotone_in_p(self, report):
+        choices = price_sensitivity(report.curve, [1 / 7, 1 / 5, 1 / 3])
+        costs = [choices[p].cost_factor for p in (1 / 7, 1 / 5, 1 / 3)]
+        assert costs == sorted(costs)
+
+    def test_empty_band_rejected(self, report):
+        with pytest.raises(ConfigurationError):
+            price_sensitivity(report.curve, [])
+
+
+class TestDeviceSensitivity:
+    def test_slower_part_bigger_gap(self, small_trace, quiet_client):
+        outcomes = device_sensitivity(
+            small_trace, RedisLike, DEFAULT_SCENARIOS, client=quiet_client,
+        )
+        by_name = {o.scenario.name: o for o in outcomes}
+        assert (by_name["slower part"].throughput_gap
+                > by_name["table-i (emulated)"].throughput_gap
+                > by_name["faster part"].throughput_gap)
+
+    def test_slower_part_needs_more_dram(self, small_trace, quiet_client):
+        outcomes = device_sensitivity(
+            small_trace, RedisLike, DEFAULT_SCENARIOS, client=quiet_client,
+        )
+        by_name = {o.scenario.name: o for o in outcomes}
+        assert (by_name["slower part"].choice.capacity_ratio
+                >= by_name["faster part"].choice.capacity_ratio)
+
+    def test_custom_scenario(self, small_trace, quiet_client):
+        nearly_dram = DeviceScenario(
+            "near-dram", ThrottleFactors(bandwidth=0.9, latency=1.1)
+        )
+        outcome = device_sensitivity(
+            small_trace, RedisLike, [nearly_dram], client=quiet_client,
+        )[0]
+        assert outcome.throughput_gap < 1.05
+        assert outcome.choice.cost_factor == pytest.approx(0.2, abs=0.02)
+
+    def test_empty_scenarios_rejected(self, small_trace):
+        with pytest.raises(ConfigurationError):
+            device_sensitivity(small_trace, RedisLike, [])

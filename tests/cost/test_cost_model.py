@@ -1,0 +1,89 @@
+"""Tests for the hybrid-memory cost model (Table II)."""
+
+import numpy as np
+import pytest
+
+from repro.cost import (
+    DEFAULT_PRICE_FACTOR,
+    CostModel,
+    capacity_for_cost,
+    cost_reduction_factor,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCostReductionFactor:
+    def test_best_case_all_fast(self):
+        assert cost_reduction_factor(100, 100) == 1.0
+
+    def test_worst_case_all_slow_equals_p(self):
+        assert cost_reduction_factor(0, 100, p=0.2) == pytest.approx(0.2)
+
+    def test_paper_in_between_example(self):
+        """Table II / Fig 5a: hot 20 % in FastMem at p=0.2 -> R=0.36."""
+        assert cost_reduction_factor(20, 100, p=0.2) == pytest.approx(0.36)
+
+    def test_linear_in_fast_share(self):
+        r1 = cost_reduction_factor(25, 100, p=0.2)
+        r2 = cost_reduction_factor(75, 100, p=0.2)
+        mid = cost_reduction_factor(50, 100, p=0.2)
+        assert mid == pytest.approx((r1 + r2) / 2)
+
+    def test_vectorized(self):
+        fast = np.array([0, 50, 100])
+        r = cost_reduction_factor(fast, 100, p=0.2)
+        assert np.allclose(r, [0.2, 0.6, 1.0])
+
+    def test_default_p_is_paper_value(self):
+        assert DEFAULT_PRICE_FACTOR == 0.2
+        assert cost_reduction_factor(0, 100) == pytest.approx(0.2)
+
+    @pytest.mark.parametrize("p", [0.0, 1.0, -0.5, 2.0])
+    def test_invalid_p_rejected(self, p):
+        with pytest.raises(ConfigurationError):
+            cost_reduction_factor(10, 100, p=p)
+
+    def test_fast_exceeding_total_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cost_reduction_factor(101, 100)
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cost_reduction_factor(0, 0)
+
+
+class TestCapacityForCost:
+    def test_inverse_of_factor(self):
+        total = 1_000
+        for f in (0, 250, 500, 1_000):
+            r = cost_reduction_factor(f, total, p=0.2)
+            assert capacity_for_cost(r, total, p=0.2) == pytest.approx(f)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            capacity_for_cost(0.1, 100, p=0.2)  # below the p floor
+
+
+class TestCostModel:
+    def test_anchors(self):
+        m = CostModel(total_bytes=100, p=0.2)
+        assert m.best_case == 1.0
+        assert m.worst_case == pytest.approx(0.2)
+
+    def test_factor_delegates(self):
+        m = CostModel(total_bytes=100, p=0.2)
+        assert m.factor(20) == pytest.approx(0.36)
+
+    def test_fast_bytes_for(self):
+        m = CostModel(total_bytes=100, p=0.2)
+        assert m.fast_bytes_for(0.36) == pytest.approx(20)
+
+    def test_savings_percent(self):
+        m = CostModel(total_bytes=100, p=0.2)
+        assert m.savings_percent(20) == pytest.approx(64.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(total_bytes=0)
+        with pytest.raises(ConfigurationError):
+            CostModel(total_bytes=10, p=1.5)

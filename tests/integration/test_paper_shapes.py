@@ -1,0 +1,192 @@
+"""Integration tests: the paper's headline results at reduced scale.
+
+These run the full pipeline (generate -> baselines -> pattern ->
+estimate -> SLO) on scaled-down Table III workloads and assert the
+*shapes* the paper reports — who wins, by roughly what factor, where
+the crossovers fall.  The benchmarks reproduce the same results at full
+paper scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Mnemo, MnemoT, estimate_errors, measure_curve, prefix_counts
+from repro.kvstore import DynamoLike, MemcachedLike, RedisLike
+from repro.ycsb import TABLE_III_WORKLOADS, YCSBClient, generate_trace
+
+SCALE = dict(n_keys=500, n_requests=8_000)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {w.name: generate_trace(w.scaled(**SCALE))
+            for w in TABLE_III_WORKLOADS}
+
+
+@pytest.fixture(scope="module")
+def client():
+    return YCSBClient(repeats=2, noise_sigma=0.01, seed=17)
+
+
+@pytest.fixture(scope="module")
+def redis_reports(traces, client):
+    mnemo = Mnemo(engine_factory=RedisLike, client=client)
+    return {name: mnemo.profile(trace) for name, trace in traces.items()}
+
+
+class TestFig5aKeyDistribution:
+    def test_redis_gap_about_forty_percent(self, redis_reports):
+        """FastMem-only ~40 % over SlowMem-only for thumbnail reads."""
+        for name in ("trending", "timeline"):
+            gap = redis_reports[name].baselines.throughput_gap
+            assert gap == pytest.approx(1.40, abs=0.08)
+
+    def test_trending_hot_prefix_narrative(self, traces, client):
+        """Hot keys in FastMem (hot-first ordering): ~0.36 cost, ~10 %
+        below ideal, ~25-31 % above SlowMem-only (the Fig 5a walkthrough)."""
+        report = MnemoT(engine_factory=RedisLike, client=client).profile(
+            traces["trending"]
+        )
+        curve = report.curve
+        thr = curve.throughput_ops_s
+        i = int(np.searchsorted(curve.cost_factor, 0.36))
+        assert thr[i] >= 0.88 * thr[-1]          # within ~10-12 % of ideal
+        assert thr[i] / thr[0] >= 1.22           # >=22 % over SlowMem-only
+
+    def test_curve_follows_access_cdf(self, redis_reports, traces):
+        """Fig 5a: the throughput trendline tracks the request CDF."""
+        report = redis_reports["trending"]
+        trace = traces["trending"]
+        thr = report.curve.throughput_ops_s
+        gain = (thr[1:] - thr[0]) / (thr[-1] - thr[0])
+        # CDF over the tiering order
+        reads, writes = trace.per_key_counts()
+        accesses = (reads + writes)[report.pattern.order]
+        cdf = np.cumsum(accesses) / accesses.sum()
+        # the residual gap comes from per-key size variation (savings are
+        # size-weighted); the trendline still tracks the CDF tightly
+        assert np.abs(gain - cdf).max() < 0.15
+        assert np.corrcoef(gain, cdf)[0, 1] > 0.995
+
+
+class TestFig5bReadWriteRatio:
+    def test_write_heavy_less_impacted(self, redis_reports):
+        """Edit Thumbnail (50:50) suffers less from SlowMem than the
+        read-only Timeline over the same access pattern."""
+        read_gap = redis_reports["timeline"].baselines.throughput_gap
+        write_gap = redis_reports["edit_thumbnail"].baselines.throughput_gap
+        assert write_gap < read_gap
+
+
+class TestFig5cRecordSize:
+    def _gap_for(self, client, median):
+        from dataclasses import replace
+        from repro.ycsb.presets import TIMELINE
+        from repro.ycsb.sizes import SizeModel
+
+        spec = replace(
+            TIMELINE.scaled(**SCALE), name=f"timeline_{median}",
+            size_model=SizeModel(name="s", median_bytes=median, sigma=0.2),
+        )
+        report = Mnemo(engine_factory=RedisLike, client=client).profile(
+            generate_trace(spec)
+        )
+        return report.baselines.throughput_gap
+
+    def test_bigger_records_bigger_knee(self, client):
+        """Section III: big records move the throughput much more than
+        small ones — the 'knee' (total recoverable gain) grows with size."""
+        gaps = {m: self._gap_for(client, m) for m in (1_000, 10_000, 100_000)}
+        assert gaps[1_000] < gaps[10_000] < gaps[100_000]
+        assert gaps[1_000] < 1.02       # 1 KB records: barely any impact
+        assert gaps[100_000] > 1.30     # 100 KB records: the full Fig 5a gap
+
+
+class TestFig8bStoreComparison:
+    def test_sensitivity_ordering(self, traces, client):
+        """DynamoDB most impacted by SlowMem, Memcached least."""
+        gaps = {}
+        for factory in (RedisLike, MemcachedLike, DynamoLike):
+            report = Mnemo(engine_factory=factory, client=client).profile(
+                traces["trending"]
+            )
+            gaps[factory.__name__] = report.baselines.throughput_gap
+        assert gaps["DynamoLike"] > gaps["RedisLike"] > gaps["MemcachedLike"]
+        assert gaps["MemcachedLike"] < 1.08
+        assert gaps["DynamoLike"] > 2.0
+
+
+class TestFig8aAccuracy:
+    def test_median_error_below_paper_scale(self, redis_reports, traces,
+                                            client):
+        """Estimate error stays in the sub-percent regime (paper: 0.07 %)."""
+        errors = []
+        for name, report in redis_reports.items():
+            points = measure_curve(
+                traces[name], report.pattern.order, RedisLike,
+                prefix_counts(traces[name].n_keys, 6), client=client,
+            )
+            errors.extend(estimate_errors(report.curve, points).tolist())
+        assert np.median(np.abs(errors)) < 0.3
+
+
+class TestFig8fMnemoT:
+    def test_tiering_reorders_scrambled_to_zipfian_like(self, traces,
+                                                        client):
+        """MnemoT's weight order front-loads the scrambled zipfian's hot
+        keys, recovering throughput much earlier than first-touch."""
+        trace = traces["timeline"]
+        plain = Mnemo(engine_factory=RedisLike, client=client).profile(trace)
+        tiered = MnemoT(engine_factory=RedisLike, client=client).profile(trace)
+        assert (tiered.curve.throughput_at_cost(0.5)
+                > plain.curve.throughput_at_cost(0.5))
+
+
+class TestFig9CostReduction:
+    def test_memcached_floor_everywhere(self, traces, client):
+        mnemo = Mnemo(engine_factory=MemcachedLike, client=client)
+        for trace in traces.values():
+            choice = mnemo.profile(trace).choose(0.10)
+            assert choice.cost_factor == pytest.approx(0.2, abs=0.02)
+
+    def test_redis_trending_near_floor(self, redis_reports):
+        choice = redis_reports["trending"].choose(0.10)
+        assert choice.cost_factor < 0.5
+
+    def test_redis_news_feed_few_savings(self, redis_reports):
+        """News Feed depends on the (shifting) latest keys; static
+        placement saves little."""
+        trending = redis_reports["trending"].choose(0.10).cost_factor
+        news = redis_reports["news_feed"].choose(0.10).cost_factor
+        assert news > trending
+
+    def test_writes_allow_more_savings(self, redis_reports):
+        edit = redis_reports["edit_thumbnail"].choose(0.10).cost_factor
+        timeline = redis_reports["timeline"].choose(0.10).cost_factor
+        assert edit < timeline
+
+    def test_dynamo_modest_savings(self, traces, client):
+        """DynamoDB tolerates little SlowMem, but still saves 20-30 % on
+        favourable patterns."""
+        report = Mnemo(engine_factory=DynamoLike, client=client).profile(
+            traces["trending"]
+        )
+        choice = report.choose(0.10)
+        assert 0.60 <= choice.cost_factor <= 0.85
+
+
+class TestDownsampling:
+    def test_estimate_transfers_to_downsampled_workload(self, traces,
+                                                        client):
+        """Section V-A: a 10x-downsampled workload produces the same
+        cost/performance conclusions."""
+        from repro.ycsb import downsample
+
+        full = traces["trending"]
+        down = downsample(full, factor=10, seed=5)
+        mnemo = Mnemo(engine_factory=RedisLike, client=client)
+        full_choice = mnemo.profile(full).choose(0.10)
+        down_choice = mnemo.profile(down).choose(0.10)
+        assert down_choice.cost_factor == pytest.approx(
+            full_choice.cost_factor, abs=0.08
+        )

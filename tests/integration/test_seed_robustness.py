@@ -1,0 +1,61 @@
+"""Seed-robustness: headline shapes are not a seed lottery.
+
+Re-runs the core qualitative results across several workload seeds at
+reduced scale; every paper-shape assertion must hold for each seed.
+"""
+
+import pytest
+
+from repro.core import Mnemo
+from repro.kvstore import DynamoLike, MemcachedLike, RedisLike
+from repro.ycsb import YCSBClient, generate_trace, workload_by_name
+
+SEEDS = [1, 202, 40_404]
+SCALE = dict(n_keys=400, n_requests=6_000)
+
+
+@pytest.fixture(scope="module", params=SEEDS, ids=lambda s: f"seed{s}")
+def seeded_traces(request):
+    seed = request.param
+    return {
+        name: generate_trace(
+            workload_by_name(name).scaled(**SCALE).with_seed(seed)
+        )
+        for name in ("trending", "news_feed", "timeline", "edit_thumbnail")
+    }
+
+
+@pytest.fixture(scope="module")
+def client():
+    return YCSBClient(repeats=2, noise_sigma=0.01, seed=99)
+
+
+class TestShapesAcrossSeeds:
+    def test_redis_gap_band(self, seeded_traces, client):
+        report = Mnemo(engine_factory=RedisLike, client=client).profile(
+            seeded_traces["trending"]
+        )
+        assert 1.30 < report.baselines.throughput_gap < 1.55
+
+    def test_store_ordering(self, seeded_traces, client):
+        gaps = {}
+        for factory in (RedisLike, MemcachedLike, DynamoLike):
+            report = Mnemo(engine_factory=factory, client=client).profile(
+                seeded_traces["trending"]
+            )
+            gaps[factory.__name__] = report.baselines.throughput_gap
+        assert gaps["DynamoLike"] > gaps["RedisLike"] > gaps["MemcachedLike"]
+
+    def test_fig9_relations(self, seeded_traces, client):
+        mnemo = Mnemo(engine_factory=RedisLike, client=client)
+        costs = {
+            name: mnemo.profile(trace).choose(0.10).cost_factor
+            for name, trace in seeded_traces.items()
+        }
+        assert costs["trending"] < costs["news_feed"]
+        assert costs["edit_thumbnail"] < costs["timeline"]
+
+    def test_memcached_floor(self, seeded_traces, client):
+        mnemo = Mnemo(engine_factory=MemcachedLike, client=client)
+        choice = mnemo.profile(seeded_traces["timeline"]).choose(0.10)
+        assert choice.cost_factor == pytest.approx(0.2, abs=0.02)

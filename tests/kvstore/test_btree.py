@@ -1,0 +1,137 @@
+"""Tests for the B-tree index."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, KeyNotFoundError
+from repro.kvstore import BTree
+
+
+class TestBasics:
+    def test_insert_lookup(self):
+        t = BTree(order=4)
+        assert t.insert(5, "v") is True
+        assert t.lookup(5) == "v"
+
+    def test_update(self):
+        t = BTree(order=4)
+        t.insert(5, "a")
+        assert t.insert(5, "b") is False
+        assert t.lookup(5) == "b"
+        assert len(t) == 1
+
+    def test_missing_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            BTree().lookup(1)
+
+    def test_get_default(self):
+        assert BTree().get(1, "d") == "d"
+
+    def test_contains(self):
+        t = BTree(order=4)
+        t.insert(1, 1)
+        assert 1 in t and 2 not in t
+
+    def test_min_order(self):
+        with pytest.raises(ConfigurationError):
+            BTree(order=3)
+
+
+class TestBulk:
+    @pytest.mark.parametrize("order", [4, 8, 64])
+    def test_sequential_inserts(self, order):
+        t = BTree(order=order)
+        for k in range(500):
+            t.insert(k, k * 2)
+        assert len(t) == 500
+        t.check_invariants()
+        for k in range(500):
+            assert t.lookup(k) == k * 2
+
+    @pytest.mark.parametrize("order", [4, 8, 64])
+    def test_random_inserts(self, order):
+        rng = np.random.default_rng(0)
+        keys = rng.permutation(1000)
+        t = BTree(order=order)
+        for k in keys:
+            t.insert(int(k), int(k))
+        t.check_invariants()
+        assert len(t) == 1000
+
+    def test_height_grows_logarithmically(self):
+        t = BTree(order=8)
+        for k in range(1000):
+            t.insert(k, k)
+        assert t.height <= 5
+
+
+class TestDelete:
+    @pytest.mark.parametrize("order", [4, 8])
+    def test_delete_all_random(self, order):
+        rng = np.random.default_rng(1)
+        keys = rng.permutation(300)
+        t = BTree(order=order)
+        for k in keys:
+            t.insert(int(k), int(k))
+        for k in rng.permutation(300):
+            assert t.remove(int(k)) == int(k)
+            if len(t) % 50 == 0:
+                t.check_invariants()
+        assert len(t) == 0
+
+    def test_delete_missing_raises(self):
+        t = BTree(order=4)
+        t.insert(1, 1)
+        with pytest.raises(KeyNotFoundError):
+            t.remove(9)
+
+    def test_delete_internal_key(self):
+        t = BTree(order=4)
+        for k in range(50):
+            t.insert(k, k)
+        # key 25 is certainly internal somewhere along the way
+        t.remove(25)
+        t.check_invariants()
+        assert 25 not in t
+        assert len(t) == 49
+
+    def test_interleaved_insert_delete(self):
+        t = BTree(order=4)
+        for k in range(200):
+            t.insert(k, k)
+            if k % 3 == 0 and k > 0:
+                t.remove(k - 1)
+        t.check_invariants()
+
+
+class TestIteration:
+    def test_items_sorted(self):
+        rng = np.random.default_rng(2)
+        t = BTree(order=8)
+        for k in rng.permutation(200):
+            t.insert(int(k), int(k))
+        keys = [k for k, _ in t.items()]
+        assert keys == sorted(keys) == list(range(200))
+
+    def test_range_scan(self):
+        t = BTree(order=8)
+        for k in range(100):
+            t.insert(k, k)
+        got = [k for k, _ in t.range(10, 20)]
+        assert got == list(range(10, 20))
+
+    def test_range_open_ended(self):
+        t = BTree(order=8)
+        for k in range(20):
+            t.insert(k, k)
+        assert [k for k, _ in t.range(15)] == [15, 16, 17, 18, 19]
+
+
+class TestVisitAccounting:
+    def test_node_visits_increase(self):
+        t = BTree(order=4)
+        for k in range(100):
+            t.insert(k, k)
+        before = t.node_visits
+        t.lookup(50)
+        assert t.node_visits > before

@@ -1,0 +1,103 @@
+"""Churn stress tests: accounting invariants under insert/delete cycles.
+
+A capacity-sizing consultant is only as good as its capacity
+accounting; these tests hammer each engine with load/delete/reload
+cycles and assert the node occupancy, allocator state and dataset
+bookkeeping never drift.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kvstore import DynamoLike, MemcachedLike, RedisLike
+from repro.kvstore.base import FAST, SLOW
+
+
+@pytest.fixture
+def engine(engine_factory, system):
+    return engine_factory(system.fast, system.slow)
+
+
+def churn(engine, rng, rounds=5, n=120):
+    """Load/delete/update in randomized interleavings."""
+    live = {}
+    next_key = 0
+    for _ in range(rounds):
+        # insert a batch
+        batch = {}
+        for _ in range(n):
+            size = int(rng.integers(100, 50_000))
+            batch[next_key] = size
+            live[next_key] = size
+            next_key += 1
+        fast_keys = [k for k in batch if rng.random() < 0.5]
+        engine.load(batch, fast_keys=fast_keys)
+        # delete a random half of everything live
+        victims = rng.choice(sorted(live), size=len(live) // 2,
+                             replace=False)
+        for k in victims:
+            engine.delete(int(k))
+            del live[int(k)]
+        # resize a few survivors
+        for k in rng.choice(sorted(live), size=min(10, len(live)),
+                            replace=False):
+            new_size = int(rng.integers(100, 50_000))
+            engine.put(int(k), size=new_size)
+            live[int(k)] = new_size
+    return live
+
+
+class TestChurnInvariants:
+    def test_dataset_bytes_track_live_set(self, engine):
+        live = churn(engine, np.random.default_rng(1))
+        assert len(engine) == len(live)
+        assert engine.dataset_bytes == sum(live.values())
+
+    def test_every_live_key_readable(self, engine):
+        live = churn(engine, np.random.default_rng(2))
+        for k, size in live.items():
+            assert engine.get(k).size == size
+
+    def test_node_occupancy_consistent_with_backing(self, engine, system):
+        churn(engine, np.random.default_rng(3))
+        reserved = engine.stored_bytes(FAST) + engine.stored_bytes(SLOW)
+        assert system.fast.used_bytes + system.slow.used_bytes == reserved
+
+    def test_occupancy_never_exceeds_capacity(self, engine, system):
+        churn(engine, np.random.default_rng(4), rounds=8)
+        assert system.fast.used_bytes <= system.fast.capacity_bytes
+        assert system.slow.used_bytes <= system.slow.capacity_bytes
+
+    def test_full_drain_releases_everything(self, engine_factory, system):
+        engine = engine_factory(system.fast, system.slow)
+        engine.load({k: 10_000 for k in range(200)}, fast_keys=range(100))
+        for k in range(200):
+            engine.delete(k)
+        assert len(engine) == 0
+        assert engine.dataset_bytes == 0
+        if isinstance(engine, MemcachedLike):
+            # slab pages are never returned, only chunks recycle
+            assert system.fast.used_bytes > 0
+        else:
+            assert system.fast.used_bytes == 0
+            assert system.slow.used_bytes == 0
+
+
+class TestStructureHealth:
+    def test_redis_index_load_factor_bounded(self, system):
+        engine = RedisLike(system.fast, system.slow)
+        churn(engine, np.random.default_rng(5), rounds=6)
+        assert engine.index.load_factor < 0.7
+
+    def test_dynamo_tree_invariants_after_churn(self, system):
+        engine = DynamoLike(system.fast, system.slow)
+        churn(engine, np.random.default_rng(6), rounds=6)
+        engine.tree.check_invariants()
+
+    def test_memcached_chunks_recycled(self, system):
+        engine = MemcachedLike(system.fast, system.slow)
+        rng = np.random.default_rng(7)
+        churn(engine, rng, rounds=6)
+        slab = engine.slab_allocator(SLOW)
+        # reserved pages bound the live chunks (free lists recycle)
+        assert slab.used_bytes <= slab.allocated_bytes

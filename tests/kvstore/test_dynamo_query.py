@@ -1,0 +1,45 @@
+"""Tests for DynamoLike's timed Query operation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kvstore import DynamoLike
+
+
+@pytest.fixture
+def store(system):
+    eng = DynamoLike(system.fast, system.slow)
+    eng.load({k: 1_000 for k in range(0, 100, 2)}, fast_keys=range(0, 50, 2))
+    return eng
+
+
+class TestQuery:
+    def test_returns_consecutive_items(self, store):
+        results = store.query(10, limit=5)
+        assert [r.key for r in results] == [10, 12, 14, 16, 18]
+
+    def test_respects_limit(self, store):
+        assert len(store.query(0, limit=3)) == 3
+
+    def test_short_tail(self, store):
+        results = store.query(96, limit=10)
+        assert [r.key for r in results] == [96, 98]
+
+    def test_empty_range(self, store):
+        assert store.query(200, limit=5) == []
+
+    def test_items_charged_per_node(self, store):
+        results = store.query(44, limit=5)  # spans the fast/slow boundary
+        nodes = {r.key: r.node for r in results}
+        assert nodes[44] == "FastMem" and nodes[48] == "FastMem"
+        assert nodes[50] == "SlowMem"
+
+    def test_accrues_time(self, store):
+        before = store.clock_ns
+        store.query(0, limit=10)
+        assert store.clock_ns > before
+        assert store.op_count >= 10
+
+    def test_limit_validated(self, store):
+        with pytest.raises(ConfigurationError):
+            store.query(0, limit=0)

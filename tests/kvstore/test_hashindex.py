@@ -1,0 +1,114 @@
+"""Tests for the open-addressing hash index."""
+
+import pytest
+
+from repro.errors import ConfigurationError, KeyNotFoundError
+from repro.kvstore import HashIndex
+
+
+class TestBasics:
+    def test_insert_and_lookup(self):
+        idx = HashIndex()
+        assert idx.insert(5, "a") is True
+        assert idx.lookup(5) == "a"
+
+    def test_update_returns_false(self):
+        idx = HashIndex()
+        idx.insert(5, "a")
+        assert idx.insert(5, "b") is False
+        assert idx.lookup(5) == "b"
+        assert len(idx) == 1
+
+    def test_missing_lookup_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            HashIndex().lookup(1)
+
+    def test_get_default(self):
+        idx = HashIndex()
+        assert idx.get(1) is None
+        assert idx.get(1, "x") == "x"
+
+    def test_contains(self):
+        idx = HashIndex()
+        idx.insert(3, 1)
+        assert 3 in idx
+        assert 4 not in idx
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            HashIndex(initial_capacity=0)
+
+    def test_capacity_rounds_to_power_of_two(self):
+        idx = HashIndex(initial_capacity=100)
+        assert idx.capacity == 128
+
+
+class TestRemove:
+    def test_remove_returns_value(self):
+        idx = HashIndex()
+        idx.insert(5, "v")
+        assert idx.remove(5) == "v"
+        assert 5 not in idx
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            HashIndex().remove(5)
+
+    def test_tombstone_does_not_break_probe_chain(self):
+        idx = HashIndex(initial_capacity=8)
+        # force collisions by filling several keys
+        for k in range(6):
+            idx.insert(k, k)
+        idx.remove(2)
+        # all remaining keys still reachable through any tombstones
+        for k in (0, 1, 3, 4, 5):
+            assert idx.lookup(k) == k
+
+    def test_tombstone_slot_reused(self):
+        idx = HashIndex(initial_capacity=8)
+        for k in range(5):
+            idx.insert(k, k)
+        idx.remove(3)
+        idx.insert(3, "new")
+        assert idx.lookup(3) == "new"
+
+
+class TestGrowth:
+    def test_grows_past_load_factor(self):
+        idx = HashIndex(initial_capacity=8)
+        for k in range(100):
+            idx.insert(k, k)
+        assert len(idx) == 100
+        assert idx.capacity >= 128
+        assert idx.load_factor < 0.7
+
+    def test_all_keys_survive_growth(self):
+        idx = HashIndex(initial_capacity=8)
+        for k in range(500):
+            idx.insert(k * 7919, k)
+        for k in range(500):
+            assert idx.lookup(k * 7919) == k
+
+
+class TestIteration:
+    def test_iter_yields_live_keys(self):
+        idx = HashIndex()
+        for k in (1, 2, 3):
+            idx.insert(k, k * 10)
+        idx.remove(2)
+        assert sorted(idx) == [1, 3]
+
+    def test_items(self):
+        idx = HashIndex()
+        idx.insert(1, "a")
+        idx.insert(2, "b")
+        assert dict(idx.items()) == {1: "a", 2: "b"}
+
+
+class TestProbeAccounting:
+    def test_probe_counter_increases(self):
+        idx = HashIndex()
+        before = idx.total_probes
+        idx.insert(1, 1)
+        idx.lookup(1)
+        assert idx.total_probes > before

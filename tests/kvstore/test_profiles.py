@@ -1,0 +1,79 @@
+"""Tests for the engine sensitivity profiles."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kvstore import (
+    DYNAMO_PROFILE,
+    MEMCACHED_PROFILE,
+    REDIS_PROFILE,
+    EngineProfile,
+    profile_for,
+)
+from repro.kvstore.profiles import builtin_profiles
+
+
+class TestBuiltins:
+    def test_lookup_by_name(self):
+        assert profile_for("redis") is REDIS_PROFILE
+        assert profile_for("MEMCACHED") is MEMCACHED_PROFILE
+        assert profile_for("DynamoDB") is DYNAMO_PROFILE
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            profile_for("rocksdb")
+
+    def test_builtin_profiles_copy(self):
+        d = builtin_profiles()
+        d["redis"] = None
+        assert profile_for("redis") is REDIS_PROFILE
+
+
+class TestSensitivityOrdering:
+    """The paper's cross-store ordering (Figs 8b, 9) is a calibration
+    invariant: DynamoDB most memory-bound, Memcached least."""
+
+    def _memory_share(self, p, nbytes=100_000, slow_ns=55_000):
+        return p.read_passes * slow_ns / (p.read_cpu_ns + p.read_passes * slow_ns)
+
+    def test_dynamo_most_sensitive(self):
+        assert self._memory_share(DYNAMO_PROFILE) > self._memory_share(REDIS_PROFILE)
+
+    def test_memcached_least_sensitive(self):
+        assert self._memory_share(MEMCACHED_PROFILE) < self._memory_share(REDIS_PROFILE)
+
+    def test_writes_less_exposed_than_reads(self):
+        for p in (REDIS_PROFILE, MEMCACHED_PROFILE, DYNAMO_PROFILE):
+            assert p.write_passes < p.read_passes
+
+
+class TestAccessors:
+    def test_cpu_ns_by_type(self):
+        assert REDIS_PROFILE.cpu_ns(True) == REDIS_PROFILE.read_cpu_ns
+        assert REDIS_PROFILE.cpu_ns(False) == REDIS_PROFILE.write_cpu_ns
+
+    def test_passes_by_type(self):
+        assert DYNAMO_PROFILE.passes(True) == DYNAMO_PROFILE.read_passes
+        assert DYNAMO_PROFILE.passes(False) == DYNAMO_PROFILE.write_passes
+
+
+class TestValidation:
+    def test_nonpositive_cpu_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EngineProfile(name="x", read_cpu_ns=0, write_cpu_ns=1,
+                          read_passes=1, write_passes=1)
+
+    def test_negative_passes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EngineProfile(name="x", read_cpu_ns=1, write_cpu_ns=1,
+                          read_passes=-1, write_passes=1)
+
+    def test_negative_metadata_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EngineProfile(name="x", read_cpu_ns=1, write_cpu_ns=1,
+                          read_passes=1, write_passes=1, metadata_bytes=-1)
+
+    def test_zero_passes_allowed(self):
+        p = EngineProfile(name="x", read_cpu_ns=1, write_cpu_ns=1,
+                          read_passes=0, write_passes=0)
+        assert p.passes(True) == 0

@@ -1,0 +1,99 @@
+"""Tests for ServerInstance and HybridDeployment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kvstore import HybridDeployment, RedisLike, ServerInstance
+
+
+class TestServerInstance:
+    def test_bind_fast(self, system):
+        srv = ServerInstance(RedisLike, system, "fast")
+        assert srv.is_fast
+        assert srv.bound_node is system.fast
+
+    def test_bind_slow(self, system):
+        srv = ServerInstance(RedisLike, system, "slow")
+        assert not srv.is_fast
+
+    def test_bind_invalid(self, system):
+        with pytest.raises(ConfigurationError):
+            ServerInstance(RedisLike, system, "gpu")
+
+    def test_load_records_land_on_bound_node(self, system):
+        srv = ServerInstance(RedisLike, system, "fast")
+        srv.load_records({0: 1_000, 1: 2_000})
+        assert srv.engine.node_of(0) == "FastMem"
+        assert srv.engine.node_of(1) == "FastMem"
+        assert len(srv) == 2
+
+    def test_ops_route_through_engine(self, system):
+        srv = ServerInstance(RedisLike, system, "slow")
+        srv.load_records({0: 1_000})
+        assert srv.get(0).node == "SlowMem"
+        assert srv.put(0).node == "SlowMem"
+
+    def test_stored_bytes(self, system):
+        srv = ServerInstance(RedisLike, system, "fast")
+        srv.load_records({0: 1_000})
+        assert srv.stored_bytes() >= 1_000
+
+    def test_name_includes_engine_and_node(self, system):
+        srv = ServerInstance(RedisLike, system, "fast")
+        assert srv.name == "redis@FastMem"
+
+
+class TestHybridDeployment:
+    def test_routing(self, system, tiny_sizes):
+        dep = HybridDeployment(RedisLike, system, tiny_sizes, fast_keys=[0, 1])
+        assert dep.route(0) is dep.fast_server
+        assert dep.route(5) is dep.slow_server
+
+    def test_fast_mask(self, system, tiny_sizes):
+        dep = HybridDeployment(RedisLike, system, tiny_sizes, fast_keys=[3, 7])
+        assert dep.fast_mask.sum() == 2
+        assert dep.fast_mask[3] and dep.fast_mask[7]
+
+    def test_all_fast(self, system, tiny_sizes):
+        dep = HybridDeployment.all_fast(RedisLike, system, tiny_sizes)
+        assert dep.fast_mask.all()
+        assert dep.capacity_ratio() == 1.0
+
+    def test_all_slow(self, system, tiny_sizes):
+        dep = HybridDeployment.all_slow(RedisLike, system, tiny_sizes)
+        assert not dep.fast_mask.any()
+        assert dep.capacity_ratio() == 0.0
+
+    def test_fast_bytes(self, system, tiny_sizes):
+        dep = HybridDeployment(RedisLike, system, tiny_sizes, fast_keys=[0, 9])
+        assert dep.fast_bytes() == tiny_sizes[0] + tiny_sizes[9]
+
+    def test_get_put_route(self, system, tiny_sizes):
+        dep = HybridDeployment(RedisLike, system, tiny_sizes, fast_keys=[0])
+        assert dep.get(0).node == "FastMem"
+        assert dep.get(1).node == "SlowMem"
+        assert dep.put(1).node == "SlowMem"
+
+    def test_out_of_range_fast_keys_rejected(self, system, tiny_sizes):
+        with pytest.raises(ConfigurationError):
+            HybridDeployment(RedisLike, system, tiny_sizes, fast_keys=[99])
+
+    def test_empty_sizes_rejected(self, system):
+        with pytest.raises(ConfigurationError):
+            HybridDeployment(RedisLike, system, np.array([], dtype=np.int64))
+
+    def test_nonpositive_sizes_rejected(self, system):
+        with pytest.raises(ConfigurationError):
+            HybridDeployment(RedisLike, system, np.array([10, 0], dtype=np.int64))
+
+    def test_placement_arrays(self, system, tiny_sizes):
+        dep = HybridDeployment(RedisLike, system, tiny_sizes, fast_keys=[1])
+        sizes, mask = dep.placement_arrays()
+        assert sizes is dep.record_sizes
+        assert mask[1] and mask.sum() == 1
+
+    def test_profile_shared(self, system, tiny_sizes):
+        dep = HybridDeployment(RedisLike, system, tiny_sizes)
+        assert dep.profile.name == "redis"
+        assert dep.n_keys == tiny_sizes.size

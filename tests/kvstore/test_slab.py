@@ -1,0 +1,125 @@
+"""Tests for the slab allocator."""
+
+import pytest
+
+from repro.errors import AllocationError, CapacityError, ConfigurationError
+from repro.kvstore import SlabAllocator
+from repro.memsim import AddressSpaceAllocator
+from repro.units import MiB
+
+
+def make_slab(capacity=64 * MiB, **kw):
+    return SlabAllocator(AddressSpaceAllocator(capacity), **kw)
+
+
+class TestSizeClasses:
+    def test_classes_are_geometric(self):
+        slab = make_slab(growth_factor=2.0, min_chunk=100)
+        sizes = [c.chunk_size for c in slab.classes]
+        assert sizes[0] == 100
+        for a, b in zip(sizes, sizes[1:]):
+            assert b > a
+
+    def test_class_for_picks_smallest_fit(self):
+        slab = make_slab()
+        cls = slab.class_for(100)
+        assert cls.chunk_size >= 100
+        smaller = [c for c in slab.classes if c.chunk_size < cls.chunk_size]
+        assert all(c.chunk_size < 100 for c in smaller)
+
+    def test_class_for_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            make_slab().class_for(0)
+
+    def test_oversized_record_rejected(self):
+        with pytest.raises(CapacityError):
+            make_slab().class_for(2 * MiB)
+
+    def test_invalid_growth_factor(self):
+        with pytest.raises(ConfigurationError):
+            make_slab(growth_factor=1.0)
+
+    def test_largest_class_is_page(self):
+        slab = make_slab()
+        assert slab.classes[-1].chunk_size == SlabAllocator.PAGE_SIZE
+
+
+class TestAllocate:
+    def test_allocate_reserves_full_page(self):
+        slab = make_slab()
+        slab.allocate(100)
+        assert slab.allocated_bytes == SlabAllocator.PAGE_SIZE
+        assert slab.backing.used_bytes == SlabAllocator.PAGE_SIZE
+
+    def test_same_class_shares_page(self):
+        slab = make_slab()
+        slab.allocate(100)
+        slab.allocate(100)
+        assert slab.allocated_bytes == SlabAllocator.PAGE_SIZE
+
+    def test_distinct_classes_get_distinct_pages(self):
+        slab = make_slab()
+        slab.allocate(100)
+        slab.allocate(500_000)
+        assert slab.allocated_bytes == 2 * SlabAllocator.PAGE_SIZE
+
+    def test_page_exhaustion_adds_page(self):
+        slab = make_slab()
+        cls = slab.class_for(100)
+        for _ in range(cls.chunks_per_page + 1):
+            slab.allocate(100)
+        assert slab.allocated_bytes == 2 * SlabAllocator.PAGE_SIZE
+
+    def test_offsets_unique(self):
+        slab = make_slab()
+        offsets = {slab.allocate(100) for _ in range(1000)}
+        assert len(offsets) == 1000
+
+    def test_backing_exhaustion_propagates(self):
+        slab = make_slab(capacity=1 * MiB)
+        cls = slab.class_for(100)
+        for _ in range(cls.chunks_per_page):
+            slab.allocate(100)
+        with pytest.raises(AllocationError):
+            slab.allocate(100)
+
+
+class TestRelease:
+    def test_release_reuses_chunk(self):
+        slab = make_slab()
+        off = slab.allocate(100)
+        slab.release(off)
+        assert slab.allocate(100) == off
+
+    def test_release_unknown_raises(self):
+        with pytest.raises(AllocationError):
+            make_slab().release(12345)
+
+    def test_pages_stay_reserved_after_release(self):
+        slab = make_slab()
+        off = slab.allocate(100)
+        slab.release(off)
+        # memcached never returns pages to the OS
+        assert slab.allocated_bytes == SlabAllocator.PAGE_SIZE
+
+    def test_used_bytes_tracks_chunks(self):
+        slab = make_slab()
+        cls = slab.class_for(100)
+        off = slab.allocate(100)
+        assert slab.used_bytes == cls.chunk_size
+        slab.release(off)
+        assert slab.used_bytes == 0
+
+
+class TestOverhead:
+    def test_overhead_ratio_at_least_one(self):
+        slab = make_slab()
+        payload = 0
+        for _ in range(100):
+            slab.allocate(10_000)
+            payload += 10_000
+        assert slab.overhead_ratio(payload) >= 1.0
+
+    def test_overhead_ratio_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            make_slab().overhead_ratio(0)

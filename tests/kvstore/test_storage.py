@@ -1,0 +1,145 @@
+"""Tests for the storage-backed store (Mnemo's scoping counterexample)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.kvstore.storage import ROCKS_PROFILE, StorageBackedStore, StorageConfig
+from repro.memsim import HybridMemorySystem
+
+
+@pytest.fixture
+def store(system):
+    return StorageBackedStore(system)
+
+
+def all_fast(trace):
+    return np.ones(trace.n_keys, dtype=bool)
+
+
+def all_slow(trace):
+    return np.zeros(trace.n_keys, dtype=bool)
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = StorageConfig()
+        assert cfg.cache_fraction == 0.25
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StorageConfig(disk_latency_ns=0)
+        with pytest.raises(ConfigurationError):
+            StorageConfig(cache_fraction=0.0)
+
+
+class TestExecution:
+    def test_fast_cache_beats_slow_cache(self, store, small_trace):
+        fast = store.execute(small_trace, all_fast(small_trace),
+                             repeats=1, noise_sigma=0.0)
+        slow = store.execute(small_trace, all_slow(small_trace),
+                             repeats=1, noise_sigma=0.0)
+        assert fast.runtime_ns < slow.runtime_ns
+
+    def test_memory_gap_smaller_than_inmemory_store(self, small_trace,
+                                                    quiet_client):
+        """Disk misses dilute the memory sensitivity versus RedisLike."""
+        from repro.kvstore import HybridDeployment, RedisLike
+
+        store = StorageBackedStore(HybridMemorySystem.testbed())
+        s_fast = store.execute(small_trace, all_fast(small_trace),
+                               repeats=1, noise_sigma=0.0)
+        s_slow = store.execute(small_trace, all_slow(small_trace),
+                               repeats=1, noise_sigma=0.0)
+        storage_gap = s_slow.runtime_ns / s_fast.runtime_ns
+
+        system = HybridMemorySystem.testbed()
+        r_fast = quiet_client.execute(
+            small_trace,
+            HybridDeployment.all_fast(RedisLike, system,
+                                      small_trace.record_sizes),
+        )
+        system2 = HybridMemorySystem.testbed()
+        r_slow = quiet_client.execute(
+            small_trace,
+            HybridDeployment.all_slow(RedisLike, system2,
+                                      small_trace.record_sizes),
+        )
+        redis_gap = r_slow.runtime_ns / r_fast.runtime_ns
+        assert storage_gap < redis_gap
+
+    def test_bigger_cache_faster(self, system, small_trace):
+        small_cache = StorageBackedStore(
+            system, StorageConfig(cache_fraction=0.05)
+        )
+        big_cache = StorageBackedStore(
+            system, StorageConfig(cache_fraction=0.8)
+        )
+        t_small = small_cache.execute(small_trace, all_fast(small_trace),
+                                      repeats=1, noise_sigma=0.0)
+        t_big = big_cache.execute(small_trace, all_fast(small_trace),
+                                  repeats=1, noise_sigma=0.0)
+        assert t_big.runtime_ns < t_small.runtime_ns
+
+    def test_hit_rate_grows_with_cache(self, system, small_trace):
+        rates = [
+            StorageBackedStore(
+                system, StorageConfig(cache_fraction=f)
+            ).cache_hit_rate(small_trace)
+            for f in (0.05, 0.25, 1.0)
+        ]
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_writes_placement_insensitive(self, system, mixed_trace):
+        store = StorageBackedStore(system)
+        fast = store.execute(mixed_trace, all_fast(mixed_trace),
+                             repeats=1, noise_sigma=0.0)
+        slow = store.execute(mixed_trace, all_slow(mixed_trace),
+                             repeats=1, noise_sigma=0.0)
+        assert fast.avg_write_ns == pytest.approx(slow.avg_write_ns,
+                                                  rel=1e-9)
+        assert fast.avg_read_ns < slow.avg_read_ns
+
+    def test_mask_validation(self, store, small_trace):
+        with pytest.raises(WorkloadError):
+            store.execute(small_trace, np.ones(3, dtype=bool))
+
+    def test_repeats_validation(self, store, small_trace):
+        with pytest.raises(ConfigurationError):
+            store.execute(small_trace, all_fast(small_trace), repeats=0)
+
+    def test_deterministic(self, store, small_trace):
+        a = store.execute(small_trace, all_fast(small_trace), seed=3)
+        b = store.execute(small_trace, all_fast(small_trace), seed=3)
+        assert a.runtime_ns == b.runtime_ns
+
+
+class TestModelBreakage:
+    def test_estimate_error_large(self, system, small_trace):
+        """The headline: Mnemo's uniform-average model degrades by
+        orders of magnitude on a storage-engaged store (Section V-A
+        'Target applications')."""
+        store = StorageBackedStore(system)
+        fast = store.execute(small_trace, all_fast(small_trace),
+                             repeats=1, noise_sigma=0.0)
+        slow = store.execute(small_trace, all_slow(small_trace),
+                             repeats=1, noise_sigma=0.0)
+        read_delta = slow.avg_read_ns - fast.avg_read_ns
+
+        # Mnemo-style estimate at a 30 % hot-first placement
+        counts = np.bincount(small_trace.keys,
+                             minlength=small_trace.n_keys)
+        order = np.argsort(-counts, kind="stable")
+        k = int(0.3 * small_trace.n_keys)
+        mask = np.zeros(small_trace.n_keys, dtype=bool)
+        mask[order[:k]] = True
+        reads_fast = counts[order[:k]].sum()
+        est_runtime = slow.runtime_ns - reads_fast * read_delta
+
+        measured = store.execute(small_trace, mask, repeats=1,
+                                 noise_sigma=0.0)
+        error = abs(measured.runtime_ns - est_runtime) / measured.runtime_ns
+        assert error > 0.01  # percent-scale, vs ~1e-4 for in-memory stores
+
+    def test_profile_exported(self):
+        assert ROCKS_PROFILE.name == "rockslike"

@@ -1,0 +1,148 @@
+"""Tests for the first-fit address-space allocator."""
+
+import pytest
+
+from repro.errors import AllocationError, ConfigurationError
+from repro.memsim import AddressSpaceAllocator, Allocation
+
+
+class TestConstruction:
+    def test_starts_empty(self):
+        a = AddressSpaceAllocator(1000)
+        assert a.used_bytes == 0
+        assert a.free_bytes == 1000
+        assert a.largest_free_block == 1000
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            AddressSpaceAllocator(0)
+
+
+class TestAllocate:
+    def test_first_fit_offsets(self):
+        a = AddressSpaceAllocator(1000)
+        x = a.allocate(100)
+        y = a.allocate(200)
+        assert (x.offset, x.size) == (0, 100)
+        assert (y.offset, y.size) == (100, 200)
+
+    def test_exhaustion_raises(self):
+        a = AddressSpaceAllocator(100)
+        a.allocate(100)
+        with pytest.raises(AllocationError):
+            a.allocate(1)
+
+    def test_fragmented_no_fit_raises(self):
+        a = AddressSpaceAllocator(300)
+        x = a.allocate(100)
+        a.allocate(100)
+        z = a.allocate(100)
+        a.release(x)
+        a.release(z)
+        # 200 free but fragmented into two 100-byte holes
+        assert a.free_bytes == 200
+        with pytest.raises(AllocationError):
+            a.allocate(150)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AddressSpaceAllocator(100).allocate(0)
+
+    def test_skips_too_small_hole(self):
+        a = AddressSpaceAllocator(1000)
+        x = a.allocate(50)
+        a.allocate(100)
+        a.release(x)  # 50-byte hole at 0
+        y = a.allocate(80)  # must skip the hole
+        assert y.offset == 150
+
+
+class TestRelease:
+    def test_release_returns_bytes(self):
+        a = AddressSpaceAllocator(100)
+        x = a.allocate(60)
+        a.release(x)
+        assert a.free_bytes == 100
+
+    def test_double_release_raises(self):
+        a = AddressSpaceAllocator(100)
+        x = a.allocate(60)
+        a.release(x)
+        with pytest.raises(AllocationError):
+            a.release(x)
+
+    def test_bogus_release_raises(self):
+        a = AddressSpaceAllocator(100)
+        with pytest.raises(AllocationError):
+            a.release(Allocation(0, 10))
+
+    def test_wrong_size_release_raises_and_preserves_state(self):
+        a = AddressSpaceAllocator(100)
+        x = a.allocate(60)
+        with pytest.raises(AllocationError):
+            a.release(Allocation(x.offset, 59))
+        assert a.used_bytes == 60  # still live
+
+
+class TestCoalescing:
+    def test_adjacent_holes_merge(self):
+        a = AddressSpaceAllocator(300)
+        x = a.allocate(100)
+        y = a.allocate(100)
+        z = a.allocate(100)
+        a.release(x)
+        a.release(z)
+        a.release(y)  # middle release must merge all three
+        assert a.largest_free_block == 300
+
+    def test_merge_with_successor(self):
+        a = AddressSpaceAllocator(300)
+        x = a.allocate(100)
+        y = a.allocate(100)
+        a.release(y)  # adjacent to trailing free range
+        a.release(x)
+        assert a.largest_free_block == 300
+
+    def test_full_cycle_reusable(self):
+        a = AddressSpaceAllocator(100)
+        for _ in range(10):
+            x = a.allocate(100)
+            a.release(x)
+        assert a.free_bytes == 100
+
+
+class TestIntrospection:
+    def test_fragmentation_zero_when_contiguous(self):
+        a = AddressSpaceAllocator(100)
+        assert a.fragmentation == 0.0
+
+    def test_fragmentation_positive_when_split(self):
+        a = AddressSpaceAllocator(300)
+        x = a.allocate(100)
+        a.allocate(100)
+        z = a.allocate(100)
+        a.release(x)
+        a.release(z)
+        assert 0 < a.fragmentation <= 0.5
+
+    def test_fragmentation_zero_when_full(self):
+        a = AddressSpaceAllocator(100)
+        a.allocate(100)
+        assert a.fragmentation == 0.0
+
+    def test_live_allocations_sorted(self):
+        a = AddressSpaceAllocator(1000)
+        allocs = [a.allocate(s) for s in (10, 20, 30)]
+        a.release(allocs[1])
+        live = a.live_allocations()
+        assert [x.offset for x in live] == [0, 30]
+
+    def test_allocation_end(self):
+        assert Allocation(10, 5).end == 15
+
+    def test_reset(self):
+        a = AddressSpaceAllocator(100)
+        a.allocate(50)
+        a.reset()
+        assert a.free_bytes == 100
+        assert a.live_allocations() == []

@@ -1,0 +1,126 @@
+"""Tests for the LLC LRU model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memsim import LLCModel
+
+
+class TestConstruction:
+    def test_defaults(self):
+        llc = LLCModel()
+        assert llc.capacity_bytes == 12_000_000
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            LLCModel(capacity_bytes=0)
+
+    def test_invalid_hit_latency(self):
+        with pytest.raises(ConfigurationError):
+            LLCModel(hit_latency_ns=-1)
+
+
+class TestAccess:
+    def test_first_access_misses(self):
+        llc = LLCModel(capacity_bytes=1000)
+        assert llc.access(1, 100) is False
+
+    def test_repeat_access_hits(self):
+        llc = LLCModel(capacity_bytes=1000)
+        llc.access(1, 100)
+        assert llc.access(1, 100) is True
+
+    def test_lru_eviction_order(self):
+        llc = LLCModel(capacity_bytes=300)
+        llc.access(1, 100)
+        llc.access(2, 100)
+        llc.access(3, 100)
+        llc.access(4, 100)  # evicts 1
+        assert 1 not in llc
+        assert 2 in llc and 3 in llc and 4 in llc
+
+    def test_hit_refreshes_recency(self):
+        llc = LLCModel(capacity_bytes=300)
+        llc.access(1, 100)
+        llc.access(2, 100)
+        llc.access(3, 100)
+        llc.access(1, 100)  # 1 becomes MRU; 2 is now LRU
+        llc.access(4, 100)  # evicts 2
+        assert 2 not in llc
+        assert 1 in llc
+
+    def test_oversized_record_bypasses(self):
+        llc = LLCModel(capacity_bytes=100)
+        assert llc.access(1, 200) is False
+        assert 1 not in llc
+        assert llc.used_bytes == 0
+
+    def test_used_bytes_tracks_sizes(self):
+        llc = LLCModel(capacity_bytes=1000)
+        llc.access(1, 300)
+        llc.access(2, 200)
+        assert llc.used_bytes == 500
+
+    def test_eviction_frees_enough(self):
+        llc = LLCModel(capacity_bytes=250)
+        llc.access(1, 100)
+        llc.access(2, 100)
+        llc.access(3, 200)  # must evict both
+        assert llc.used_bytes == 200
+        assert llc.resident_keys == 1
+
+
+class TestInvalidate:
+    def test_invalidate_present(self):
+        llc = LLCModel(capacity_bytes=1000)
+        llc.access(1, 100)
+        assert llc.invalidate(1) is True
+        assert llc.used_bytes == 0
+
+    def test_invalidate_absent(self):
+        llc = LLCModel(capacity_bytes=1000)
+        assert llc.invalidate(9) is False
+
+
+class TestStats:
+    def test_hit_rate(self):
+        llc = LLCModel(capacity_bytes=1000)
+        llc.access(1, 10)
+        llc.access(1, 10)
+        llc.access(1, 10)
+        llc.access(2, 10)
+        assert llc.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_empty(self):
+        assert LLCModel().hit_rate == 0.0
+
+    def test_reset(self):
+        llc = LLCModel(capacity_bytes=1000)
+        llc.access(1, 10)
+        llc.reset()
+        assert llc.hits == llc.misses == 0
+        assert llc.used_bytes == 0
+        assert 1 not in llc
+
+
+class TestProcess:
+    def test_batch_matches_scalar(self):
+        keys = np.array([1, 2, 1, 3, 2, 1])
+        sizes = np.array([100, 100, 100, 100, 100, 100])
+        batch = LLCModel(capacity_bytes=250).process(keys, sizes)
+        scalar_llc = LLCModel(capacity_bytes=250)
+        scalar = np.array(
+            [scalar_llc.access(int(k), int(s)) for k, s in zip(keys, sizes)]
+        )
+        assert np.array_equal(batch, scalar)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            LLCModel().process(np.array([1, 2]), np.array([1]))
+
+    def test_hot_trace_mostly_hits(self):
+        keys = np.zeros(1000, dtype=np.int64)
+        sizes = np.full(1000, 100)
+        hits = LLCModel(capacity_bytes=1000).process(keys, sizes)
+        assert hits[1:].all() and not hits[0]

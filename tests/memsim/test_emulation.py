@@ -1,0 +1,71 @@
+"""Tests for the throttling-based emulation presets."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memsim import (
+    MemoryNode,
+    NodeKind,
+    ThrottleFactors,
+    emulated_slow_node,
+    table_i_factors,
+)
+from repro.memsim.emulation import TABLE_I_FAST, TABLE_I_SLOW
+from repro.units import GiB
+
+
+class TestTableIFactors:
+    def test_bandwidth_factor(self):
+        assert table_i_factors().bandwidth == pytest.approx(1.81 / 14.9)
+
+    def test_latency_factor(self):
+        assert table_i_factors().latency == pytest.approx(238.1 / 65.7)
+
+    def test_paper_rounding(self):
+        f = table_i_factors()
+        assert round(f.bandwidth, 2) == 0.12
+        assert round(f.latency, 2) == 3.62
+
+
+class TestThrottleFactors:
+    def test_bandwidth_must_reduce(self):
+        with pytest.raises(ConfigurationError):
+            ThrottleFactors(bandwidth=1.5, latency=2.0)
+
+    def test_latency_must_increase(self):
+        with pytest.raises(ConfigurationError):
+            ThrottleFactors(bandwidth=0.5, latency=0.9)
+
+    def test_identity_edge_allowed(self):
+        f = ThrottleFactors(bandwidth=1.0, latency=1.0)
+        assert f.bandwidth == 1.0
+
+
+class TestEmulatedSlowNode:
+    def _fast(self):
+        return MemoryNode(
+            name="FastMem", kind=NodeKind.FAST,
+            latency_ns=TABLE_I_FAST["latency_ns"],
+            bandwidth_gbps=TABLE_I_FAST["bandwidth_gbps"],
+            capacity_bytes=TABLE_I_FAST["capacity_bytes"],
+        )
+
+    def test_default_matches_table_i(self):
+        slow = emulated_slow_node(self._fast())
+        assert slow.latency_ns == pytest.approx(TABLE_I_SLOW["latency_ns"])
+        assert slow.bandwidth_gbps == pytest.approx(TABLE_I_SLOW["bandwidth_gbps"])
+        assert slow.kind is NodeKind.SLOW
+
+    def test_capacity_defaults_to_fast(self):
+        slow = emulated_slow_node(self._fast())
+        assert slow.capacity_bytes == 4 * GiB
+
+    def test_capacity_override(self):
+        slow = emulated_slow_node(self._fast(), capacity_bytes=16 * GiB)
+        assert slow.capacity_bytes == 16 * GiB
+
+    def test_custom_factors(self):
+        f = ThrottleFactors(bandwidth=0.5, latency=2.0)
+        slow = emulated_slow_node(self._fast(), factors=f)
+        assert slow.latency_ns == pytest.approx(65.7 * 2.0)
+        assert slow.bandwidth_gbps == pytest.approx(14.9 * 0.5)

@@ -1,0 +1,74 @@
+"""Tests for the access-time model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memsim import AccessTimer, NoiseModel
+
+
+def times(timer, sizes, lat=100.0, bpns=1.0, passes=1.0, cpu=0.0, **kw):
+    n = np.asarray(sizes, dtype=np.float64)
+    return timer.request_times_ns(
+        n, np.full(n.shape, lat), np.full(n.shape, bpns),
+        np.full(n.shape, passes), np.full(n.shape, cpu), **kw,
+    )
+
+
+class TestNoiseModel:
+    def test_zero_sigma_identity(self):
+        t = np.array([1.0, 2.0, 3.0])
+        out = NoiseModel(sigma=0.0).apply(t, np.random.default_rng(0))
+        assert out is t
+
+    def test_noise_perturbs(self):
+        t = np.ones(1000)
+        out = NoiseModel(sigma=0.05).apply(t, np.random.default_rng(0))
+        assert not np.array_equal(out, t)
+        assert out.mean() == pytest.approx(1.0, rel=0.01)
+
+    def test_noise_never_negative(self):
+        t = np.ones(10_000)
+        out = NoiseModel(sigma=2.0).apply(t, np.random.default_rng(0))
+        assert (out > 0).all()
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NoiseModel(sigma=-0.1)
+
+
+class TestAccessTimer:
+    def test_noiseless_formula(self):
+        timer = AccessTimer(noise=NoiseModel(sigma=0.0))
+        out = times(timer, [1000.0], lat=100.0, bpns=2.0, passes=3.0, cpu=50.0)
+        assert out[0] == pytest.approx(50.0 + 3.0 * (100.0 + 500.0))
+
+    def test_zero_passes_is_cpu_only(self):
+        timer = AccessTimer(noise=NoiseModel(sigma=0.0))
+        out = times(timer, [1000.0], passes=0.0, cpu=77.0)
+        assert out[0] == pytest.approx(77.0)
+
+    def test_cache_hit_replaces_memory_term(self):
+        timer = AccessTimer(noise=NoiseModel(sigma=0.0))
+        out = times(
+            timer, [1000.0, 1000.0], lat=100.0, bpns=1.0, passes=1.0, cpu=10.0,
+            cached=np.array([True, False]), cache_latency_ns=12.0,
+        )
+        assert out[0] == pytest.approx(22.0)
+        assert out[1] == pytest.approx(1110.0)
+
+    def test_noisy_flag_disables_noise(self):
+        timer = AccessTimer(noise=NoiseModel(sigma=0.5), seed=1)
+        a = times(timer, np.ones(100) * 100, noisy=False)
+        assert np.allclose(a, a[0])
+
+    def test_seeded_noise_reproducible(self):
+        a = times(AccessTimer(seed=9), np.ones(50) * 100)
+        b = times(AccessTimer(seed=9), np.ones(50) * 100)
+        assert np.array_equal(a, b)
+
+    def test_vector_shapes_preserved(self):
+        timer = AccessTimer(noise=NoiseModel(sigma=0.0))
+        out = times(timer, np.arange(1, 11, dtype=float))
+        assert out.shape == (10,)
+        assert (np.diff(out) > 0).all()  # bigger transfers take longer

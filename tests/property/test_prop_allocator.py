@@ -1,0 +1,75 @@
+"""Property-based tests for the address-space allocator."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.errors import AllocationError
+from repro.memsim import AddressSpaceAllocator
+
+
+class AllocatorMachine(RuleBasedStateMachine):
+    """Random alloc/free interleavings preserve accounting invariants."""
+
+    def __init__(self):
+        super().__init__()
+        self.capacity = 10_000
+        self.alloc = AddressSpaceAllocator(self.capacity)
+        self.live = []
+
+    @rule(size=st.integers(min_value=1, max_value=3_000))
+    def allocate(self, size):
+        try:
+            a = self.alloc.allocate(size)
+        except AllocationError:
+            # legitimate only when no single free block fits
+            assert self.alloc.largest_free_block < size
+            return
+        self.live.append(a)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def release(self, data):
+        i = data.draw(st.integers(min_value=0, max_value=len(self.live) - 1))
+        self.alloc.release(self.live.pop(i))
+
+    @invariant()
+    def used_matches_live(self):
+        assert self.alloc.used_bytes == sum(a.size for a in self.live)
+
+    @invariant()
+    def free_plus_used_is_capacity(self):
+        assert self.alloc.free_bytes + self.alloc.used_bytes == self.capacity
+
+    @invariant()
+    def no_overlaps(self):
+        ranges = sorted((a.offset, a.end) for a in self.live)
+        for (_, end1), (start2, _) in zip(ranges, ranges[1:]):
+            assert end1 <= start2
+
+    @invariant()
+    def within_bounds(self):
+        for a in self.live:
+            assert 0 <= a.offset and a.end <= self.capacity
+
+
+TestAllocatorStateMachine = AllocatorMachine.TestCase
+TestAllocatorStateMachine.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)
+
+
+class TestAllocateAll:
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=500),
+                          min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_sequential_fill_then_drain(self, sizes):
+        total = sum(sizes)
+        alloc = AddressSpaceAllocator(total)
+        allocations = [alloc.allocate(s) for s in sizes]
+        assert alloc.free_bytes == 0
+        for a in allocations:
+            alloc.release(a)
+        assert alloc.free_bytes == total
+        assert alloc.largest_free_block == total  # fully coalesced

@@ -1,0 +1,73 @@
+"""Property-based tests for the LLC LRU model."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.memsim import LLCModel
+
+
+@st.composite
+def traces(draw):
+    n_keys = draw(st.integers(min_value=1, max_value=20))
+    length = draw(st.integers(min_value=1, max_value=200))
+    keys = draw(st.lists(st.integers(0, n_keys - 1),
+                         min_size=length, max_size=length))
+    sizes = {k: draw(st.integers(min_value=1, max_value=400))
+             for k in set(keys)}
+    return keys, sizes
+
+
+class ReferenceLRU:
+    """Textbook LRU over (key, size) for differential testing."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.order = []  # LRU ... MRU
+        self.sizes = {}
+
+    def access(self, key, size):
+        if key in self.sizes:
+            self.order.remove(key)
+            self.order.append(key)
+            return True
+        if size > self.capacity:
+            return False
+        self.sizes[key] = size
+        self.order.append(key)
+        while sum(self.sizes.values()) > self.capacity:
+            victim = self.order.pop(0)
+            del self.sizes[victim]
+        return False
+
+
+class TestDifferential:
+    @given(trace=traces(), capacity=st.integers(min_value=1, max_value=2_000))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_reference_lru(self, trace, capacity):
+        keys, sizes = trace
+        model = LLCModel(capacity_bytes=capacity)
+        ref = ReferenceLRU(capacity)
+        for k in keys:
+            assert model.access(k, sizes[k]) == ref.access(k, sizes[k])
+        assert model.used_bytes == sum(ref.sizes.values())
+        assert model.resident_keys == len(ref.sizes)
+
+
+class TestInvariants:
+    @given(trace=traces(), capacity=st.integers(min_value=1, max_value=1_000))
+    @settings(max_examples=100, deadline=None)
+    def test_never_exceeds_capacity(self, trace, capacity):
+        keys, sizes = trace
+        model = LLCModel(capacity_bytes=capacity)
+        for k in keys:
+            model.access(k, sizes[k])
+            assert model.used_bytes <= capacity
+
+    @given(trace=traces())
+    @settings(max_examples=100, deadline=None)
+    def test_hits_plus_misses_is_accesses(self, trace):
+        keys, sizes = trace
+        model = LLCModel(capacity_bytes=500)
+        for k in keys:
+            model.access(k, sizes[k])
+        assert model.hits + model.misses == len(keys)

@@ -1,0 +1,93 @@
+"""Property-based tests for the cost model, knapsack and estimate curve."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.knapsack import dp_knapsack, greedy_knapsack
+from repro.cost import capacity_for_cost, cost_reduction_factor
+
+
+class TestCostModelProperties:
+    @given(
+        total=st.integers(min_value=1, max_value=10**12),
+        frac=st.floats(min_value=0.0, max_value=1.0),
+        p=st.floats(min_value=0.01, max_value=0.99),
+    )
+    @settings(max_examples=200)
+    def test_factor_bounded_by_p_and_one(self, total, frac, p):
+        fast = int(frac * total)
+        r = cost_reduction_factor(fast, total, p)
+        assert p - 1e-12 <= r <= 1 + 1e-12
+
+    @given(
+        total=st.integers(min_value=100, max_value=10**9),
+        f1=st.floats(min_value=0.0, max_value=1.0),
+        f2=st.floats(min_value=0.0, max_value=1.0),
+        p=st.floats(min_value=0.01, max_value=0.99),
+    )
+    @settings(max_examples=200)
+    def test_monotone_in_fast_share(self, total, f1, f2, p):
+        lo, hi = sorted([int(f1 * total), int(f2 * total)])
+        assert (cost_reduction_factor(lo, total, p)
+                <= cost_reduction_factor(hi, total, p) + 1e-12)
+
+    @given(
+        total=st.integers(min_value=100, max_value=10**9),
+        frac=st.floats(min_value=0.0, max_value=1.0),
+        p=st.floats(min_value=0.01, max_value=0.99),
+    )
+    @settings(max_examples=200)
+    def test_inverse_roundtrip(self, total, frac, p):
+        fast = frac * total
+        r = cost_reduction_factor(fast, total, p)
+        back = capacity_for_cost(min(1.0, max(p, r)), total, p)
+        assert back == pytest.approx(fast, rel=1e-9, abs=1e-6)
+
+
+@st.composite
+def knapsack_instances(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    values = draw(st.lists(st.floats(min_value=0, max_value=100),
+                           min_size=n, max_size=n))
+    sizes = draw(st.lists(st.integers(min_value=1, max_value=30),
+                          min_size=n, max_size=n))
+    capacity = draw(st.integers(min_value=0, max_value=sum(sizes)))
+    return np.array(values), np.array(sizes), capacity
+
+
+class TestKnapsackProperties:
+    @given(instance=knapsack_instances())
+    @settings(max_examples=100, deadline=None)
+    def test_both_solvers_respect_capacity(self, instance):
+        values, sizes, cap = instance
+        for solver in (greedy_knapsack, dp_knapsack):
+            chosen = solver(values, sizes, cap)
+            assert sizes[chosen].sum() <= cap if chosen.size else True
+
+    @given(instance=knapsack_instances())
+    @settings(max_examples=100, deadline=None)
+    def test_dp_optimal_vs_bruteforce(self, instance):
+        values, sizes, cap = instance
+        n = values.size
+        best = 0.0
+        for mask in range(1 << n):
+            idx = [i for i in range(n) if mask >> i & 1]
+            if sizes[idx].sum() <= cap:
+                best = max(best, float(values[idx].sum()))
+        chosen = dp_knapsack(values, sizes, cap)
+        got = float(values[chosen].sum()) if chosen.size else 0.0
+        # dp uses ceil-scaled sizes, so it is optimal on small exact grids
+        assert got <= best + 1e-9
+        if sizes.max() <= 512:  # no scaling distortion in this regime
+            assert got == pytest.approx(best)
+
+    @given(instance=knapsack_instances())
+    @settings(max_examples=100, deadline=None)
+    def test_chosen_indices_unique_and_valid(self, instance):
+        values, sizes, cap = instance
+        chosen = greedy_knapsack(values, sizes, cap)
+        assert len(set(chosen.tolist())) == chosen.size
+        if chosen.size:
+            assert chosen.min() >= 0 and chosen.max() < values.size

@@ -1,0 +1,68 @@
+"""Property-based tests for the Mnemo pipeline invariants."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core import Mnemo, min_cost_for_slowdown
+from repro.kvstore import RedisLike
+from repro.ycsb import YCSBClient, generate_trace
+from repro.ycsb.distributions import DistributionSpec
+from repro.ycsb.sizes import SizeModel
+from repro.ycsb.workload import WorkloadSpec
+
+
+@st.composite
+def workload_specs(draw):
+    dist = draw(st.sampled_from(
+        ["zipfian", "scrambled_zipfian", "hotspot", "uniform", "latest"]
+    ))
+    return WorkloadSpec(
+        name=f"prop_{dist}",
+        distribution=DistributionSpec(name=dist),
+        read_fraction=draw(st.sampled_from([1.0, 0.5, 0.8])),
+        size_model=SizeModel(
+            name="s",
+            median_bytes=draw(st.sampled_from([1_000, 10_000, 100_000])),
+            sigma=draw(st.sampled_from([0.0, 0.3])),
+        ),
+        n_keys=draw(st.integers(min_value=10, max_value=80)),
+        n_requests=draw(st.integers(min_value=50, max_value=600)),
+        seed=draw(st.integers(min_value=0, max_value=1_000)),
+    )
+
+
+def profile(spec):
+    client = YCSBClient(repeats=1, noise_sigma=0.0)
+    trace = generate_trace(spec)
+    return Mnemo(engine_factory=RedisLike, client=client).profile(trace)
+
+
+class TestPipelineInvariants:
+    @given(spec=workload_specs())
+    @settings(max_examples=25, deadline=None)
+    def test_curve_monotone_for_any_workload(self, spec):
+        curve = profile(spec).curve
+        assert (np.diff(curve.runtime_ns) <= 1e-6).all()
+        assert (np.diff(curve.cost_factor) >= 0).all()
+        assert abs(curve.cost_factor[0] - 0.2) < 1e-12
+        assert abs(curve.cost_factor[-1] - 1.0) < 1e-12
+
+    @given(spec=workload_specs())
+    @settings(max_examples=25, deadline=None)
+    def test_endpoints_telescope_to_baselines(self, spec):
+        report = profile(spec)
+        b = report.baselines
+        assert np.isclose(report.curve.runtime_ns[0], b.slow_runtime_ns)
+        assert np.isclose(report.curve.runtime_ns[-1], b.fast_runtime_ns,
+                          rtol=1e-9)
+
+    @given(spec=workload_specs(),
+           slack=st.sampled_from([0.01, 0.05, 0.10, 0.25]))
+    @settings(max_examples=25, deadline=None)
+    def test_slo_choice_always_feasible(self, spec, slack):
+        curve = profile(spec).curve
+        choice = min_cost_for_slowdown(curve, slack)
+        assert 0 <= choice.n_fast_keys <= curve.n_keys
+        assert choice.slowdown <= slack + 1e-9
+        assert 0.2 - 1e-12 <= choice.cost_factor <= 1.0 + 1e-12

@@ -1,0 +1,80 @@
+"""Property-based tests for the queueing simulator.
+
+The vectorized FIFO recurrence is differential-tested against a naive
+sequential implementation, and classic queueing invariants are checked
+on random arrival/service processes.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+
+def vectorized_sojourns(arrivals: np.ndarray, service: np.ndarray):
+    """The production recurrence (mirrors repro.queueing.openloop)."""
+    csum = np.cumsum(service)
+    base = arrivals - (csum - service)
+    completion = csum + np.maximum.accumulate(base)
+    return completion - arrivals, completion
+
+
+def naive_sojourns(arrivals: np.ndarray, service: np.ndarray):
+    """Textbook sequential FIFO simulation."""
+    completion = np.empty_like(service)
+    prev = 0.0
+    for i in range(service.size):
+        start = max(arrivals[i], prev)
+        prev = start + service[i]
+        completion[i] = prev
+    return completion - arrivals, completion
+
+
+@st.composite
+def queue_instances(draw):
+    n = draw(st.integers(min_value=1, max_value=200))
+    gaps = draw(st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=n, max_size=n,
+    ))
+    service = draw(st.lists(
+        st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+        min_size=n, max_size=n,
+    ))
+    return np.cumsum(gaps), np.array(service)
+
+
+class TestDifferential:
+    @given(instance=queue_instances())
+    @settings(max_examples=200, deadline=None)
+    def test_matches_naive_fifo(self, instance):
+        arrivals, service = instance
+        v_soj, v_comp = vectorized_sojourns(arrivals, service)
+        n_soj, n_comp = naive_sojourns(arrivals, service)
+        assert np.allclose(v_comp, n_comp)
+        assert np.allclose(v_soj, n_soj)
+
+
+class TestInvariants:
+    @given(instance=queue_instances())
+    @settings(max_examples=200, deadline=None)
+    def test_sojourn_at_least_service(self, instance):
+        arrivals, service = instance
+        sojourn, _ = vectorized_sojourns(arrivals, service)
+        assert (sojourn >= service - 1e-9).all()
+
+    @given(instance=queue_instances())
+    @settings(max_examples=200, deadline=None)
+    def test_completions_monotone(self, instance):
+        arrivals, service = instance
+        _, completion = vectorized_sojourns(arrivals, service)
+        assert (np.diff(completion) >= -1e-9).all()
+
+    @given(instance=queue_instances())
+    @settings(max_examples=200, deadline=None)
+    def test_work_conservation(self, instance):
+        """The server never finishes before all work that arrived."""
+        arrivals, service = instance
+        _, completion = vectorized_sojourns(arrivals, service)
+        assert completion[-1] >= arrivals[-1] + service[-1] - 1e-9
+        assert completion[-1] >= service.sum() * (1 - 1e-12) or \
+            arrivals[-1] > 0  # idling only if arrivals were spaced

@@ -1,0 +1,66 @@
+"""Property-based round-trip tests for trace persistence and adapters."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.ycsb import load_trace_csv, save_trace_csv
+from repro.ycsb.adapters import from_requests
+from repro.ycsb.workload import Trace
+
+
+@st.composite
+def traces(draw):
+    n_keys = draw(st.integers(min_value=1, max_value=30))
+    n_req = draw(st.integers(min_value=1, max_value=150))
+    keys = draw(st.lists(st.integers(0, n_keys - 1),
+                         min_size=n_req, max_size=n_req))
+    is_read = draw(st.lists(st.booleans(), min_size=n_req, max_size=n_req))
+    sizes = draw(st.lists(st.integers(min_value=1, max_value=10**6),
+                          min_size=n_keys, max_size=n_keys))
+    return Trace(
+        name="prop",
+        keys=np.array(keys, dtype=np.int64),
+        is_read=np.array(is_read, dtype=bool),
+        record_sizes=np.array(sizes, dtype=np.int64),
+    )
+
+
+class TestCsvRoundtrip:
+    @given(trace=traces())
+    @settings(max_examples=40, deadline=None)
+    def test_save_load_identity(self, trace, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("roundtrip")
+        req, data = save_trace_csv(trace, tmp)
+        loaded = load_trace_csv(req, data)
+        assert np.array_equal(loaded.keys, trace.keys)
+        assert np.array_equal(loaded.is_read, trace.is_read)
+        assert np.array_equal(loaded.record_sizes, trace.record_sizes)
+
+
+class TestAdapterProperties:
+    @given(trace=traces())
+    @settings(max_examples=60, deadline=None)
+    def test_adapting_dense_trace_is_relabelling(self, trace):
+        """Feeding a dense trace through the adapter yields an
+        isomorphic trace (keys renamed to first-touch order)."""
+        ops = np.where(trace.is_read, "GET", "SET")
+        adapted = from_requests(
+            trace.keys.tolist(), ops.tolist(),
+            trace.record_sizes[trace.keys].tolist(),
+        )
+        # request count and op pattern survive
+        assert adapted.n_requests == trace.n_requests
+        assert np.array_equal(adapted.is_read, trace.is_read)
+        # per-request sizes survive the relabelling (sizes are
+        # per-key constants here, so max-policy is lossless)
+        assert np.array_equal(
+            adapted.record_sizes[adapted.keys],
+            trace.record_sizes[trace.keys],
+        )
+        # same-key requests stay same-key, distinct stay distinct
+        a, b = adapted.keys, trace.keys
+        for i in range(min(30, a.size)):
+            same_a = a == a[i]
+            same_b = b == b[i]
+            assert np.array_equal(same_a, same_b)

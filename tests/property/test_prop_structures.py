@@ -1,0 +1,87 @@
+"""Property-based tests for the hash index and B-tree (model-based)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.errors import KeyNotFoundError
+from repro.kvstore import BTree, HashIndex
+
+
+class IndexMachine(RuleBasedStateMachine):
+    """Differential test of both index structures against a dict."""
+
+    def __init__(self):
+        super().__init__()
+        self.hash = HashIndex(initial_capacity=8)
+        self.tree = BTree(order=4)
+        self.model = {}
+
+    @rule(key=st.integers(min_value=0, max_value=50),
+          value=st.integers())
+    def insert(self, key, value):
+        new = key not in self.model
+        assert self.hash.insert(key, value) == new
+        assert self.tree.insert(key, value) == new
+        self.model[key] = value
+
+    @rule(key=st.integers(min_value=0, max_value=50))
+    def lookup(self, key):
+        if key in self.model:
+            assert self.hash.lookup(key) == self.model[key]
+            assert self.tree.lookup(key) == self.model[key]
+        else:
+            for idx in (self.hash, self.tree):
+                try:
+                    idx.lookup(key)
+                    raise AssertionError("expected KeyNotFoundError")
+                except KeyNotFoundError:
+                    pass
+
+    @rule(key=st.integers(min_value=0, max_value=50))
+    def remove(self, key):
+        if key in self.model:
+            expected = self.model.pop(key)
+            assert self.hash.remove(key) == expected
+            assert self.tree.remove(key) == expected
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.hash) == len(self.tree) == len(self.model)
+
+    @invariant()
+    def iteration_agrees(self):
+        assert sorted(self.hash) == sorted(self.model)
+        assert [k for k, _ in self.tree.items()] == sorted(self.model)
+
+    @invariant()
+    def tree_structure_valid(self):
+        self.tree.check_invariants()
+
+
+TestIndexStateMachine = IndexMachine.TestCase
+TestIndexStateMachine.settings = settings(
+    max_examples=20, stateful_step_count=50, deadline=None
+)
+
+
+class TestBulkProperties:
+    @given(keys=st.lists(st.integers(min_value=0, max_value=10_000),
+                         min_size=1, max_size=300, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_btree_sorted_iteration(self, keys):
+        tree = BTree(order=8)
+        for k in keys:
+            tree.insert(k, k)
+        assert [k for k, _ in tree.items()] == sorted(keys)
+
+    @given(keys=st.lists(st.integers(min_value=0, max_value=10_000),
+                         min_size=1, max_size=300, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_hashindex_membership(self, keys):
+        idx = HashIndex()
+        for k in keys:
+            idx.insert(k, k * 3)
+        assert sorted(idx) == sorted(keys)
+        for k in keys:
+            assert idx.lookup(k) == k * 3

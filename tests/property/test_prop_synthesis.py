@@ -1,0 +1,87 @@
+"""Property-based tests for workload synthesis and drift analysis."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.drift import drift_score, static_placement_regret
+from repro.ycsb import generate_trace
+from repro.ycsb.distributions import DistributionSpec
+from repro.ycsb.sizes import SizeModel
+from repro.ycsb.synthesis import fit_trace, synthesize
+from repro.ycsb.workload import WorkloadSpec
+
+
+@st.composite
+def specs(draw):
+    dist = draw(st.sampled_from(
+        ["zipfian", "scrambled_zipfian", "hotspot", "uniform", "latest"]
+    ))
+    return WorkloadSpec(
+        name=f"prop_synth_{dist}",
+        distribution=DistributionSpec(name=dist),
+        read_fraction=draw(st.sampled_from([1.0, 0.7, 0.5])),
+        size_model=SizeModel(
+            name="s",
+            median_bytes=draw(st.sampled_from([1_000, 30_000, 100_000])),
+            sigma=draw(st.sampled_from([0.0, 0.2, 0.5])),
+        ),
+        n_keys=draw(st.integers(min_value=50, max_value=400)),
+        n_requests=draw(st.integers(min_value=500, max_value=4_000)),
+        seed=draw(st.integers(min_value=0, max_value=500)),
+    )
+
+
+class TestSynthesisProperties:
+    @given(spec=specs())
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_preserves_scale(self, spec):
+        trace = generate_trace(spec)
+        synth = synthesize(fit_trace(trace), seed=1)
+        assert synth.n_keys == trace.n_keys
+        assert synth.n_requests == trace.n_requests
+
+    @given(spec=specs())
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_preserves_read_fraction(self, spec):
+        trace = generate_trace(spec)
+        synth = synthesize(fit_trace(trace), seed=1)
+        assert abs(synth.read_fraction - trace.read_fraction) < 0.08
+
+    @given(spec=specs())
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_preserves_size_scale(self, spec):
+        trace = generate_trace(spec)
+        synth = synthesize(fit_trace(trace), seed=1)
+        real_med = float(np.median(trace.record_sizes))
+        synth_med = float(np.median(synth.record_sizes))
+        assert 0.7 * real_med <= synth_med <= 1.4 * real_med
+
+    @given(spec=specs())
+    @settings(max_examples=30, deadline=None)
+    def test_characterisation_is_valid_spec_material(self, spec):
+        """The fitted distribution always passes DistributionSpec
+        validation (clips stay inside legal ranges)."""
+        c = fit_trace(generate_trace(spec))
+        assert c.distribution.name in (
+            "zipfian", "scrambled_zipfian", "hotspot", "uniform", "latest",
+            "sequential",
+        )
+
+
+class TestDriftProperties:
+    @given(spec=specs(), windows=st.sampled_from([2, 5, 10]))
+    @settings(max_examples=30, deadline=None)
+    def test_drift_bounded(self, spec, windows):
+        trace = generate_trace(spec)
+        assert 0.0 <= drift_score(trace, n_windows=windows) <= 1.0
+
+    @given(spec=specs(),
+           frac=st.sampled_from([0.1, 0.3, 0.7, 1.0]))
+    @settings(max_examples=30, deadline=None)
+    def test_oracle_never_below_static(self, spec, frac):
+        trace = generate_trace(spec)
+        r = static_placement_regret(trace, capacity_fraction=frac,
+                                    n_windows=5)
+        assert r.oracle_hit_fraction >= r.static_hit_fraction - 1e-9
+        assert 0.0 <= r.regret <= 1.0

@@ -1,0 +1,86 @@
+"""Tests for the open-loop queueing simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kvstore import HybridDeployment, RedisLike
+from repro.memsim import HybridMemorySystem
+from repro.queueing import OpenLoopResult, simulate_open_loop, tail_blowup_ratio
+from repro.ycsb import YCSBClient
+
+
+@pytest.fixture
+def deployment(small_trace):
+    return HybridDeployment.all_slow(
+        RedisLike, HybridMemorySystem.testbed(), small_trace.record_sizes
+    )
+
+
+class TestSimulation:
+    def test_result_shape(self, small_trace, deployment):
+        result = simulate_open_loop(small_trace, deployment, 0.7, seed=1)
+        assert isinstance(result, OpenLoopResult)
+        assert result.utilization == 0.7
+        assert result.p50_ns <= result.p95_ns <= result.p99_ns
+        assert result.avg_sojourn_ns >= result.avg_service_ns
+
+    def test_sojourn_at_least_service(self, small_trace, deployment):
+        result = simulate_open_loop(small_trace, deployment, 0.3, seed=1)
+        assert result.avg_wait_ns >= 0
+
+    def test_low_load_barely_queues(self, small_trace, deployment):
+        result = simulate_open_loop(small_trace, deployment, 0.05, seed=1)
+        assert result.avg_sojourn_ns == pytest.approx(
+            result.avg_service_ns, rel=0.05
+        )
+        assert result.max_queue_depth <= 3
+
+    def test_high_load_queues_heavily(self, small_trace, deployment):
+        lo = simulate_open_loop(small_trace, deployment, 0.3, seed=1)
+        hi = simulate_open_loop(small_trace, deployment, 0.95, seed=1)
+        assert hi.avg_sojourn_ns > 2 * lo.avg_sojourn_ns
+        assert hi.max_queue_depth > lo.max_queue_depth
+
+    def test_mm1_like_waiting_time(self, small_trace):
+        """With near-deterministic service, the mean wait approaches the
+        M/D/1 prediction rho/(2(1-rho)) * E[s]."""
+        dep = HybridDeployment.all_slow(
+            RedisLike, HybridMemorySystem.testbed(),
+            small_trace.record_sizes,
+        )
+        client = YCSBClient(repeats=1, noise_sigma=0.0, seed=2)
+        rho = 0.6
+        result = simulate_open_loop(small_trace, dep, rho, client=client,
+                                    seed=3)
+        # service times vary a little with record size; allow a band
+        md1_wait = rho / (2 * (1 - rho)) * result.avg_service_ns
+        assert result.avg_wait_ns == pytest.approx(md1_wait, rel=0.35)
+
+    def test_utilization_validated(self, small_trace, deployment):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ConfigurationError):
+                simulate_open_loop(small_trace, deployment, bad)
+
+    def test_deterministic_given_seed(self, small_trace, deployment):
+        a = simulate_open_loop(
+            small_trace, deployment, 0.8,
+            client=YCSBClient(seed=5), seed=5,
+        )
+        b = simulate_open_loop(
+            small_trace, deployment, 0.8,
+            client=YCSBClient(seed=5), seed=5,
+        )
+        assert a.p99_ns == b.p99_ns
+
+
+class TestTailBlowup:
+    def test_tail_explodes_near_saturation(self, small_trace, deployment):
+        """The Fig 8d/8e point: averages cannot see this."""
+        ratio = tail_blowup_ratio(small_trace, deployment, 0.5, 0.95,
+                                  client=YCSBClient(seed=7), seed=7)
+        assert ratio > 3.0
+
+    def test_tail_inflation_property(self, small_trace, deployment):
+        result = simulate_open_loop(small_trace, deployment, 0.9, seed=1)
+        assert result.tail_inflation > 2.0

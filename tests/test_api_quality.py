@@ -1,0 +1,73 @@
+"""API quality gates: documentation and export hygiene.
+
+Walks every public module of :mod:`repro` and asserts (a) all public
+classes and functions carry docstrings, and (b) every name listed in an
+``__all__`` actually resolves — keeping the release-quality bar the
+README promises.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+#: Names exempt from the docstring requirement (dataclass autogen etc.).
+_EXEMPT = frozenset({"__init__"})
+
+
+def _public_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if any(part.startswith("_") for part in info.name.split(".")[1:]):
+            continue
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(_public_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"{module.__name__} lacks a module docstring"
+    )
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_callables_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its home
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+        if inspect.isclass(obj):
+            for mname, member in vars(obj).items():
+                if mname.startswith("_") or mname in _EXEMPT:
+                    continue
+                if not (inspect.isfunction(member)
+                        or isinstance(member, property)):
+                    continue
+                doc = (member.fget.__doc__ if isinstance(member, property)
+                       else member.__doc__)
+                if not (doc and doc.strip()):
+                    undocumented.append(f"{name}.{mname}")
+    assert not undocumented, (
+        f"{module.__name__}: missing docstrings on {undocumented}"
+    )
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_all_exports_resolve(module):
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        return
+    missing = [name for name in exported if not hasattr(module, name)]
+    assert not missing, f"{module.__name__}.__all__ lists missing {missing}"

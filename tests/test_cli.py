@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.ycsb import generate_trace, save_trace_csv, workload_by_name
+
+
+@pytest.fixture
+def small_csvs(tmp_path):
+    trace = generate_trace(
+        workload_by_name("trending").scaled(n_keys=100, n_requests=1_000)
+    )
+    return save_trace_csv(trace, tmp_path)
+
+
+class TestWorkloads:
+    def test_lists_table_iii(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("trending", "news_feed", "timeline", "edit_thumbnail",
+                     "trending_preview"):
+            assert name in out
+
+
+class TestProfile:
+    def test_builtin_workload(self, capsys):
+        rc = main(["profile", "--workload", "trending",
+                   "--downsample", "20", "--repeats", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "throughput gap" in out
+        assert "slowdown SLO" in out
+
+    def test_csv_descriptor_input(self, small_csvs, capsys, tmp_path):
+        req, data = small_csvs
+        out_csv = tmp_path / "curve.csv"
+        rc = main(["profile", "--requests", str(req), "--dataset", str(data),
+                   "--csv", str(out_csv), "--repeats", "1"])
+        assert rc == 0
+        assert out_csv.exists()
+        header = out_csv.read_text().splitlines()[0]
+        assert header == "key,estimated_throughput_ops_s,cost_factor"
+
+    def test_plot_flag(self, small_csvs, capsys):
+        req, data = small_csvs
+        rc = main(["profile", "--requests", str(req), "--dataset", str(data),
+                   "--plot", "--repeats", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cost factor (fraction of FastMem-only cost)" in out
+
+    def test_weight_mode(self, small_csvs, capsys):
+        req, data = small_csvs
+        rc = main(["profile", "--requests", str(req), "--dataset", str(data),
+                   "--mode", "weight", "--repeats", "1"])
+        assert rc == 0
+        assert "weight" in capsys.readouterr().out
+
+    def test_missing_input_errors(self, capsys):
+        rc = main(["profile"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_conflicting_input_errors(self, small_csvs, capsys):
+        req, data = small_csvs
+        rc = main(["profile", "--workload", "trending",
+                   "--requests", str(req), "--dataset", str(data)])
+        assert rc == 2
+
+    def test_unknown_workload_errors(self, capsys):
+        rc = main(["profile", "--workload", "nope"])
+        assert rc == 2
+
+
+class TestCompare:
+    def test_compare_lists_engines(self, capsys, monkeypatch):
+        # shrink the workload for test speed by monkeypatching the lookup
+        import repro.cli as cli_mod
+
+        original = cli_mod.generate_trace
+
+        def small_generate(spec):
+            return original(spec.scaled(n_keys=100, n_requests=1_000))
+
+        monkeypatch.setattr(cli_mod, "generate_trace", small_generate)
+        rc = main(["compare", "--workload", "trending"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for engine in ("redis", "memcached", "dynamodb"):
+            assert engine in out
+
+
+class TestPricing:
+    def test_pricing_table(self, capsys):
+        assert main(["pricing"]) == 0
+        out = capsys.readouterr().out
+        assert "cache.r5.large" in out
+        assert "n1-ultramem-40" in out
+        assert "M128ms" in out

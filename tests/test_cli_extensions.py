@@ -1,0 +1,67 @@
+"""Tests for the extension CLI subcommands (drift / retier / multitier)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def small_workloads(monkeypatch):
+    """Shrink the built-in workloads so CLI tests stay fast."""
+    import repro.cli as cli_mod
+
+    original = cli_mod.generate_trace
+
+    def small_generate(spec):
+        return original(spec.scaled(n_keys=200, n_requests=4_000))
+
+    monkeypatch.setattr(cli_mod, "generate_trace", small_generate)
+
+
+class TestDriftCommand:
+    def test_stationary_workload(self, capsys):
+        assert main(["drift", "--workload", "trending"]) == 0
+        out = capsys.readouterr().out
+        assert "drift" in out
+        assert "static placement" in out
+
+    def test_drifting_workload(self, capsys):
+        assert main(["drift", "--workload", "news_feed",
+                     "--capacity", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "dynamic tiering" in out or "drifts" in out
+
+    def test_unknown_workload(self, capsys):
+        assert main(["drift", "--workload", "nope"]) == 2
+
+
+class TestRetierCommand:
+    def test_static_verdict(self, capsys):
+        assert main(["retier", "--workload", "trending"]) == 0
+        out = capsys.readouterr().out
+        assert "stay static" in out
+
+    def test_migrate_verdict(self, capsys):
+        assert main(["retier", "--workload", "news_feed",
+                     "--capacity", "0.15"]) == 0
+        out = capsys.readouterr().out
+        assert "net speedup" in out
+
+    def test_engine_option(self, capsys):
+        assert main(["retier", "--workload", "trending",
+                     "--engine", "memcached"]) == 0
+        assert "memcached" in capsys.readouterr().out
+
+
+class TestMultitierCommand:
+    def test_frontier_and_choice(self, capsys):
+        assert main(["multitier", "--workload", "timeline",
+                     "--grid", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "DRAM" in out
+        assert "choice @10% SLO" in out
+
+    def test_custom_slo(self, capsys):
+        assert main(["multitier", "--workload", "timeline",
+                     "--grid", "6", "--slo", "0.25"]) == 0
+        assert "choice @25% SLO" in capsys.readouterr().out

@@ -1,0 +1,67 @@
+"""Tests for repro.rng."""
+
+import numpy as np
+import pytest
+
+from repro import rng as rng_mod
+from repro.rng import DEFAULT_SEED, derive_seed, ensure_rng, spawn
+
+
+class TestEnsureRng:
+    def test_none_uses_default_seed(self):
+        a = ensure_rng(None).integers(0, 1 << 30, 10)
+        b = ensure_rng(DEFAULT_SEED).integers(0, 1 << 30, 10)
+        assert np.array_equal(a, b)
+
+    def test_int_seed_deterministic(self):
+        assert np.array_equal(
+            ensure_rng(123).random(5), ensure_rng(123).random(5)
+        )
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            ensure_rng(1).random(5), ensure_rng(2).random(5)
+        )
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        children = spawn(ensure_rng(5), 4)
+        assert len(children) == 4
+
+    def test_spawn_streams_independent(self):
+        a, b = spawn(ensure_rng(5), 2)
+        assert not np.array_equal(a.random(8), b.random(8))
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn(ensure_rng(5), -1)
+
+    def test_spawn_deterministic(self):
+        a1, _ = spawn(ensure_rng(5), 2)
+        a2, _ = spawn(ensure_rng(5), 2)
+        assert np.array_equal(a1.random(8), a2.random(8))
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(42, "x") == derive_seed(42, "x")
+
+    def test_labels_decorrelate(self):
+        assert derive_seed(42, "keys") != derive_seed(42, "ops")
+
+    def test_seeds_decorrelate(self):
+        assert derive_seed(1, "keys") != derive_seed(2, "keys")
+
+    def test_none_seed_uses_default(self):
+        assert derive_seed(None, "x") == derive_seed(DEFAULT_SEED, "x")
+
+    def test_returns_plain_int(self):
+        assert isinstance(derive_seed(7, "y"), int)
+
+    def test_module_exports(self):
+        assert hasattr(rng_mod, "SeedLike")

@@ -1,0 +1,34 @@
+"""Tests for the results collation tool."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+import collect_results  # noqa: E402
+
+
+class TestCollect:
+    def test_collates_in_paper_order(self, tmp_path):
+        (tmp_path / "fig9_cost_reduction.txt").write_text("== fig9 ==\n")
+        (tmp_path / "fig1_pricing.txt").write_text("== fig1 ==\n")
+        (tmp_path / "zzz_custom.txt").write_text("== custom ==\n")
+        doc = collect_results.collect(tmp_path)
+        assert doc.index("fig1") < doc.index("fig9") < doc.index("custom")
+        assert "3 experiments" in doc
+
+    def test_missing_directory_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            collect_results.collect(tmp_path / "nope")
+
+    def test_main_writes_target(self, tmp_path, monkeypatch):
+        out_dir = tmp_path / "out"
+        out_dir.mkdir()
+        (out_dir / "fig1_pricing.txt").write_text("== fig1 ==\n")
+        monkeypatch.setattr(collect_results, "OUT_DIR", out_dir)
+        target = tmp_path / "RESULTS.md"
+        assert collect_results.main(["prog", str(target)]) == 0
+        assert target.exists()
+        assert "fig1" in target.read_text()

@@ -1,0 +1,57 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro import units
+
+
+class TestTimeConversions:
+    def test_ns_to_s(self):
+        assert units.ns_to_s(1_000_000_000) == 1.0
+
+    def test_ns_to_us(self):
+        assert units.ns_to_us(1_500) == 1.5
+
+    def test_ns_to_ms(self):
+        assert units.ns_to_ms(2_500_000) == 2.5
+
+    def test_s_to_ns_roundtrip(self):
+        assert units.ns_to_s(units.s_to_ns(3.25)) == pytest.approx(3.25)
+
+
+class TestBandwidthConversions:
+    def test_one_gbps_is_one_byte_per_ns(self):
+        assert units.gbps_to_bytes_per_ns(1.0) == 1.0
+
+    def test_table_i_bandwidth(self):
+        assert units.gbps_to_bytes_per_ns(14.9) == pytest.approx(14.9)
+
+    def test_roundtrip(self):
+        assert units.bytes_per_ns_to_gbps(
+            units.gbps_to_bytes_per_ns(1.81)
+        ) == pytest.approx(1.81)
+
+
+class TestCapacityConstants:
+    def test_decimal_units(self):
+        assert units.GB == 1_000 * units.MB == 1_000_000 * units.KB
+
+    def test_binary_units(self):
+        assert units.GiB == 1024 * units.MiB == 1024 * 1024 * units.KiB
+
+
+class TestFormatting:
+    def test_format_bytes_gb(self):
+        assert units.format_bytes(2_500_000_000) == "2.50 GB"
+
+    def test_format_bytes_small(self):
+        assert units.format_bytes(512) == "512 B"
+
+    def test_format_ns_seconds(self):
+        assert units.format_ns(1_500_000_000) == "1.500 s"
+
+    def test_format_ns_micro(self):
+        assert units.format_ns(42_000) == "42.000 us"
+
+    def test_format_ns_raw(self):
+        assert units.format_ns(65.7) == "65.7 ns"

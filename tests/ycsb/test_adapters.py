@@ -1,0 +1,120 @@
+"""Tests for external-trace adapters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.ycsb.adapters import from_requests, load_keyed_csv
+
+
+class TestFromRequests:
+    def test_interning_first_appearance_order(self):
+        t = from_requests(
+            keys=["user:9", "item:2", "user:9", "item:7"],
+            ops=["GET", "GET", "SET", "GET"],
+            sizes=[100, 200, 100, 300],
+        )
+        assert t.keys.tolist() == [0, 1, 0, 2]
+        assert t.record_sizes.tolist() == [100, 200, 300]
+
+    def test_op_classification(self):
+        t = from_requests(
+            keys=["a", "a", "a", "a"],
+            ops=["GET", "SET", "gets", "Delete"],
+            sizes=[10, 10, 10, 10],
+        )
+        assert t.is_read.tolist() == [True, False, True, False]
+
+    def test_unknown_verb_rejected(self):
+        with pytest.raises(WorkloadError):
+            from_requests(["a"], ["SCAN"], [10])
+
+    def test_size_policy_max(self):
+        t = from_requests(["a", "a"], ["SET", "SET"], [10, 30])
+        assert t.record_sizes[0] == 30
+
+    def test_size_policy_last(self):
+        t = from_requests(["a", "a"], ["SET", "SET"], [30, 10],
+                          size_policy="last")
+        assert t.record_sizes[0] == 10
+
+    def test_size_policy_first(self):
+        t = from_requests(["a", "a"], ["SET", "SET"], [30, 10],
+                          size_policy="first")
+        assert t.record_sizes[0] == 30
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(WorkloadError):
+            from_requests(["a"], ["GET"], [10], size_policy="avg")
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(WorkloadError):
+            from_requests(["a"], ["GET", "GET"], [10, 10])
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            from_requests([], [], [])
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(WorkloadError):
+            from_requests(["a"], ["GET"], [0])
+
+    def test_integer_keys_work_too(self):
+        t = from_requests([42, 7, 42], ["GET"] * 3, [10, 20, 10])
+        assert t.keys.tolist() == [0, 1, 0]
+
+    def test_feeds_mnemo_pipeline(self, quiet_client):
+        """An adapted trace goes straight through the consultant."""
+        from repro.core import Mnemo
+        from repro.kvstore import RedisLike
+
+        rng = np.random.default_rng(0)
+        raw_keys = [f"obj:{int(k)}" for k in rng.zipf(1.5, 2_000) % 50]
+        t = from_requests(raw_keys, ["GET"] * len(raw_keys),
+                          [50_000] * len(raw_keys), name="adapted")
+        report = Mnemo(engine_factory=RedisLike,
+                       client=quiet_client).profile(t)
+        assert report.workload == "adapted"
+        assert report.baselines.throughput_gap > 1.0
+
+
+class TestLoadKeyedCsv:
+    def _write(self, tmp_path, text, name="trace.csv"):
+        path = tmp_path / name
+        path.write_text(text)
+        return path
+
+    def test_roundtrip(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "key,op,size_bytes\nu1,GET,100\nu2,SET,200\nu1,GET,100\n",
+        )
+        t = load_keyed_csv(path)
+        assert t.name == "trace"
+        assert t.n_requests == 3
+        assert t.n_keys == 2
+        assert t.read_fraction == pytest.approx(2 / 3)
+
+    def test_no_header_mode(self, tmp_path):
+        path = self._write(tmp_path, "u1,GET,100\n")
+        t = load_keyed_csv(path, has_header=False)
+        assert t.n_requests == 1
+
+    def test_malformed_row(self, tmp_path):
+        path = self._write(tmp_path, "key,op,size_bytes\nu1,GET\n")
+        with pytest.raises(WorkloadError):
+            load_keyed_csv(path)
+
+    def test_bad_size(self, tmp_path):
+        path = self._write(tmp_path, "key,op,size_bytes\nu1,GET,big\n")
+        with pytest.raises(WorkloadError):
+            load_keyed_csv(path)
+
+    def test_empty_file(self, tmp_path):
+        path = self._write(tmp_path, "")
+        with pytest.raises(WorkloadError):
+            load_keyed_csv(path)
+
+    def test_name_override(self, tmp_path):
+        path = self._write(tmp_path, "key,op,size_bytes\nu1,GET,10\n")
+        assert load_keyed_csv(path, name="prod").name == "prod"

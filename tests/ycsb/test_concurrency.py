@@ -1,0 +1,99 @@
+"""Tests for the client's concurrency model."""
+
+import numpy as np
+import pytest
+
+from repro.core import Mnemo, estimate_errors, measure_curve, prefix_counts
+from repro.errors import ConfigurationError
+from repro.kvstore import HybridDeployment, RedisLike
+from repro.memsim import HybridMemorySystem
+from repro.ycsb import YCSBClient
+
+
+def deploy(trace, fast=False):
+    maker = HybridDeployment.all_fast if fast else HybridDeployment.all_slow
+    return maker(RedisLike, HybridMemorySystem.testbed(), trace.record_sizes)
+
+
+class TestConcurrencyValidation:
+    def test_positive_concurrency(self):
+        with pytest.raises(ConfigurationError):
+            YCSBClient(concurrency=0)
+
+    def test_nonnegative_contention(self):
+        with pytest.raises(ConfigurationError):
+            YCSBClient(contention=-0.1)
+
+
+class TestScaling:
+    def test_throughput_grows_sublinearly(self, small_trace):
+        thr = {}
+        for n in (1, 4):
+            client = YCSBClient(repeats=1, noise_sigma=0.0, concurrency=n)
+            thr[n] = client.execute(small_trace,
+                                    deploy(small_trace)).throughput_ops_s
+        assert thr[4] > 1.5 * thr[1]      # parallelism helps...
+        assert thr[4] < 4.0 * thr[1]      # ...but contention bites
+
+    def test_zero_contention_scales_linearly(self, small_trace):
+        base = YCSBClient(repeats=1, noise_sigma=0.0).execute(
+            small_trace, deploy(small_trace)
+        )
+        par = YCSBClient(repeats=1, noise_sigma=0.0, concurrency=4,
+                         contention=0.0).execute(
+            small_trace, deploy(small_trace)
+        )
+        assert par.throughput_ops_s == pytest.approx(
+            4 * base.throughput_ops_s, rel=1e-9
+        )
+
+    def test_latency_inflates_under_contention(self, small_trace):
+        base = YCSBClient(repeats=1, noise_sigma=0.0).execute(
+            small_trace, deploy(small_trace)
+        )
+        par = YCSBClient(repeats=1, noise_sigma=0.0, concurrency=4).execute(
+            small_trace, deploy(small_trace)
+        )
+        assert par.avg_read_ns > base.avg_read_ns
+
+    def test_concurrency_recorded(self, small_trace):
+        par = YCSBClient(repeats=1, concurrency=4).execute(
+            small_trace, deploy(small_trace)
+        )
+        assert par.concurrency == 4
+        assert par.read_runtime_contrib_ns == pytest.approx(
+            par.avg_read_ns / 4
+        )
+
+
+class TestEstimateUnderConcurrency:
+    def test_model_stays_exact(self, small_trace):
+        """The paper: server parallelism is 'incorporated into the
+        average request response time' — baselines measured at the
+        deployment's concurrency keep the estimate exact."""
+        client = YCSBClient(repeats=1, noise_sigma=0.0, concurrency=8)
+        report = Mnemo(engine_factory=RedisLike, client=client).profile(
+            small_trace
+        )
+        points = measure_curve(
+            small_trace, report.pattern.order, RedisLike,
+            prefix_counts(small_trace.n_keys, 5), client=client,
+        )
+        errors = estimate_errors(report.curve, points)
+        assert np.abs(errors).max() < 1.0
+        # endpoints telescope exactly
+        b = report.baselines
+        assert report.curve.runtime_ns[-1] == pytest.approx(
+            b.fast_runtime_ns, rel=1e-9
+        )
+
+    def test_gap_shrinks_with_contention_free_cpu(self, small_trace):
+        """More threads -> memory contention grows -> the Fast/Slow gap
+        widens (the memory term matters more)."""
+        gaps = {}
+        for n in (1, 8):
+            client = YCSBClient(repeats=1, noise_sigma=0.0, concurrency=n)
+            fast = client.execute(small_trace, deploy(small_trace, fast=True))
+            slow = client.execute(small_trace, deploy(small_trace))
+            gaps[n] = fast.throughput_ops_s / slow.throughput_ops_s
+        assert gaps[8] > gaps[1]

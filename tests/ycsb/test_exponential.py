@@ -1,0 +1,61 @@
+"""Tests for the exponential key distribution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ycsb.distributions import (
+    DistributionSpec,
+    key_probabilities,
+    sample_keys,
+)
+
+
+class TestExponential:
+    def test_ycsb_default_mass(self):
+        """95 % of the mass in the first 10 % of the key space."""
+        p = key_probabilities(DistributionSpec(name="exponential"), 1_000)
+        assert p[:100].sum() == pytest.approx(0.95, abs=0.005)
+
+    def test_custom_parameters(self):
+        spec = DistributionSpec(name="exponential", exp_percentile=0.25,
+                                exp_frac=0.80)
+        p = key_probabilities(spec, 2_000)
+        assert p[:500].sum() == pytest.approx(0.80, abs=0.005)
+
+    def test_monotone_decay(self):
+        p = key_probabilities(DistributionSpec(name="exponential"), 500)
+        assert (np.diff(p) < 0).all()
+
+    def test_empirical_sampling(self):
+        spec = DistributionSpec(name="exponential")
+        keys = sample_keys(spec, 1_000, 50_000, seed=3)
+        assert (keys < 100).mean() == pytest.approx(0.95, abs=0.01)
+
+    def test_exp_frac_validated(self):
+        with pytest.raises(ConfigurationError):
+            DistributionSpec(name="exponential", exp_frac=1.0)
+
+    def test_exp_percentile_validated(self):
+        with pytest.raises(ConfigurationError):
+            DistributionSpec(name="exponential", exp_percentile=0.0)
+
+    def test_feeds_pipeline(self, quiet_client):
+        from repro.core import Mnemo
+        from repro.kvstore import RedisLike
+        from repro.ycsb import generate_trace
+        from repro.ycsb.sizes import THUMBNAIL
+        from repro.ycsb.workload import WorkloadSpec
+
+        spec = WorkloadSpec(
+            name="exp_wl",
+            distribution=DistributionSpec(name="exponential"),
+            read_fraction=1.0,
+            size_model=THUMBNAIL,
+            n_keys=300,
+            n_requests=3_000,
+        )
+        report = Mnemo(engine_factory=RedisLike,
+                       client=quiet_client).profile(generate_trace(spec))
+        # exponential is extremely concentrated -> cheap SLO sizing
+        assert report.choose(0.10).cost_factor < 0.45

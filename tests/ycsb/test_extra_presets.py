@@ -1,0 +1,67 @@
+"""Tests for the extra workload presets."""
+
+import pytest
+
+from repro.core import Mnemo
+from repro.kvstore import RedisLike
+from repro.ycsb import generate_trace, workload_by_name
+from repro.ycsb.presets import (
+    EXTRA_WORKLOADS,
+    FEED_SCROLL,
+    TABLE_III_WORKLOADS,
+    UNIFORM_CACHE,
+    WRITE_BURST,
+)
+
+
+class TestCatalog:
+    def test_three_extras(self):
+        assert len(EXTRA_WORKLOADS) == 3
+        names = {w.name for w in EXTRA_WORKLOADS}
+        assert names == {"feed_scroll", "write_burst", "uniform_cache"}
+
+    def test_lookup_covers_extras(self):
+        assert workload_by_name("feed_scroll") is FEED_SCROLL
+
+    def test_no_name_collisions_with_table_iii(self):
+        table = {w.name for w in TABLE_III_WORKLOADS}
+        extra = {w.name for w in EXTRA_WORKLOADS}
+        assert not table & extra
+
+    @pytest.mark.parametrize("w", EXTRA_WORKLOADS, ids=lambda w: w.name)
+    def test_all_generate(self, w):
+        t = generate_trace(w.scaled(n_keys=200, n_requests=2_000))
+        assert t.n_requests >= 2_000  # scans may expand
+
+
+class TestShapes:
+    # 10 KB records barely move RedisLike (Fig 5c), so the shape tests
+    # use the memory-bound DynamoLike engine
+    def _choice(self, spec, quiet_client):
+        from repro.kvstore import DynamoLike
+
+        trace = generate_trace(spec.scaled(n_keys=300, n_requests=4_000))
+        return Mnemo(engine_factory=DynamoLike,
+                     client=quiet_client).profile(trace).choose(0.10)
+
+    def test_write_burst_cheapest(self, quiet_client):
+        """Write-dominated ingest barely feels SlowMem (Fig 5b logic)."""
+        choice = self._choice(WRITE_BURST, quiet_client)
+        assert choice.cost_factor < 0.25
+
+    def test_uniform_cache_most_expensive(self, quiet_client):
+        """No skew -> every byte is equally hot -> little to save."""
+        uniform = self._choice(UNIFORM_CACHE, quiet_client)
+        burst = self._choice(WRITE_BURST, quiet_client)
+        assert uniform.cost_factor > burst.cost_factor
+
+    def test_feed_scroll_scans_flatten_savings(self, quiet_client):
+        """Scans drag in cold neighbours, costing more than the same
+        distribution with point reads."""
+        from dataclasses import replace
+
+        scan_choice = self._choice(FEED_SCROLL, quiet_client)
+        point_spec = replace(FEED_SCROLL, name="feed_point",
+                             scan_fraction=0.0)
+        point_choice = self._choice(point_spec, quiet_client)
+        assert scan_choice.cost_factor >= point_choice.cost_factor

@@ -1,0 +1,72 @@
+"""Tests for trace generation."""
+
+import numpy as np
+import pytest
+
+from dataclasses import replace
+
+from repro.ycsb.distributions import DistributionSpec
+from repro.ycsb.generator import generate_trace
+from repro.ycsb.sizes import THUMBNAIL
+from repro.ycsb.workload import WorkloadSpec
+
+
+def spec(**kw):
+    defaults = dict(
+        name="gen_test",
+        distribution=DistributionSpec(name="zipfian"),
+        read_fraction=0.7,
+        size_model=THUMBNAIL,
+        n_keys=100,
+        n_requests=2_000,
+        seed=5,
+    )
+    defaults.update(kw)
+    return WorkloadSpec(**defaults)
+
+
+class TestDeterminism:
+    def test_same_spec_same_trace(self):
+        a, b = generate_trace(spec()), generate_trace(spec())
+        assert np.array_equal(a.keys, b.keys)
+        assert np.array_equal(a.is_read, b.is_read)
+        assert np.array_equal(a.record_sizes, b.record_sizes)
+
+    def test_seed_changes_trace(self):
+        a = generate_trace(spec())
+        b = generate_trace(spec(seed=6))
+        assert not np.array_equal(a.keys, b.keys)
+
+    def test_read_ratio_change_keeps_key_sequence(self):
+        """Fig 5b's controlled comparison: same keys, different op mix."""
+        a = generate_trace(spec(read_fraction=1.0))
+        b = generate_trace(spec(read_fraction=0.5))
+        assert np.array_equal(a.keys, b.keys)
+        assert not np.array_equal(a.is_read, b.is_read)
+
+    def test_size_model_change_keeps_key_sequence(self):
+        """Fig 5c's controlled comparison: same keys, different sizes."""
+        small = replace(THUMBNAIL, median_bytes=1_000)
+        a = generate_trace(spec())
+        b = generate_trace(spec(size_model=small))
+        assert np.array_equal(a.keys, b.keys)
+
+
+class TestShape:
+    def test_dimensions(self):
+        t = generate_trace(spec())
+        assert t.n_requests == 2_000
+        assert t.n_keys == 100
+        assert t.name == "gen_test"
+
+    def test_read_fraction_realised(self):
+        t = generate_trace(spec(read_fraction=0.7, n_requests=20_000))
+        assert t.read_fraction == pytest.approx(0.7, abs=0.02)
+
+    def test_read_only_exact(self):
+        t = generate_trace(spec(read_fraction=1.0))
+        assert t.is_read.all()
+
+    def test_write_only_exact(self):
+        t = generate_trace(spec(read_fraction=0.0))
+        assert not t.is_read.any()

@@ -1,0 +1,57 @@
+"""Tests for the Table III workload presets."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ycsb import TABLE_III_WORKLOADS, generate_trace, workload_by_name
+from repro.ycsb.presets import (
+    EDIT_THUMBNAIL,
+    NEWS_FEED,
+    TIMELINE,
+    TRENDING,
+    TRENDING_PREVIEW,
+)
+
+
+class TestTableIII:
+    def test_five_workloads(self):
+        assert len(TABLE_III_WORKLOADS) == 5
+        names = [w.name for w in TABLE_III_WORKLOADS]
+        assert names == [
+            "trending", "news_feed", "timeline", "edit_thumbnail",
+            "trending_preview",
+        ]
+
+    def test_paper_scale(self):
+        for w in TABLE_III_WORKLOADS:
+            assert w.n_keys == 10_000
+            assert w.n_requests == 100_000
+
+    def test_distributions_match_table(self):
+        assert TRENDING.distribution.name == "hotspot"
+        assert NEWS_FEED.distribution.name == "latest"
+        assert TIMELINE.distribution.name == "scrambled_zipfian"
+        assert EDIT_THUMBNAIL.distribution.name == "scrambled_zipfian"
+        assert TRENDING_PREVIEW.distribution.name == "hotspot"
+
+    def test_rw_ratios_match_table(self):
+        for w in (TRENDING, NEWS_FEED, TIMELINE, TRENDING_PREVIEW):
+            assert w.read_fraction == 1.0
+        assert EDIT_THUMBNAIL.read_fraction == 0.5
+
+    def test_size_models_match_table(self):
+        for w in (TRENDING, NEWS_FEED, TIMELINE, EDIT_THUMBNAIL):
+            assert w.size_model.name == "thumbnail"
+        assert TRENDING_PREVIEW.size_model.name == "preview_mix"
+
+    def test_lookup(self):
+        assert workload_by_name("Trending") is TRENDING
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ConfigurationError):
+            workload_by_name("analytics")
+
+    @pytest.mark.parametrize("w", TABLE_III_WORKLOADS, ids=lambda w: w.name)
+    def test_all_generate_small_scale(self, w):
+        t = generate_trace(w.scaled(n_keys=100, n_requests=1_000))
+        assert t.n_requests == 1_000

@@ -1,0 +1,74 @@
+"""Tests for workload downsampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ycsb import downsample, generate_trace
+from repro.ycsb.sampling import distribution_distance
+
+
+class TestDownsample:
+    def test_request_count_shrinks(self, small_trace):
+        down = downsample(small_trace, factor=10, seed=1)
+        assert down.n_requests == pytest.approx(
+            small_trace.n_requests / 10, rel=0.01
+        )
+
+    def test_dataset_preserved(self, small_trace):
+        down = downsample(small_trace, factor=5, seed=1)
+        assert np.array_equal(down.record_sizes, small_trace.record_sizes)
+
+    def test_factor_must_exceed_one(self, small_trace):
+        with pytest.raises(ConfigurationError):
+            downsample(small_trace, factor=1.0)
+
+    def test_name_records_factor(self, small_trace):
+        assert downsample(small_trace, factor=4, seed=1).name.endswith("@1/4")
+
+    def test_deterministic(self, small_trace):
+        a = downsample(small_trace, factor=5, seed=2)
+        b = downsample(small_trace, factor=5, seed=2)
+        assert np.array_equal(a.keys, b.keys)
+
+    def test_ops_follow_keys(self, mixed_trace):
+        down = downsample(mixed_trace, factor=5, seed=2)
+        assert down.read_fraction == pytest.approx(
+            mixed_trace.read_fraction, abs=0.05
+        )
+
+    def test_distribution_preserved(self, small_trace):
+        """Section V-A: sampling preserves the key distribution shape."""
+        down = downsample(small_trace, factor=10, seed=3)
+        assert distribution_distance(small_trace, down) < 0.08
+
+    def test_temporal_structure_preserved(self, small_spec):
+        """Interval sampling keeps `latest`-style drift intact."""
+        from dataclasses import replace
+        from repro.ycsb.distributions import DistributionSpec
+
+        spec = replace(
+            small_spec,
+            name="latest_small",
+            distribution=DistributionSpec(name="latest"),
+        )
+        trace = generate_trace(spec)
+        down = downsample(trace, factor=5, seed=1)
+        half = down.n_requests // 2
+        assert down.keys[:half].mean() < down.keys[half:].mean()
+
+    def test_one_pick_per_interval(self, small_trace):
+        down = downsample(small_trace, factor=4, seed=1)
+        # picks must be strictly increasing positions -> keys come from
+        # disjoint windows; verify count equals number of windows
+        expected = int(np.ceil(small_trace.n_requests / 4))
+        assert down.n_requests == expected
+
+
+class TestDistributionDistance:
+    def test_identical_traces_zero(self, small_trace):
+        assert distribution_distance(small_trace, small_trace) == 0.0
+
+    def test_mismatched_key_spaces_rejected(self, small_trace, mixed_trace):
+        with pytest.raises(ConfigurationError):
+            distribution_distance(small_trace, mixed_trace)

@@ -1,0 +1,115 @@
+"""Tests for scan-expanded workloads (YCSB workload-E style)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ycsb import generate_trace
+from repro.ycsb.distributions import DistributionSpec
+from repro.ycsb.sizes import PHOTO_CAPTION
+from repro.ycsb.workload import WorkloadSpec
+
+
+def spec(**kw):
+    defaults = dict(
+        name="scan_test",
+        distribution=DistributionSpec(name="scrambled_zipfian"),
+        read_fraction=1.0,
+        size_model=PHOTO_CAPTION,
+        n_keys=500,
+        n_requests=5_000,
+        seed=13,
+        scan_fraction=0.3,
+        scan_max_length=8,
+    )
+    defaults.update(kw)
+    return WorkloadSpec(**defaults)
+
+
+class TestValidation:
+    def test_scan_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            spec(scan_fraction=1.5)
+
+    def test_scan_length_bounds(self):
+        with pytest.raises(ConfigurationError):
+            spec(scan_max_length=0)
+
+    def test_scans_must_fit_in_reads(self):
+        with pytest.raises(ConfigurationError):
+            spec(read_fraction=0.2, scan_fraction=0.5)
+
+
+class TestExpansion:
+    def test_more_requests_than_drawn(self):
+        t = generate_trace(spec())
+        base = generate_trace(spec(scan_fraction=0.0))
+        assert t.n_requests > base.n_requests
+
+    def test_no_scans_is_identity(self):
+        a = generate_trace(spec(scan_fraction=0.0))
+        b = generate_trace(spec(scan_fraction=0.0))
+        assert np.array_equal(a.keys, b.keys)
+
+    def test_scans_read_consecutive_keys(self):
+        t = generate_trace(spec(scan_fraction=1.0, scan_max_length=4))
+        diffs = np.diff(t.keys)
+        # inside a scan, keys step by +1 (except at the clip boundary)
+        assert (diffs == 1).sum() > 0.3 * t.n_requests
+
+    def test_keys_stay_in_range(self):
+        t = generate_trace(spec(scan_fraction=1.0, scan_max_length=50))
+        assert t.keys.max() < 500
+        assert t.keys.min() >= 0
+
+    def test_scans_are_reads(self):
+        t = generate_trace(spec(read_fraction=1.0))
+        assert t.is_read.all()
+
+    def test_deterministic(self):
+        a, b = generate_trace(spec()), generate_trace(spec())
+        assert np.array_equal(a.keys, b.keys)
+
+    def test_expansion_bounded_by_max_length(self):
+        s = spec(scan_fraction=1.0, scan_max_length=8)
+        t = generate_trace(s)
+        assert t.n_requests <= s.n_requests * 8
+
+    def test_mixed_ops_scans_only_on_reads(self):
+        s = spec(read_fraction=0.6, scan_fraction=0.3)
+        t = generate_trace(s)
+        # writes never expand; their count is preserved
+        base = generate_trace(spec(read_fraction=0.6, scan_fraction=0.0))
+        assert t.n_writes == base.n_writes
+
+
+class TestPipelineIntegration:
+    def test_estimate_model_handles_scans(self, quiet_client):
+        """Scans expand into reads, so the analytic model stays exact
+        for uniform record sizes."""
+        from repro.core import Mnemo, estimate_errors, measure_curve, prefix_counts
+        from repro.kvstore import RedisLike
+        from repro.ycsb.sizes import SizeModel
+
+        s = spec(
+            size_model=SizeModel(name="c", median_bytes=5_000, sigma=0.0),
+            n_requests=2_000,
+        )
+        trace = generate_trace(s)
+        report = Mnemo(engine_factory=RedisLike,
+                       client=quiet_client).profile(trace)
+        points = measure_curve(trace, report.pattern.order, RedisLike,
+                               prefix_counts(trace.n_keys, 4),
+                               client=quiet_client)
+        errors = estimate_errors(report.curve, points)
+        assert np.abs(errors).max() < 1e-9
+
+    def test_scans_flatten_the_hot_set(self):
+        """Range scans touch neighbours of hot keys, spreading accesses —
+        a DynamoLike Query-style workload saves less than point reads."""
+        from repro.analysis.cdf import coverage_fraction
+
+        point = generate_trace(spec(scan_fraction=0.0))
+        scan = generate_trace(spec(scan_fraction=1.0, scan_max_length=16))
+        assert (coverage_fraction(scan, 0.9)
+                > coverage_fraction(point, 0.9))

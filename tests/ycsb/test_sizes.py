@@ -1,0 +1,108 @@
+"""Tests for the record-size models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ycsb.sizes import (
+    PHOTO_CAPTION,
+    PREVIEW_MIX,
+    SIZE_MODELS,
+    TEXT_POST,
+    THUMBNAIL,
+    SizeModel,
+    record_sizes,
+    size_model,
+)
+
+
+class TestPresets:
+    def test_registry_complete(self):
+        assert set(SIZE_MODELS) == {
+            "thumbnail", "text_post", "photo_caption", "preview_mix",
+        }
+
+    def test_lookup(self):
+        assert size_model("thumbnail") is THUMBNAIL
+
+    def test_unknown_lookup(self):
+        with pytest.raises(ConfigurationError):
+            size_model("video")
+
+    @pytest.mark.parametrize("model,center", [
+        (THUMBNAIL, 100_000), (TEXT_POST, 10_000), (PHOTO_CAPTION, 1_000),
+    ])
+    def test_medians_match_table_iii(self, model, center):
+        draws = model.sample(20_000, seed=1)
+        assert np.median(draws) == pytest.approx(center, rel=0.05)
+
+    def test_table_iii_ordering(self):
+        """Thumbnail >> text post >> caption (two orders of magnitude)."""
+        assert THUMBNAIL.median_bytes == 10 * TEXT_POST.median_bytes
+        assert TEXT_POST.median_bytes == 10 * PHOTO_CAPTION.median_bytes
+
+
+class TestSampling:
+    def test_deterministic(self):
+        a = THUMBNAIL.sample(100, seed=3)
+        b = THUMBNAIL.sample(100, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_clipping(self):
+        m = SizeModel(name="x", median_bytes=100, sigma=3.0,
+                      min_bytes=64, max_bytes=200)
+        draws = m.sample(10_000, seed=1)
+        assert draws.min() >= 64 and draws.max() <= 200
+
+    def test_zero_sigma_constant(self):
+        m = SizeModel(name="x", median_bytes=500, sigma=0.0)
+        assert (m.sample(100, seed=1) == 500).all()
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            THUMBNAIL.sample(-1)
+
+    def test_integer_output(self):
+        assert THUMBNAIL.sample(10, seed=1).dtype == np.int64
+
+
+class TestMixture:
+    def test_weights_validated(self):
+        with pytest.raises(ConfigurationError):
+            SizeModel(name="bad", components=((0.5, THUMBNAIL),))
+
+    def test_mixture_is_multimodal(self):
+        draws = PREVIEW_MIX.sample(30_000, seed=2)
+        small = (draws < 3_000).mean()
+        medium = ((draws >= 3_000) & (draws < 30_000)).mean()
+        large = (draws >= 30_000).mean()
+        for share in (small, medium, large):
+            assert share == pytest.approx(1 / 3, abs=0.03)
+
+    def test_mixture_mean(self):
+        draws = PREVIEW_MIX.sample(50_000, seed=2)
+        assert draws.mean() == pytest.approx(PREVIEW_MIX.mean_bytes, rel=0.05)
+
+
+class TestValidation:
+    def test_nonpositive_median(self):
+        with pytest.raises(ConfigurationError):
+            SizeModel(name="x", median_bytes=0)
+
+    def test_negative_sigma(self):
+        with pytest.raises(ConfigurationError):
+            SizeModel(name="x", median_bytes=10, sigma=-1)
+
+    def test_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            SizeModel(name="x", median_bytes=10, min_bytes=100, max_bytes=50)
+
+
+class TestRecordSizesHelper:
+    def test_by_name(self):
+        a = record_sizes("thumbnail", 50, seed=1)
+        b = record_sizes(THUMBNAIL, 50, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_length(self):
+        assert record_sizes(TEXT_POST, 123, seed=1).shape == (123,)

@@ -1,0 +1,135 @@
+"""Tests for workload synthesis (Section V-A's synthetic path)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.ycsb import TABLE_III_WORKLOADS, generate_trace
+from repro.ycsb.distributions import DistributionSpec
+from repro.ycsb.sizes import THUMBNAIL, SizeModel
+from repro.ycsb.synthesis import fit_trace, synthesize
+from repro.ycsb.workload import Trace, WorkloadSpec
+
+
+def trace_for(dist_name, read_fraction=1.0, size_model=THUMBNAIL,
+              n_keys=2_000, n_requests=30_000, seed=3, **dist_kw):
+    spec = WorkloadSpec(
+        name=f"synth_{dist_name}",
+        distribution=DistributionSpec(name=dist_name, **dist_kw),
+        read_fraction=read_fraction,
+        size_model=size_model,
+        n_keys=n_keys,
+        n_requests=n_requests,
+        seed=seed,
+    )
+    return generate_trace(spec)
+
+
+def hottest_first_cdf(trace):
+    counts = np.sort(np.bincount(trace.keys, minlength=trace.n_keys))[::-1]
+    return np.cumsum(counts) / counts.sum()
+
+
+class TestClassification:
+    @pytest.mark.parametrize("dist", [
+        "zipfian", "scrambled_zipfian", "hotspot", "latest", "uniform",
+    ])
+    def test_family_recovered(self, dist):
+        c = fit_trace(trace_for(dist))
+        assert c.distribution.name == dist
+
+    def test_table_iii_workloads_recovered(self):
+        for w in TABLE_III_WORKLOADS:
+            spec = w.scaled(n_keys=2_000, n_requests=30_000)
+            c = fit_trace(generate_trace(spec))
+            assert c.distribution.name == w.distribution.name
+
+    def test_hotspot_parameters(self):
+        c = fit_trace(trace_for("hotspot", hot_data_fraction=0.2,
+                                hot_op_fraction=0.75))
+        assert c.distribution.hot_data_fraction == pytest.approx(0.2, abs=0.03)
+        assert c.distribution.hot_op_fraction == pytest.approx(0.75, abs=0.03)
+
+    def test_zipfian_theta(self):
+        c = fit_trace(trace_for("zipfian", n_keys=10_000, n_requests=100_000))
+        assert c.distribution.theta == pytest.approx(0.99, abs=0.05)
+
+    def test_latest_drift_detected(self):
+        c = fit_trace(trace_for("latest"))
+        assert c.temporal_drift > 0.6
+
+    def test_stationary_has_low_drift(self):
+        c = fit_trace(trace_for("zipfian"))
+        assert c.temporal_drift < 0.1
+
+    def test_read_fraction_preserved(self):
+        c = fit_trace(trace_for("uniform", read_fraction=0.5))
+        assert c.read_fraction == pytest.approx(0.5, abs=0.02)
+
+    def test_empty_trace_rejected(self):
+        t = Trace(name="e", keys=np.array([], dtype=np.int64),
+                  is_read=np.array([], dtype=bool),
+                  record_sizes=np.array([100], dtype=np.int64))
+        with pytest.raises(WorkloadError):
+            fit_trace(t)
+
+
+class TestSizeFit:
+    def test_lognormal_recovered(self):
+        model = SizeModel(name="x", median_bytes=50_000, sigma=0.4)
+        t = trace_for("uniform", size_model=model)
+        c = fit_trace(t)
+        assert c.size_model.median_bytes == pytest.approx(50_000, rel=0.05)
+        assert c.size_model.sigma == pytest.approx(0.4, abs=0.05)
+
+    def test_constant_sizes(self):
+        model = SizeModel(name="c", median_bytes=10_000, sigma=0.0)
+        c = fit_trace(trace_for("uniform", size_model=model))
+        assert c.size_model.sigma == pytest.approx(0.0, abs=1e-9)
+        synth = synthesize(c, seed=1)
+        assert (synth.record_sizes == 10_000).all()
+
+
+class TestSynthesize:
+    def test_shape(self):
+        c = fit_trace(trace_for("hotspot"))
+        s = synthesize(c, seed=1)
+        assert s.n_keys == 2_000
+        assert s.n_requests == 30_000
+        assert s.name.endswith("@synthetic")
+
+    def test_rescale(self):
+        c = fit_trace(trace_for("hotspot"))
+        s = synthesize(c, n_requests=5_000, seed=1)
+        assert s.n_requests == 5_000
+
+    def test_deterministic_per_seed(self):
+        c = fit_trace(trace_for("zipfian"))
+        a, b = synthesize(c, seed=7), synthesize(c, seed=7)
+        assert np.array_equal(a.keys, b.keys)
+        assert not np.array_equal(a.keys, synthesize(c, seed=8).keys)
+
+    @pytest.mark.parametrize("dist", ["zipfian", "hotspot", "latest",
+                                      "uniform"])
+    def test_hot_cdf_preserved(self, dist):
+        """The size-ordering statistic Mnemo consumes survives the
+        fit -> synthesize round trip."""
+        t = trace_for(dist)
+        s = synthesize(fit_trace(t), seed=2)
+        gap = np.abs(hottest_first_cdf(t) - hottest_first_cdf(s)).max()
+        assert gap < 0.06
+
+    def test_profiles_agree(self):
+        """Profiling the synthetic workload reaches the same sizing
+        conclusion as the real one (the paper's use case)."""
+        from repro.core import MnemoT
+        from repro.kvstore import RedisLike
+        from repro.ycsb import YCSBClient
+
+        t = trace_for("hotspot")
+        s = synthesize(fit_trace(t), seed=3)
+        mnemot = MnemoT(engine_factory=RedisLike,
+                        client=YCSBClient(repeats=1, noise_sigma=0.0))
+        real = mnemot.profile(t).choose(0.10)
+        synth = mnemot.profile(s).choose(0.10)
+        assert synth.cost_factor == pytest.approx(real.cost_factor, abs=0.05)

@@ -1,0 +1,70 @@
+"""Tests for trace CSV persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.ycsb import load_trace_csv, save_trace_csv
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_trace(self, small_trace, tmp_path):
+        req, data = save_trace_csv(small_trace, tmp_path)
+        loaded = load_trace_csv(req, data)
+        assert loaded.name == small_trace.name
+        assert np.array_equal(loaded.keys, small_trace.keys)
+        assert np.array_equal(loaded.is_read, small_trace.is_read)
+        assert np.array_equal(loaded.record_sizes, small_trace.record_sizes)
+
+    def test_mixed_ops_roundtrip(self, mixed_trace, tmp_path):
+        req, data = save_trace_csv(mixed_trace, tmp_path)
+        loaded = load_trace_csv(req, data)
+        assert np.array_equal(loaded.is_read, mixed_trace.is_read)
+
+    def test_name_override(self, small_trace, tmp_path):
+        req, data = save_trace_csv(small_trace, tmp_path)
+        assert load_trace_csv(req, data, name="custom").name == "custom"
+
+    def test_creates_directory(self, small_trace, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        req, data = save_trace_csv(small_trace, target)
+        assert req.exists() and data.exists()
+
+
+class TestMalformedInput:
+    def test_bad_request_header(self, small_trace, tmp_path):
+        req, data = save_trace_csv(small_trace, tmp_path)
+        req.write_text("wrong,header\n0,READ\n")
+        with pytest.raises(WorkloadError):
+            load_trace_csv(req, data)
+
+    def test_bad_dataset_header(self, small_trace, tmp_path):
+        req, data = save_trace_csv(small_trace, tmp_path)
+        data.write_text("wrong,header\n0,100\n")
+        with pytest.raises(WorkloadError):
+            load_trace_csv(req, data)
+
+    def test_unknown_op_rejected(self, small_trace, tmp_path):
+        req, data = save_trace_csv(small_trace, tmp_path)
+        req.write_text("key,op\n0,SCAN\n")
+        with pytest.raises(WorkloadError):
+            load_trace_csv(req, data)
+
+    def test_sparse_key_space_rejected(self, small_trace, tmp_path):
+        req, data = save_trace_csv(small_trace, tmp_path)
+        req.write_text("key,op\n0,READ\n")
+        data.write_text("key,size_bytes\n0,100\n5,100\n")
+        with pytest.raises(WorkloadError):
+            load_trace_csv(req, data)
+
+    def test_malformed_row_rejected(self, small_trace, tmp_path):
+        req, data = save_trace_csv(small_trace, tmp_path)
+        req.write_text("key,op\n0,READ,extra\n")
+        with pytest.raises(WorkloadError):
+            load_trace_csv(req, data)
+
+    def test_write_alias_accepted(self, small_trace, tmp_path):
+        req, data = save_trace_csv(small_trace, tmp_path)
+        req.write_text("key,op\n0,WRITE\n")
+        loaded = load_trace_csv(req, data)
+        assert not loaded.is_read[0]

@@ -1,0 +1,81 @@
+"""Collate benchmark result blocks into a single RESULTS.md.
+
+Usage:  python tools/collect_results.py [output_path]
+
+Run ``pytest benchmarks/ --benchmark-only`` first; each bench writes its
+paper-comparable table to ``benchmarks/out/<experiment>.txt``.  This
+script stitches them into one reviewable document, ordered to follow
+the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+OUT_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "out"
+
+#: Paper order; anything not listed is appended alphabetically.
+ORDER = [
+    "intro_projection",
+    "fig1_pricing",
+    "table1_testbed",
+    "table2_cost_model",
+    "fig3_key_cdf",
+    "fig4_size_cdf",
+    "fig5a_distribution",
+    "fig5b_rw_ratio",
+    "fig5c_record_size",
+    "fig8a_accuracy",
+    "fig8b_stores",
+    "fig8c_latency",
+    "fig8de_tail_latency",
+    "fig8f_mnemot",
+    "fig9_cost_reduction",
+    "table4_overhead",
+    "downsampling",
+    "ablation_baselines",
+    "ablation_tiering",
+    "ablation_noise",
+    "ablation_llc",
+    "ablation_storage",
+    "ablation_concurrency",
+    "ext_drift",
+    "ext_retiering",
+    "ext_multitier",
+    "ext_whatif",
+    "ext_tail_queueing",
+]
+
+
+def collect(out_dir: Path = OUT_DIR) -> str:
+    """Return the collated results document."""
+    if not out_dir.is_dir():
+        raise SystemExit(
+            f"{out_dir} not found - run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+    available = {p.stem: p for p in sorted(out_dir.glob("*.txt"))}
+    names = [n for n in ORDER if n in available]
+    names += [n for n in sorted(available) if n not in ORDER]
+
+    parts = [
+        "# Benchmark results\n",
+        f"{len(names)} experiments collected from benchmarks/out/.\n",
+    ]
+    for name in names:
+        parts.append("```")
+        parts.append(available[name].read_text().rstrip())
+        parts.append("```\n")
+    return "\n".join(parts)
+
+
+def main(argv: list[str]) -> int:
+    target = Path(argv[1]) if len(argv) > 1 else Path("RESULTS.md")
+    target.write_text(collect())
+    print(f"wrote {target} ({target.stat().st_size:,} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
