@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench bench-verbose examples results clean
+.PHONY: install test verify bench bench-verbose examples results clean
 
 results: bench
 	$(PYTHON) tools/collect_results.py
@@ -10,6 +10,10 @@ install:
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# the tier-1 gate: exactly what CI runs
+verify:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -26,5 +30,5 @@ examples:
 	$(PYTHON) examples/slo_guardrails.py
 
 clean:
-	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks
+	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks .mnemo-cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

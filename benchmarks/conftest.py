@@ -9,9 +9,12 @@ from __future__ import annotations
 
 import pytest
 
+from common import shared_cache
+
 from repro.core import Mnemo
 from repro.kvstore import DynamoLike, MemcachedLike, RedisLike
-from repro.ycsb import TABLE_III_WORKLOADS, YCSBClient, generate_trace
+from repro.runner import CachingClient
+from repro.ycsb import TABLE_III_WORKLOADS, generate_trace
 
 ENGINES = {
     "redis": RedisLike,
@@ -28,8 +31,16 @@ def paper_traces():
 
 @pytest.fixture(scope="session")
 def bench_client():
-    """The measuring client used across benches (3 runs, 1 % noise)."""
-    return YCSBClient(repeats=3, noise_sigma=0.01, seed=2019)
+    """The measuring client used across benches (3 runs, 1 % noise).
+
+    Caching: every measurement is memoized in the suite-wide result
+    cache, so benches that profile the same (workload, engine) pair
+    share baselines instead of recomputing them — within a session and
+    across reruns.
+    """
+    return CachingClient(
+        cache=shared_cache(), repeats=3, noise_sigma=0.01, seed=2019
+    )
 
 
 @pytest.fixture(scope="session")

@@ -10,6 +10,8 @@ the reproduction ships a CLI mirroring the paper's interface
     python -m repro profile --requests req.csv --dataset data.csv
     python -m repro compare --workload trending
     python -m repro pricing
+    python -m repro sweep --workloads trending,timeline --workers 4
+    python -m repro cache stats
 
 Exit code 0 on success; errors print to stderr and exit 2.
 """
@@ -67,6 +69,8 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="profile a 1/N random sample of the workload")
     prof.add_argument("--repeats", type=int, default=3)
     prof.add_argument("--seed", type=int, default=None)
+    prof.add_argument("--cache-dir", metavar="DIR",
+                      help="memoize measurements in this result cache")
 
     comp = sub.add_parser("compare",
                           help="compare all engines on one workload")
@@ -101,6 +105,31 @@ def _build_parser() -> argparse.ArgumentParser:
     mt.add_argument("--slo", type=float, default=0.10)
     mt.add_argument("--grid", type=int, default=15,
                     help="capacity grid resolution per tier")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a workload x engine x placement grid "
+             "(parallel, cached, deterministic)",
+    )
+    sweep.add_argument("--workloads", default="trending",
+                       help="comma-separated workload names, or 'all'")
+    sweep.add_argument("--engines", default="redis",
+                       help="comma-separated engine names, or 'all'")
+    sweep.add_argument("--placements", default="fast,slow",
+                       help="comma-separated placements "
+                            "(fast, slow, split)")
+    sweep.add_argument("--split", type=float, default=0.2,
+                       help="FastMem payload fraction for 'split' cells")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="process count (1 = serial)")
+    sweep.add_argument("--cache-dir", metavar="DIR",
+                       help="memoize results in this cache directory")
+    sweep.add_argument("--seed", type=int, default=None)
+
+    cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument("--dir", dest="cache_dir", metavar="DIR",
+                       help="cache directory (default .mnemo-cache)")
     return parser
 
 
@@ -135,6 +164,7 @@ def _cmd_profile(args) -> int:
         engine_factory=ENGINES[args.engine],
         client=YCSBClient(repeats=args.repeats, seed=args.seed),
         p=args.p,
+        cache=args.cache_dir,
     )
     report = mnemo.profile(descriptor)
     print(report.summary())
@@ -255,6 +285,60 @@ def _cmd_multitier(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from repro.runner import ClientConfig, ExperimentRunner
+
+    def pick(raw: str, universe: list[str], what: str) -> list[str]:
+        if raw == "all":
+            return universe
+        names = [n.strip() for n in raw.split(",") if n.strip()]
+        for n in names:
+            if n not in universe:
+                raise ReproError(
+                    f"unknown {what} {n!r}; choose from {universe}"
+                )
+        return names
+
+    workload_names = pick(
+        args.workloads, [w.name for w in TABLE_III_WORKLOADS], "workload"
+    )
+    engines = pick(args.engines, sorted(ENGINES), "engine")
+    placements = pick(args.placements, ["fast", "slow", "split"], "placement")
+
+    runner = ExperimentRunner(
+        cache=args.cache_dir,
+        client=ClientConfig(seed=args.seed),
+    )
+    specs = ExperimentRunner.grid(
+        [workload_by_name(n) for n in workload_names],
+        engines=engines,
+        placements=placements,
+        fast_fractions=(args.split,),
+    )
+    results = runner.run_grid(specs, workers=args.workers)
+    print(f"{'experiment':<40} {'ops/s':>12} {'avg read us':>12} "
+          f"{'p99 us':>9}")
+    for spec, res in zip(specs, results):
+        p99 = res.latency_percentiles_ns.get(99.0, float("nan")) / 1e3
+        print(f"{spec.label:<40} {res.throughput_ops_s:>12,.0f} "
+              f"{res.avg_read_ns / 1e3:>12.1f} {p99:>9.1f}")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.runner import DEFAULT_CACHE_DIR, ResultCache
+
+    cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached entries from {cache.root}")
+        return 0
+    print(f"cache: {cache.root}")
+    for line in cache.stats().lines():
+        print(line)
+    return 0
+
+
 _COMMANDS = {
     "workloads": _cmd_workloads,
     "profile": _cmd_profile,
@@ -263,6 +347,8 @@ _COMMANDS = {
     "drift": _cmd_drift,
     "retier": _cmd_retier,
     "multitier": _cmd_multitier,
+    "sweep": _cmd_sweep,
+    "cache": _cmd_cache,
 }
 
 

@@ -46,6 +46,11 @@ class Mnemo:
         The measuring YCSB client.
     p:
         SlowMem per-byte price as a fraction of FastMem's (paper: 0.2).
+    cache:
+        Optional result cache (path or
+        :class:`~repro.runner.cache.ResultCache`).  Profiling the same
+        workload twice — across runs, processes or tools — then recalls
+        the baselines bit-identically instead of re-measuring them.
     pattern_mode:
         Tiering-order mode for the Pattern Engine; the stand-alone tool
         uses ``"touch"`` (keys as the workload touches them).
@@ -59,10 +64,15 @@ class Mnemo:
         system_factory: Callable[[], HybridMemorySystem] = HybridMemorySystem.testbed,
         client: YCSBClient | None = None,
         p: float = DEFAULT_PRICE_FACTOR,
+        cache=None,
     ):
         self.engine_factory = engine_factory
         self.system_factory = system_factory
-        self.client = client if client is not None else YCSBClient()
+        client = client if client is not None else YCSBClient()
+        if cache is not None:
+            from repro.runner.caching import CachingClient
+            client = CachingClient.wrap(client, cache)
+        self.client = client
         self.sensitivity = SensitivityEngine(
             engine_factory, system_factory, self.client
         )

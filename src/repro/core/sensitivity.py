@@ -73,6 +73,13 @@ class SensitivityEngine:
     client:
         The measuring client; defaults to 3 repeats at 1 % noise, as
         the paper reports means over multiple runs.
+    cache:
+        Optional result cache (a
+        :class:`~repro.runner.cache.ResultCache` or a directory path).
+        When given, the client is wrapped in a
+        :class:`~repro.runner.caching.CachingClient`, so baselines
+        already measured — by any process — are recalled bit-identically
+        instead of re-executed.
     """
 
     def __init__(
@@ -80,10 +87,15 @@ class SensitivityEngine:
         engine_factory: EngineFactory,
         system_factory: SystemFactory = HybridMemorySystem.testbed,
         client: YCSBClient | None = None,
+        cache=None,
     ):
         self.engine_factory = engine_factory
         self.system_factory = system_factory
-        self.client = client if client is not None else YCSBClient()
+        client = client if client is not None else YCSBClient()
+        if cache is not None:
+            from repro.runner.caching import CachingClient
+            client = CachingClient.wrap(client, cache)
+        self.client = client
 
     def measure(self, descriptor: WorkloadDescriptor) -> PerformanceBaselines:
         """Execute the workload in both extreme configurations."""

@@ -6,10 +6,21 @@ served again is (partially) resident, so a repeat access avoids the memory
 round trip.  We model this with an exact LRU over records, capped by
 capacity in bytes.  Records larger than the cache never hit.
 
-The LRU is the one sequential loop in the simulator; it exploits CPython's
-insertion-ordered dict (re-insertion == move-to-back) so a 100k-request
-trace processes in tens of milliseconds.  Runs that do not need cache
-fidelity can pass ``cache=None`` to the client for a fully vectorized path.
+Two implementations back :meth:`LLCModel.process`:
+
+- an exact dict LRU (CPython's insertion-ordered dict: re-insertion ==
+  move-to-back) — the general path for mixed record sizes;
+- a vectorized NumPy fast path for the common fixed-record-size case,
+  based on stack-distance reasoning: with uniform sizes the byte-capped
+  LRU degenerates to a K-slot LRU stack (K = capacity // size), and an
+  access hits iff the number of *distinct* keys referenced since the
+  previous access to the same key is below K.  Most requests are decided
+  by two O(n) shortcuts (a reuse window shorter than K guarantees a hit;
+  a sliding-window distinct count of at least K over a contained
+  subwindow guarantees a miss), and only the residue pays for an exact
+  blocked reuse-distance count.  The final resident set is reconstructed
+  so the model's state and statistics are bit-identical to the
+  sequential path.
 """
 
 from __future__ import annotations
@@ -18,6 +29,162 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.units import MB
+
+
+def _previous_occurrence(keys: np.ndarray) -> np.ndarray:
+    """Index of each request's previous access to the same key (-1 if none)."""
+    n = keys.size
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    prev_sorted = np.full(n, -1, dtype=np.int64)
+    same = sorted_keys[1:] == sorted_keys[:-1]
+    prev_sorted[1:][same] = order[:-1][same]
+    prev = np.empty(n, dtype=np.int64)
+    prev[order] = prev_sorted
+    return prev
+
+
+def _next_occurrence(prev: np.ndarray) -> np.ndarray:
+    """Index of each request's next access to the same key (n if none)."""
+    n = prev.size
+    nxt = np.full(n, n, dtype=np.int64)
+    rep = np.nonzero(prev >= 0)[0]
+    nxt[prev[rep]] = rep
+    return nxt
+
+
+def _sliding_distinct(nxt: np.ndarray, width: int) -> np.ndarray:
+    """``S[i]`` = number of distinct keys among positions [i-width+1, i-1].
+
+    A position j is the *last* in-window occurrence of its key for query
+    i exactly when ``j < i <= min(nxt[j], j + width - 1)``, so each j
+    contributes +1 to a contiguous range of queries.  Accumulating those
+    ranges with a difference array makes the whole computation O(n).
+    """
+    n = nxt.size
+    diff = np.zeros(n + 2, dtype=np.int64)
+    j = np.arange(n, dtype=np.int64)
+    hi = np.minimum(nxt, j + width - 1)
+    ok = hi >= j + 1
+    np.add.at(diff, j[ok] + 1, 1)
+    np.add.at(diff, hi[ok] + 1, -1)
+    return np.cumsum(diff)[:n]
+
+
+def _dup_for_queries(prev: np.ndarray, qidx: np.ndarray) -> np.ndarray:
+    """``#{j < i : prev[j] > prev[i]}`` for each query position i in *qidx*.
+
+    This is the number of *duplicate* (repeat) accesses inside the reuse
+    window ``(prev[i], i)``: a position j in that window repeats an
+    earlier in-window key exactly when its own previous occurrence also
+    falls inside the window, i.e. ``prev[j] > prev[i]`` (``prev[j] < j``
+    and ``j < i`` then place j inside the window automatically).  First
+    occurrences (``prev[j] == -1``) can never satisfy the inequality, so
+    only repeat positions act as counting points.
+
+    Computed blockwise: a running sorted array of point values answers
+    queries against all *earlier* blocks via ``searchsorted``, and a
+    points-by-queries broadcast handles same-block pairs.  The block
+    size balances merge traffic (``n^2 / B``) against broadcast work
+    (``Q * B``), so sparse query sets get large blocks and cheap sweeps.
+    """
+    n = prev.size
+    dup = np.zeros(qidx.size, dtype=np.int64)
+    if qidx.size == 0:
+        return dup
+    pidx = np.nonzero(prev >= 0)[0]
+    block = int(np.clip(n / np.sqrt(2 * qidx.size + 1), 256, 8192))
+    sorted_vals = np.empty(0, dtype=np.int64)
+    for start in range(0, n, block):
+        end = min(start + block, n)
+        qlo, qhi = np.searchsorted(qidx, [start, end])
+        plo, phi = np.searchsorted(pidx, [start, end])
+        qs = qidx[qlo:qhi]
+        ps = pidx[plo:phi]
+        if qs.size:
+            qv = prev[qs]
+            if sorted_vals.size:
+                dup[qlo:qhi] = sorted_vals.size - np.searchsorted(
+                    sorted_vals, qv, side="right"
+                )
+            if ps.size:
+                pairs = (prev[ps][:, None] > qv[None, :]) \
+                    & (ps[:, None] < qs[None, :])
+                dup[qlo:qhi] += pairs.sum(axis=0)
+        if ps.size:
+            spv = np.sort(prev[ps])
+            if sorted_vals.size:
+                # vectorized two-sorted-array merge via rank placement
+                pos = np.searchsorted(sorted_vals, spv, side="right")
+                pos += np.arange(spv.size)
+                merged = np.empty(sorted_vals.size + spv.size, np.int64)
+                merged[pos] = spv
+                rest = np.ones(merged.size, dtype=bool)
+                rest[pos] = False
+                merged[rest] = sorted_vals
+                sorted_vals = merged
+            else:
+                sorted_vals = spv
+    return dup
+
+
+def lru_hit_mask_fixed_size(
+    keys: np.ndarray, size: int, capacity_bytes: int,
+) -> np.ndarray:
+    """Exact LRU hit mask for a cold cache and uniform record size.
+
+    Equivalent (bit-for-bit) to replaying *keys* through an empty
+    byte-capped LRU where every record occupies *size* bytes: a request
+    hits iff its reuse distance — the number of distinct keys accessed
+    since the previous access to the same key — is below the slot count
+    ``K = capacity_bytes // size``.  Records larger than the cache never
+    hit.
+
+    Most requests never pay for an exact reuse-distance count:
+
+    - a reuse window shorter than K can hold at most K - 1 distinct keys,
+      so the access is a guaranteed *hit* (covers hot keys);
+    - if a subwindow contained in the reuse window already holds >= K
+      distinct keys, the access is a guaranteed *miss* (covers cold keys;
+      subwindow distinct counts come from the O(n) sliding sweep of
+      :func:`_sliding_distinct`, with the subwindow width escalating
+      geometrically until the undecided residue is small).
+
+    Only the residue goes through :func:`_dup_for_queries`.
+    """
+    keys = np.ascontiguousarray(keys)
+    n = keys.size
+    if size <= 0:
+        raise ConfigurationError(f"record size must be positive, got {size}")
+    slots = capacity_bytes // size
+    if slots == 0 or n == 0:
+        return np.zeros(n, dtype=bool)
+    prev = _previous_occurrence(keys)
+    idx = np.arange(n, dtype=np.int64)
+    window = idx - prev - 1
+    repeat = prev >= 0
+    hit = repeat & (window < slots)
+    undecided = repeat & (window >= slots)
+    if undecided.any():
+        nxt = _next_occurrence(prev)
+        width = min(4 * slots + 1, n)
+        while True:
+            sliding = _sliding_distinct(nxt, width)
+            quick_miss = undecided & (prev <= idx - width) & (sliding >= slots)
+            decided = int(quick_miss.sum())
+            undecided &= ~quick_miss
+            if (
+                width >= n
+                or decided == 0
+                or int(undecided.sum()) <= max(1024, n // 64)
+            ):
+                break
+            width = min(4 * width, n)
+        qidx = np.nonzero(undecided)[0]
+        if qidx.size:
+            dup = _dup_for_queries(prev, qidx)
+            hit[qidx] = (window[qidx] - dup) < slots
+    return hit
 
 
 class LLCModel:
@@ -111,8 +278,12 @@ class LLCModel:
     def process(self, keys: np.ndarray, sizes: np.ndarray) -> np.ndarray:
         """Run a whole trace through the cache; return the boolean hit mask.
 
-        This is the batch entry point the client uses: one tight Python
-        loop over the trace, everything else stays vectorized.
+        This is the batch entry point the client uses.  When the cache is
+        cold and all record sizes are equal — the thumbnail-workload
+        common case — the vectorized stack-distance path runs with no
+        per-request Python loop; mixed sizes or a warm cache fall back to
+        the exact sequential LRU.  Both paths leave identical statistics
+        and residency state.
         """
         keys = np.asarray(keys)
         sizes = np.asarray(sizes)
@@ -120,6 +291,12 @@ class LLCModel:
             raise ConfigurationError(
                 f"keys and sizes must align: {keys.shape} vs {sizes.shape}"
             )
+        if (
+            keys.size > 0
+            and not self._entries
+            and (sizes == sizes.flat[0]).all()
+        ):
+            return self._process_fixed_size(keys, int(sizes.flat[0]))
         out = np.empty(keys.shape[0], dtype=bool)
         access = self.access
         key_list = keys.tolist()
@@ -127,3 +304,28 @@ class LLCModel:
         for i in range(len(key_list)):
             out[i] = access(key_list[i], size_list[i])
         return out
+
+    def _process_fixed_size(self, keys: np.ndarray, size: int) -> np.ndarray:
+        """Vectorized cold-cache path for a uniform record size.
+
+        Computes the hit mask via :func:`lru_hit_mask_fixed_size`, then
+        reconstructs the statistics and the exact end-of-trace residency
+        (the most recently used ``capacity // size`` distinct keys, in
+        LRU order) so subsequent incremental :meth:`access` calls behave
+        as if the sequential path had run.
+        """
+        hits = lru_hit_mask_fixed_size(keys, size, self.capacity_bytes)
+        n = keys.size
+        n_hits = int(hits.sum())
+        self.hits += n_hits
+        self.misses += n - n_hits
+        slots = self.capacity_bytes // size
+        if slots:
+            # resident set = last `slots` distinct keys by last occurrence;
+            # dict order must be LRU -> MRU, i.e. ascending last occurrence
+            rev_first = np.unique(keys[::-1], return_index=True)[1]
+            last_pos = np.sort((n - 1) - rev_first)
+            for pos in last_pos[-slots:]:
+                self._entries[int(keys[pos])] = size
+            self._used = len(self._entries) * size
+        return hits

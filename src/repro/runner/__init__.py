@@ -1,0 +1,66 @@
+"""Experiment runner: fingerprinting, caching, and parallel grids.
+
+The runner makes profiling cheap in the way the paper demands (Table IV:
+minutes, not instrumentation slowdowns) by never recomputing what has
+already been measured and by fanning grids out over processes:
+
+- :mod:`repro.runner.fingerprint` — canonical SHA-256 fingerprints over
+  everything that determines an experiment's outcome;
+- :mod:`repro.runner.cache` — the on-disk content-addressed store for
+  results, generated traces and LLC hit masks (``.mnemo-cache/``);
+- :mod:`repro.runner.caching` — a drop-in caching YCSB client;
+- :mod:`repro.runner.grid` — workload x store x placement grids over a
+  process pool, bit-identical to serial execution.
+
+See ``docs/RUNNER.md`` for the fingerprint scheme, cache layout and the
+determinism guarantees.
+"""
+
+from repro.runner.cache import (
+    DEFAULT_CACHE_DIR,
+    SCHEMA_VERSION,
+    CacheStats,
+    ResultCache,
+    ensure_cache,
+)
+from repro.runner.caching import CachingClient, hitmask_fingerprint
+from repro.runner.fingerprint import (
+    array_digest,
+    canonicalize,
+    digest,
+    experiment_fingerprint,
+    trace_fingerprint,
+    workload_fingerprint,
+)
+from repro.runner.grid import (
+    ENGINE_FACTORIES,
+    PLACEMENTS,
+    ClientConfig,
+    ExperimentRunner,
+    ExperimentSpec,
+    default_workers,
+    split_fast_keys,
+)
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "SCHEMA_VERSION",
+    "CacheStats",
+    "ResultCache",
+    "ensure_cache",
+    "CachingClient",
+    "hitmask_fingerprint",
+    "array_digest",
+    "canonicalize",
+    "digest",
+    "experiment_fingerprint",
+    "trace_fingerprint",
+    "workload_fingerprint",
+    "ENGINE_FACTORIES",
+    "PLACEMENTS",
+    "ClientConfig",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "default_workers",
+    "split_fast_keys",
+]

@@ -1,0 +1,218 @@
+"""On-disk content-addressed experiment cache.
+
+Layout (all under the cache root, default ``.mnemo-cache/``)::
+
+    .mnemo-cache/
+      v1/                     <- schema version; bumping it orphans old entries
+        results/<fp>.json     <- RunResult payloads
+        traces/<fp>.npz       <- generated traces (keys / is_read / sizes)
+        hitmasks/<fp>.npz     <- LLC hit masks keyed by (trace, LLC) digest
+
+Fingerprints come from :mod:`repro.runner.fingerprint`; an entry is valid
+forever because its key covers everything that determines its content.
+Invalidation therefore reduces to three rules: (1) bumping
+``SCHEMA_VERSION`` orphans every old entry, (2) any change to an
+experiment's inputs changes its fingerprint, so stale entries are simply
+never looked up again, and (3) ``clear()`` drops everything explicitly.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent workers in
+a parallel grid can share one cache directory without corruption.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import shutil
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.ycsb.client import RunResult
+from repro.ycsb.workload import Trace
+
+#: Cache schema version; bump when the on-disk format or the
+#: fingerprint canonicalisation changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Default cache directory name (relative to the working directory).
+DEFAULT_CACHE_DIR = ".mnemo-cache"
+
+_KINDS = ("results", "traces", "hitmasks")
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class CacheStats:
+    """Per-kind entry counts and byte totals of a cache directory."""
+
+    def __init__(self, entries: dict[str, int], bytes_: dict[str, int]):
+        self.entries = entries
+        self.bytes = bytes_
+
+    @property
+    def total_entries(self) -> int:
+        """Entries across all kinds."""
+        return sum(self.entries.values())
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes across all kinds."""
+        return sum(self.bytes.values())
+
+    def lines(self) -> list[str]:
+        """Human-readable summary rows (kind, entries, size)."""
+        out = []
+        for kind in _KINDS:
+            out.append(
+                f"{kind:<10} {self.entries[kind]:>6} entries "
+                f"{self.bytes[kind] / 1e6:>10.2f} MB"
+            )
+        out.append(
+            f"{'total':<10} {self.total_entries:>6} entries "
+            f"{self.total_bytes / 1e6:>10.2f} MB"
+        )
+        return out
+
+
+class ResultCache:
+    """Content-addressed store for run results, traces and hit masks.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on first write).  Defaults to
+        ``.mnemo-cache`` in the current working directory.
+    """
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+        self._base = self.root / f"v{SCHEMA_VERSION}"
+
+    # -- paths ----------------------------------------------------------------
+
+    def _path(self, kind: str, fingerprint: str, suffix: str) -> Path:
+        return self._base / kind / f"{fingerprint}{suffix}"
+
+    def _ensure(self, kind: str) -> None:
+        (self._base / kind).mkdir(parents=True, exist_ok=True)
+
+    # -- run results ----------------------------------------------------------
+
+    def get_result(self, fingerprint: str) -> RunResult | None:
+        """Load a cached :class:`~repro.ycsb.client.RunResult` (or None)."""
+        path = self._path("results", fingerprint, ".json")
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("schema") != SCHEMA_VERSION:
+            return None
+        body = payload["result"]
+        body["latency_percentiles_ns"] = {
+            float(q): v for q, v in body["latency_percentiles_ns"].items()
+        }
+        return RunResult(**body)
+
+    def put_result(self, fingerprint: str, result: RunResult) -> Path:
+        """Persist a run result; returns the written path."""
+        self._ensure("results")
+        path = self._path("results", fingerprint, ".json")
+        payload = {"schema": SCHEMA_VERSION, "result": asdict(result)}
+        _atomic_write(path, json.dumps(payload, indent=1).encode())
+        return path
+
+    # -- traces ---------------------------------------------------------------
+
+    def get_trace(self, fingerprint: str) -> Trace | None:
+        """Load a cached generated trace (or None)."""
+        path = self._path("traces", fingerprint, ".npz")
+        try:
+            with np.load(path, allow_pickle=False) as npz:
+                return Trace(
+                    name=str(npz["name"]),
+                    keys=npz["keys"],
+                    is_read=npz["is_read"],
+                    record_sizes=npz["record_sizes"],
+                )
+        except (OSError, KeyError, ValueError):
+            return None
+
+    def put_trace(self, fingerprint: str, trace: Trace) -> Path:
+        """Persist a generated trace; returns the written path."""
+        self._ensure("traces")
+        path = self._path("traces", fingerprint, ".npz")
+        buf = io.BytesIO()
+        np.savez_compressed(
+            buf,
+            name=np.asarray(trace.name),
+            keys=trace.keys,
+            is_read=trace.is_read,
+            record_sizes=trace.record_sizes,
+        )
+        _atomic_write(path, buf.getvalue())
+        return path
+
+    # -- hit masks ------------------------------------------------------------
+
+    def get_hitmask(self, fingerprint: str) -> np.ndarray | None:
+        """Load a cached LLC hit mask (or None)."""
+        path = self._path("hitmasks", fingerprint, ".npz")
+        try:
+            with np.load(path, allow_pickle=False) as npz:
+                return npz["mask"]
+        except (OSError, KeyError, ValueError):
+            return None
+
+    def put_hitmask(self, fingerprint: str, mask: np.ndarray) -> Path:
+        """Persist an LLC hit mask; returns the written path."""
+        self._ensure("hitmasks")
+        path = self._path("hitmasks", fingerprint, ".npz")
+        buf = io.BytesIO()
+        np.savez_compressed(buf, mask=np.asarray(mask, dtype=bool))
+        _atomic_write(path, buf.getvalue())
+        return path
+
+    # -- maintenance ----------------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        """Entry counts and byte totals per kind (current schema only)."""
+        entries = {}
+        bytes_ = {}
+        for kind in _KINDS:
+            files = [
+                p for p in (self._base / kind).glob("*")
+                if not p.name.startswith(".tmp-")
+            ] if (self._base / kind).is_dir() else []
+            entries[kind] = len(files)
+            bytes_[kind] = sum(p.stat().st_size for p in files)
+        return CacheStats(entries, bytes_)
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        n = self.stats().total_entries
+        if self.root.is_dir():
+            shutil.rmtree(self.root)
+        return n
+
+
+def ensure_cache(cache: "ResultCache | str | Path | None") -> ResultCache | None:
+    """Coerce a cache argument: pass through, build from a path, or None."""
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)

@@ -1,0 +1,124 @@
+"""A measuring client with content-addressed memoization.
+
+:class:`CachingClient` is a drop-in :class:`~repro.ycsb.client.YCSBClient`
+that consults a :class:`~repro.runner.cache.ResultCache` before measuring
+and persists what it measures.  Because the base client derives its noise
+streams from the experiment fingerprint, a cached result is *bit-identical*
+to the measurement it replaced — caching changes wall-clock time, never
+numbers.
+
+Clients seeded with a live :class:`numpy.random.Generator` are inherently
+non-reproducible, so they bypass the cache entirely (every call measures
+fresh, exactly like the base class).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kvstore.server import HybridDeployment
+from repro.runner.cache import ResultCache, ensure_cache
+from repro.runner.fingerprint import digest
+from repro.ycsb.client import DEFAULT_PERCENTILES, RunResult, YCSBClient
+from repro.ycsb.workload import Trace
+
+
+def hitmask_fingerprint(trace_digest: str, capacity_bytes: int) -> str:
+    """Cache key of an LLC hit mask (pure function of these two inputs)."""
+    return digest({"trace": trace_digest, "capacity_bytes": capacity_bytes})[:32]
+
+
+class CachingClient(YCSBClient):
+    """YCSB client that memoizes measurements in an on-disk cache.
+
+    Parameters
+    ----------
+    cache:
+        A :class:`~repro.runner.cache.ResultCache`, a cache directory
+        path, or None for a cache in the default location.  All other
+        parameters match :class:`~repro.ycsb.client.YCSBClient`.
+    """
+
+    def __init__(
+        self,
+        cache: ResultCache | str | None = None,
+        repeats: int = 3,
+        noise_sigma: float = 0.01,
+        use_llc: bool = False,
+        percentiles: tuple[float, ...] = DEFAULT_PERCENTILES,
+        seed=None,
+        concurrency: int = 1,
+        contention: float = 0.15,
+    ):
+        super().__init__(
+            repeats=repeats,
+            noise_sigma=noise_sigma,
+            use_llc=use_llc,
+            percentiles=percentiles,
+            seed=seed,
+            concurrency=concurrency,
+            contention=contention,
+        )
+        self.cache = ensure_cache(cache) or ResultCache()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    @classmethod
+    def wrap(
+        cls, client: YCSBClient, cache: ResultCache | str | None,
+    ) -> "CachingClient":
+        """A caching client with the same settings as *client*.
+
+        Passing an already-caching client just repoints its cache.
+        """
+        return cls(
+            cache=cache,
+            repeats=client.repeats,
+            noise_sigma=client.noise.sigma,
+            use_llc=client.use_llc,
+            percentiles=client.percentiles,
+            seed=client.seed,
+            concurrency=client.concurrency,
+            contention=client.contention,
+        )
+
+    def _cache_mask(
+        self, trace: Trace, deployment: HybridDeployment,
+        trace_digest: str | None,
+    ):
+        """Hit mask lookup: in-memory memo, then disk, then the LRU."""
+        if not self.use_llc or trace_digest is None:
+            return super()._cache_mask(trace, deployment, trace_digest)
+        llc = deployment.system.llc
+        key = (trace_digest, llc.capacity_bytes)
+        hits = self._hitmask_memo.get(key)
+        if hits is not None:
+            return hits, llc.hit_latency_ns
+        fp = hitmask_fingerprint(trace_digest, llc.capacity_bytes)
+        hits = self.cache.get_hitmask(fp)
+        if hits is None:
+            hits, _ = super()._cache_mask(trace, deployment, trace_digest)
+            self.cache.put_hitmask(fp, hits)
+        else:
+            hits.flags.writeable = False
+            self._hitmask_memo[key] = hits
+        return hits, llc.hit_latency_ns
+
+    def execute(self, trace: Trace, deployment: HybridDeployment) -> RunResult:
+        """Measure (or recall) *trace* against *deployment*.
+
+        On a cache hit the stored result is returned without touching
+        the simulator; on a miss the base client measures and the result
+        is persisted under its experiment fingerprint.
+        """
+        if isinstance(self._seed, np.random.Generator):
+            return super().execute(trace, deployment)
+        _, fp = self.experiment_fingerprint(trace, deployment)
+        result = self.cache.get_result(fp)
+        if result is not None:
+            self.cache_hits += 1
+            return result
+        self.cache_misses += 1
+        result = super().execute(trace, deployment)
+        self.cache.put_result(fp, result)
+        return result

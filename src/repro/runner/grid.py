@@ -1,0 +1,326 @@
+"""Parallel experiment grids with deterministic results.
+
+:class:`ExperimentRunner` executes workload x store x placement grids,
+optionally across a :class:`~concurrent.futures.ProcessPoolExecutor`.
+Three properties make the parallel path safe:
+
+- every experiment is described by a picklable :class:`ExperimentSpec`
+  (engines are named, not passed as live objects);
+- noise seeds derive from the experiment fingerprint, so a task measures
+  the same numbers no matter which process or schedule runs it —
+  parallel grids are bit-identical to serial ones;
+- cache writes are atomic, so workers can share one cache directory.
+
+Placements:
+
+``"fast"``
+    Every record on FastMem (the best-case baseline).
+``"slow"``
+    Every record on SlowMem (the worst-case baseline).
+``"split"``
+    The hottest keys — ranked by access count, ties broken by key id —
+    on FastMem up to ``fast_fraction`` of the total payload bytes (a
+    Fig 5-style capacity sweep point).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.kvstore.dynamolike import DynamoLike
+from repro.kvstore.memcachedlike import MemcachedLike
+from repro.kvstore.redislike import RedisLike
+from repro.kvstore.server import HybridDeployment
+from repro.memsim.system import HybridMemorySystem
+from repro.kvstore.profiles import profile_for
+from repro.runner.cache import ResultCache, ensure_cache
+from repro.runner.caching import CachingClient
+from repro.runner.fingerprint import (
+    experiment_fingerprint_parts,
+    trace_fingerprint,
+    workload_fingerprint,
+)
+from repro.ycsb.client import DEFAULT_PERCENTILES, RunResult, YCSBClient
+from repro.ycsb.generator import generate_trace
+from repro.ycsb.workload import Trace, WorkloadSpec
+
+#: Engine factories by CLI name; grid specs reference engines by name so
+#: they stay picklable across process boundaries.
+ENGINE_FACTORIES = {
+    "redis": RedisLike,
+    "memcached": MemcachedLike,
+    "dynamodb": DynamoLike,
+}
+
+#: Placement modes an :class:`ExperimentSpec` may request.
+PLACEMENTS = ("fast", "slow", "split")
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """Picklable description of a measuring client.
+
+    Mirrors the :class:`~repro.ycsb.client.YCSBClient` constructor, but
+    the seed must be an integer (or None): live generators can be
+    neither pickled nor fingerprinted.
+    """
+
+    repeats: int = 3
+    noise_sigma: float = 0.01
+    use_llc: bool = False
+    percentiles: tuple[float, ...] = DEFAULT_PERCENTILES
+    seed: int | None = None
+    concurrency: int = 1
+    contention: float = 0.15
+
+    def build(self, cache: ResultCache | None = None) -> YCSBClient:
+        """Construct the client (caching when a cache is supplied)."""
+        kwargs = dict(
+            repeats=self.repeats,
+            noise_sigma=self.noise_sigma,
+            use_llc=self.use_llc,
+            percentiles=self.percentiles,
+            seed=self.seed,
+            concurrency=self.concurrency,
+            contention=self.contention,
+        )
+        if cache is not None:
+            return CachingClient(cache=cache, **kwargs)
+        return YCSBClient(**kwargs)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One cell of an experiment grid (picklable, fingerprintable)."""
+
+    workload: WorkloadSpec
+    engine: str = "redis"
+    placement: str = "slow"
+    fast_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINE_FACTORIES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; "
+                f"choose from {sorted(ENGINE_FACTORIES)}"
+            )
+        if self.placement not in PLACEMENTS:
+            raise ConfigurationError(
+                f"unknown placement {self.placement!r}; "
+                f"choose from {PLACEMENTS}"
+            )
+        if not 0.0 <= self.fast_fraction <= 1.0:
+            raise ConfigurationError(
+                f"fast_fraction must be in [0, 1], got {self.fast_fraction}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identifier for logs and tables."""
+        tail = (
+            f"split{self.fast_fraction:.2f}"
+            if self.placement == "split" else self.placement
+        )
+        return f"{self.workload.name}/{self.engine}/{tail}"
+
+
+def split_fast_keys(trace: Trace, fraction: float) -> np.ndarray:
+    """Hottest keys filling *fraction* of the payload bytes.
+
+    Keys are ranked by access count (descending, ties by ascending key
+    id) and taken greedily while the cumulative payload stays within the
+    byte budget — deterministic for a given trace.
+    """
+    counts = np.bincount(trace.keys, minlength=trace.record_sizes.size)
+    order = np.argsort(-counts, kind="stable")
+    budget = fraction * float(trace.record_sizes.sum())
+    within = np.cumsum(trace.record_sizes[order]) <= budget
+    return order[within]
+
+
+class ExperimentRunner:
+    """Executes experiment grids with caching and optional parallelism.
+
+    Parameters
+    ----------
+    cache:
+        Result cache (a :class:`~repro.runner.cache.ResultCache`, a
+        directory path, or None to disable caching).
+    client:
+        Client settings applied to every experiment.
+    system_factory:
+        Builds a fresh hybrid memory system per deployment.  Must be
+        picklable (a module-level callable) for parallel grids; the
+        default Table I testbed is.
+    workers:
+        Default process count for :meth:`run_grid` (None = serial).
+    """
+
+    def __init__(
+        self,
+        cache: ResultCache | str | None = None,
+        client: ClientConfig = ClientConfig(),
+        system_factory=HybridMemorySystem.testbed,
+        workers: int | None = None,
+    ):
+        self.cache = ensure_cache(cache)
+        self.client_config = client
+        self.system_factory = system_factory
+        self.workers = workers
+        self._client = client.build(self.cache)
+
+    # -- building blocks ---------------------------------------------------------
+
+    def trace_for(self, workload: WorkloadSpec) -> Trace:
+        """Materialise a workload's trace, via the trace cache if present."""
+        if self.cache is None:
+            return generate_trace(workload)
+        fp = workload_fingerprint(workload)
+        trace = self.cache.get_trace(fp)
+        if trace is None:
+            trace = generate_trace(workload)
+            self.cache.put_trace(fp, trace)
+        return trace
+
+    def deployment_for(
+        self, spec: ExperimentSpec, trace: Trace,
+    ) -> HybridDeployment:
+        """Build the deployment a spec describes."""
+        factory = ENGINE_FACTORIES[spec.engine]
+        system = self.system_factory()
+        if spec.placement == "fast":
+            return HybridDeployment.all_fast(
+                factory, system, trace.record_sizes
+            )
+        if spec.placement == "slow":
+            return HybridDeployment.all_slow(
+                factory, system, trace.record_sizes
+            )
+        fast_keys = split_fast_keys(trace, spec.fast_fraction)
+        return HybridDeployment(
+            factory, system, trace.record_sizes, fast_keys=fast_keys
+        )
+
+    def placement_mask(self, spec: ExperimentSpec, trace: Trace) -> np.ndarray:
+        """The FastMem membership mask a spec's deployment would have."""
+        n = trace.record_sizes.size
+        if spec.placement == "fast":
+            return np.ones(n, dtype=bool)
+        mask = np.zeros(n, dtype=bool)
+        if spec.placement == "split":
+            mask[split_fast_keys(trace, spec.fast_fraction)] = True
+        return mask
+
+    def spec_fingerprint(self, spec: ExperimentSpec, trace: Trace) -> str:
+        """Experiment fingerprint computed without building a deployment.
+
+        Matches what the caching client computes after construction, so
+        warm-cache probes skip record loading entirely.
+        """
+        return experiment_fingerprint_parts(
+            trace_fingerprint(trace),
+            profile_for(spec.engine),
+            self.placement_mask(spec, trace),
+            self.system_factory(),
+            self._client,
+        )
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, spec: ExperimentSpec) -> RunResult:
+        """Execute one experiment (through the cache when configured).
+
+        When a cache is configured, the result is probed by the spec's
+        fingerprint *before* the deployment is built, so warm runs pay
+        only for trace loading and hashing.
+        """
+        trace = self.trace_for(spec.workload)
+        if self.cache is not None:
+            hit = self.cache.get_result(self.spec_fingerprint(spec, trace))
+            if hit is not None:
+                return hit
+        return self._client.execute(trace, self.deployment_for(spec, trace))
+
+    def run_grid(
+        self, specs: list[ExperimentSpec], workers: int | None = None,
+    ) -> list[RunResult]:
+        """Execute *specs*, preserving order; parallel when workers > 1.
+
+        Results are bit-identical to a serial :meth:`run` loop: each
+        task's noise streams derive from its experiment fingerprint, so
+        scheduling cannot leak into the numbers.
+        """
+        workers = self.workers if workers is None else workers
+        if workers is None:
+            workers = 1
+        workers = max(1, min(int(workers), len(specs) or 1))
+        if workers == 1 or len(specs) <= 1:
+            return [self.run(spec) for spec in specs]
+        root = None if self.cache is None else str(self.cache.root)
+        payloads = [
+            (spec, self.client_config, root, self.system_factory)
+            for spec in specs
+        ]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_worker_run, payloads))
+
+    def baselines(self, workload: WorkloadSpec, engine: str = "redis"):
+        """FastMem/SlowMem baselines for one (workload, engine) pair.
+
+        Returns a :class:`~repro.core.sensitivity.PerformanceBaselines`,
+        the structure the Estimate Engine consumes.
+        """
+        from repro.core.sensitivity import PerformanceBaselines
+        fast, slow = self.run_grid([
+            ExperimentSpec(workload=workload, engine=engine, placement="fast"),
+            ExperimentSpec(workload=workload, engine=engine, placement="slow"),
+        ])
+        return PerformanceBaselines(fast=fast, slow=slow)
+
+    @staticmethod
+    def grid(
+        workloads,
+        engines=("redis",),
+        placements=("fast", "slow"),
+        fast_fractions=(0.0,),
+    ) -> list[ExperimentSpec]:
+        """The cross product of the given axes as a list of specs.
+
+        ``fast_fractions`` only multiplies cells whose placement is
+        ``"split"``; baseline placements appear once each.
+        """
+        specs = []
+        for workload in workloads:
+            for engine in engines:
+                for placement in placements:
+                    fracs = fast_fractions if placement == "split" else (0.0,)
+                    for frac in fracs:
+                        specs.append(ExperimentSpec(
+                            workload=workload,
+                            engine=engine,
+                            placement=placement,
+                            fast_fraction=frac,
+                        ))
+        return specs
+
+
+def default_workers() -> int:
+    """A sensible process count for parallel grids (>= 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _worker_run(payload) -> RunResult:
+    """Process-pool entry point: rebuild a serial runner and execute."""
+    spec, client_config, cache_root, system_factory = payload
+    runner = ExperimentRunner(
+        cache=cache_root,
+        client=client_config,
+        system_factory=system_factory,
+        workers=None,
+    )
+    return runner.run(spec)

@@ -11,9 +11,17 @@ runs" (Fig 5 caption).
 The hot path is fully vectorized: per-request node parameters are
 gathered with fancy indexing and all service times come out of one
 :class:`~repro.memsim.timing.AccessTimer` call.  The optional LLC model
-adds the only per-request Python loop and is off by default — with
-100 KB records against a 12 MB LLC its effect is second-order (see the
-cache ablation bench).
+(off by default — with 100 KB records against a 12 MB LLC its effect is
+second-order, see the cache ablation bench) uses the vectorized
+stack-distance path for uniform record sizes and memoizes hit masks per
+(trace, capacity), so repeated measurements never replay the LRU.
+
+Noise seeding is *content-addressed*: every measurement derives its
+noise streams from the experiment fingerprint (trace, deployment,
+client settings — see :mod:`repro.runner.fingerprint`), so the same
+experiment measures identically regardless of call order, process, or
+parallel schedule, while distinct deployments still see independent
+noise realisations.
 """
 
 from __future__ import annotations
@@ -148,10 +156,14 @@ class YCSBClient:
         self.use_llc = use_llc
         self.percentiles = tuple(percentiles)
         self._seed = seed
-        # executions of the same trace must see independent noise
-        # realisations (distinct deployments are distinct experiments),
-        # so the seed derivation includes a per-client execution counter
-        self._executions = 0
+        # hit masks are a pure function of (trace, LLC capacity); memoize
+        # them so repeated measurements never replay the LRU
+        self._hitmask_memo: dict[tuple[str, int], np.ndarray] = {}
+
+    @property
+    def seed(self) -> SeedLike:
+        """The base seed for the noise streams (as passed to ``__init__``)."""
+        return self._seed
 
     # -- internals ---------------------------------------------------------------
 
@@ -177,14 +189,62 @@ class YCSBClient:
         cpu = np.where(trace.is_read, prof.read_cpu_ns, prof.write_cpu_ns)
         return sizes, latency, bpns, passes, cpu
 
-    def _cache_mask(self, trace: Trace, deployment: HybridDeployment):
-        """Boolean per-request hit mask from a fresh LLC run (or None)."""
+    def _cache_mask(
+        self, trace: Trace, deployment: HybridDeployment,
+        trace_digest: str | None,
+    ):
+        """Boolean per-request hit mask from the LLC model (or None).
+
+        Masks are memoized per (trace digest, LLC capacity) — the mask is
+        a pure function of those two — so only the first measurement of a
+        trace pays for the LRU replay.  On a memo hit the deployment's
+        LLC object is left untouched.
+        """
         if not self.use_llc:
             return None, 0.0
         llc: LLCModel = deployment.system.llc
+        key = None
+        if trace_digest is not None:
+            key = (trace_digest, llc.capacity_bytes)
+            hits = self._hitmask_memo.get(key)
+            if hits is not None:
+                return hits, llc.hit_latency_ns
         llc.reset()
         hits = llc.process(trace.keys, trace.record_sizes[trace.keys])
+        hits.flags.writeable = False
+        if key is not None:
+            self._hitmask_memo[key] = hits
         return hits, llc.hit_latency_ns
+
+    def experiment_fingerprint(
+        self, trace: Trace, deployment: HybridDeployment,
+    ) -> tuple[str, str]:
+        """(trace digest, experiment fingerprint) for one measurement.
+
+        The experiment fingerprint covers everything that determines the
+        measured numbers — trace content, engine profile, placement,
+        memory-system parameters and this client's settings — and is both
+        the content-addressed cache key and the root label of the noise
+        streams.  Raises for clients seeded with a live generator, which
+        are inherently non-reproducible.
+        """
+        from repro.runner.fingerprint import (
+            experiment_fingerprint, trace_fingerprint,
+        )
+        digest = trace_fingerprint(trace)
+        return digest, experiment_fingerprint(digest, deployment, self)
+
+    def _experiment_context(self, trace: Trace, deployment: HybridDeployment):
+        """Noise-stream label, hit mask and hit latency for one measurement."""
+        if isinstance(self._seed, np.random.Generator):
+            # a live generator is drawn from on every derive_seed call, so
+            # a static label still yields fresh independent streams; such
+            # clients are not fingerprintable (or cacheable)
+            label, digest = trace.name, None
+        else:
+            digest, label = self.experiment_fingerprint(trace, deployment)
+        cached, cache_lat = self._cache_mask(trace, deployment, digest)
+        return label, cached, cache_lat
 
     # -- execution --------------------------------------------------------------------
 
@@ -198,13 +258,10 @@ class YCSBClient:
         closed-loop measurements.
         """
         sizes, latency, bpns, passes, cpu = self._gather(trace, deployment)
-        cached, cache_lat = self._cache_mask(trace, deployment)
-        self._executions += 1
+        label, cached, cache_lat = self._experiment_context(trace, deployment)
         timer = AccessTimer(
             noise=self.noise,
-            seed=derive_seed(
-                self._seed, f"{trace.name}/svc{self._executions}"
-            ),
+            seed=derive_seed(self._seed, f"{label}/svc"),
         )
         return timer.request_times_ns(
             sizes, latency, bpns, passes, cpu,
@@ -214,9 +271,7 @@ class YCSBClient:
     def execute(self, trace: Trace, deployment: HybridDeployment) -> RunResult:
         """Run *trace* against *deployment*; return averaged measurements."""
         sizes, latency, bpns, passes, cpu = self._gather(trace, deployment)
-        cached, cache_lat = self._cache_mask(trace, deployment)
-        self._executions += 1
-        exec_id = self._executions
+        label, cached, cache_lat = self._experiment_context(trace, deployment)
 
         runtimes = np.empty(self.repeats)
         read_sums = np.empty(self.repeats)
@@ -229,9 +284,7 @@ class YCSBClient:
         for r in range(self.repeats):
             timer = AccessTimer(
                 noise=self.noise,
-                seed=derive_seed(
-                    self._seed, f"{trace.name}/exec{exec_id}/run{r}"
-                ),
+                seed=derive_seed(self._seed, f"{label}/run{r}"),
             )
             times = timer.request_times_ns(
                 sizes, latency, bpns, passes, cpu,

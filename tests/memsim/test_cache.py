@@ -5,6 +5,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.memsim import LLCModel
+from repro.memsim.cache import lru_hit_mask_fixed_size
 
 
 class TestConstruction:
@@ -124,3 +125,138 @@ class TestProcess:
         sizes = np.full(1000, 100)
         hits = LLCModel(capacity_bytes=1000).process(keys, sizes)
         assert hits[1:].all() and not hits[0]
+
+
+def _replay(keys, sizes, capacity):
+    """Reference run through the sequential exact LRU."""
+    llc = LLCModel(capacity_bytes=capacity)
+    mask = np.array(
+        [llc.access(int(k), int(s)) for k, s in zip(keys, sizes)]
+    )
+    return llc, mask
+
+
+class TestEdgeCases:
+    def test_oversized_record_bypass_in_batch(self):
+        # records larger than the cache always miss and never install
+        keys = np.array([1, 1, 2, 1])
+        sizes = np.full(4, 500)
+        llc = LLCModel(capacity_bytes=100)
+        hits = llc.process(keys, sizes)
+        assert not hits.any()
+        assert llc.used_bytes == 0 and llc.resident_keys == 0
+        assert llc.misses == 4
+
+    def test_invalidate_accounting_then_reuse(self):
+        llc = LLCModel(capacity_bytes=1000)
+        llc.access(1, 400)
+        llc.access(2, 300)
+        assert llc.invalidate(1) is True
+        assert llc.used_bytes == 300
+        # the freed space must be reusable without evicting key 2
+        assert llc.access(3, 700) is False
+        assert 2 in llc and 3 in llc
+        assert llc.used_bytes == 1000
+        # invalidating twice is a no-op
+        assert llc.invalidate(1) is False
+        assert llc.used_bytes == 1000
+
+    def test_eviction_accounting_under_reinsertion(self):
+        # re-inserting an evicted key repeatedly must not leak bytes
+        llc = LLCModel(capacity_bytes=250)
+        for _ in range(10):
+            llc.access(1, 100)
+            llc.access(2, 100)
+            llc.access(3, 100)  # evicts 1
+        assert llc.used_bytes <= 250
+        assert llc.used_bytes == 100 * llc.resident_keys
+        assert llc.hits == 0  # every access evicted before its repeat
+
+    def test_resize_on_reinsert_same_key_different_size(self):
+        # a hit does not resize (the model tracks whole-record residency),
+        # but an insert after invalidation accounts the new size
+        llc = LLCModel(capacity_bytes=1000)
+        llc.access(1, 400)
+        llc.invalidate(1)
+        llc.access(1, 200)
+        assert llc.used_bytes == 200
+
+
+class TestVectorizedEquivalence:
+    def test_randomized_traces_match_exact_lru(self):
+        rng = np.random.default_rng(42)
+        for _ in range(25):
+            n = int(rng.integers(1, 3000))
+            n_keys = int(rng.integers(1, 250))
+            size = int(rng.integers(1, 64))
+            capacity = int(rng.integers(1, 800))
+            keys = rng.integers(0, n_keys, n)
+            sizes = np.full(n, size)
+            fast = LLCModel(capacity_bytes=capacity)
+            got = fast.process(keys, sizes)
+            ref, want = _replay(keys, sizes, capacity)
+            assert np.array_equal(got, want)
+            assert (fast.hits, fast.misses) == (ref.hits, ref.misses)
+            assert fast.used_bytes == ref.used_bytes
+            # residency AND recency order must match for future accesses
+            assert list(fast._entries.items()) == list(ref._entries.items())
+
+    def test_incremental_access_after_batch_matches(self):
+        keys = np.array([0, 1, 2, 0, 3, 1, 4, 2, 0])
+        sizes = np.full(keys.size, 100)
+        fast = LLCModel(capacity_bytes=300)
+        fast.process(keys, sizes)
+        ref, _ = _replay(keys, sizes, 300)
+        for key in (0, 5, 3, 2):
+            assert fast.access(key, 100) == ref.access(key, 100)
+
+    def test_warm_cache_falls_back_and_matches(self):
+        keys = np.array([7, 8, 7, 9])
+        sizes = np.full(4, 100)
+        fast = LLCModel(capacity_bytes=300)
+        fast.access(7, 100)  # warm state forces the sequential path
+        got = fast.process(keys, sizes)
+        ref = LLCModel(capacity_bytes=300)
+        ref.access(7, 100)
+        want = np.array([ref.access(int(k), 100) for k in keys])
+        assert np.array_equal(got, want)
+
+    def test_mixed_sizes_fall_back_and_match(self):
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 40, 500)
+        sizes = rng.integers(1, 50, 500)
+        got = LLCModel(capacity_bytes=400).process(keys, sizes)
+        _, want = _replay(keys, sizes, 400)
+        assert np.array_equal(got, want)
+
+    def test_heavy_tail_trace_matches(self):
+        # stresses the escalating sliding-window shortcut and the
+        # blocked residual count with many mid-range reuse distances
+        rng = np.random.default_rng(9)
+        keys = (rng.pareto(1.1, 20_000) * 20).astype(np.int64) % 2_000
+        sizes = np.full(keys.size, 10)
+        got = LLCModel(capacity_bytes=500).process(keys, sizes)
+        _, want = _replay(keys, sizes, 500)
+        assert np.array_equal(got, want)
+
+
+class TestHitMaskFunction:
+    def test_invalid_size_raises(self):
+        with pytest.raises(ConfigurationError):
+            lru_hit_mask_fixed_size(np.array([1, 2]), 0, 100)
+
+    def test_empty_trace(self):
+        mask = lru_hit_mask_fixed_size(np.array([], dtype=np.int64), 10, 100)
+        assert mask.size == 0 and mask.dtype == bool
+
+    def test_zero_slots_all_miss(self):
+        mask = lru_hit_mask_fixed_size(np.array([1, 1, 1]), 200, 100)
+        assert not mask.any()
+
+    def test_single_slot_exact(self):
+        # K = 1: only immediate repeats hit
+        keys = np.array([1, 1, 2, 2, 1, 1, 1, 3])
+        mask = lru_hit_mask_fixed_size(keys, 100, 100)
+        assert mask.tolist() == [
+            False, True, False, True, False, True, True, False
+        ]

@@ -1,0 +1,115 @@
+"""Tests for the on-disk content-addressed cache."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runner.cache import (
+    SCHEMA_VERSION,
+    ResultCache,
+    ensure_cache,
+)
+from repro.ycsb.client import RunResult
+from repro.ycsb.workload import Trace
+
+
+@pytest.fixture
+def cache(tmp_path):
+    """A fresh cache rooted in a temp directory."""
+    return ResultCache(tmp_path / "cache")
+
+
+@pytest.fixture
+def result():
+    """A representative RunResult with float percentile keys."""
+    return RunResult(
+        workload="w", engine="redis", n_requests=100, n_reads=60,
+        n_writes=40, runtime_ns=1.5e8, avg_read_ns=1200.5,
+        avg_write_ns=1500.25,
+        latency_percentiles_ns={50.0: 900.0, 99.0: 4000.125},
+        repeats=3, runtime_std_ns=12.5, concurrency=2,
+    )
+
+
+class TestResults:
+    def test_roundtrip_is_exact(self, cache, result):
+        cache.put_result("fp1", result)
+        assert cache.get_result("fp1") == result
+
+    def test_percentile_keys_restored_as_floats(self, cache, result):
+        cache.put_result("fp1", result)
+        got = cache.get_result("fp1")
+        assert set(got.latency_percentiles_ns) == {50.0, 99.0}
+
+    def test_missing_returns_none(self, cache):
+        assert cache.get_result("nope") is None
+
+    def test_schema_mismatch_invalidates(self, cache, result):
+        path = cache.put_result("fp1", result)
+        payload = json.loads(path.read_text())
+        payload["schema"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        assert cache.get_result("fp1") is None
+
+    def test_corrupt_json_returns_none(self, cache, result):
+        path = cache.put_result("fp1", result)
+        path.write_text("{not json")
+        assert cache.get_result("fp1") is None
+
+
+class TestTraces:
+    def test_roundtrip(self, cache, small_trace):
+        cache.put_trace("t1", small_trace)
+        got = cache.get_trace("t1")
+        assert got.name == small_trace.name
+        assert np.array_equal(got.keys, small_trace.keys)
+        assert np.array_equal(got.is_read, small_trace.is_read)
+        assert np.array_equal(got.record_sizes, small_trace.record_sizes)
+
+    def test_missing_returns_none(self, cache):
+        assert cache.get_trace("nope") is None
+
+
+class TestHitmasks:
+    def test_roundtrip(self, cache):
+        mask = np.array([True, False, True])
+        cache.put_hitmask("h1", mask)
+        assert np.array_equal(cache.get_hitmask("h1"), mask)
+
+    def test_missing_returns_none(self, cache):
+        assert cache.get_hitmask("nope") is None
+
+
+class TestMaintenance:
+    def test_stats_counts_kinds(self, cache, result, small_trace):
+        cache.put_result("a", result)
+        cache.put_result("b", result)
+        cache.put_trace("t", small_trace)
+        stats = cache.stats()
+        assert stats.entries["results"] == 2
+        assert stats.entries["traces"] == 1
+        assert stats.entries["hitmasks"] == 0
+        assert stats.total_entries == 3
+        assert stats.total_bytes > 0
+        assert len(stats.lines()) == 4
+
+    def test_empty_cache_stats(self, cache):
+        assert cache.stats().total_entries == 0
+
+    def test_clear_removes_everything(self, cache, result):
+        cache.put_result("a", result)
+        assert cache.clear() == 1
+        assert cache.get_result("a") is None
+        assert cache.stats().total_entries == 0
+
+    def test_clear_empty_is_safe(self, cache):
+        assert cache.clear() == 0
+
+
+class TestEnsureCache:
+    def test_passthrough_and_coercion(self, cache, tmp_path):
+        assert ensure_cache(None) is None
+        assert ensure_cache(cache) is cache
+        built = ensure_cache(tmp_path / "other")
+        assert isinstance(built, ResultCache)

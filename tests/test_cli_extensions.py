@@ -65,3 +65,43 @@ class TestMultitierCommand:
         assert main(["multitier", "--workload", "timeline",
                      "--grid", "6", "--slo", "0.25"]) == 0
         assert "choice @25% SLO" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_grid_table(self, capsys, tmp_path):
+        assert main(["sweep", "--workloads", "trending",
+                     "--engines", "redis,memcached",
+                     "--placements", "fast,slow",
+                     "--cache-dir", str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "trending/redis/fast" in out
+        assert "trending/memcached/slow" in out
+
+    def test_rerun_is_identical(self, capsys, tmp_path):
+        argv = ["sweep", "--workloads", "trending", "--engines", "redis",
+                "--placements", "slow", "--seed", "7",
+                "--cache-dir", str(tmp_path / "c")]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_unknown_workload_errors(self, capsys, tmp_path):
+        assert main(["sweep", "--workloads", "nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def test_stats_and_clear(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "c")
+        assert main(["sweep", "--workloads", "trending",
+                     "--engines", "redis", "--placements", "slow",
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "results" in out and "traces" in out
+        assert main(["cache", "clear", "--dir", cache_dir]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "stats", "--dir", cache_dir]) == 0
+        assert " 0 entries" in capsys.readouterr().out
