@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test verify bench bench-verbose examples results clean
+.PHONY: install test verify chaos bench bench-verbose examples results clean
 
 results: bench
 	$(PYTHON) tools/collect_results.py
@@ -14,6 +14,10 @@ test:
 # the tier-1 gate: exactly what CI runs
 verify:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# chaos smoke: fault injection, worker kills, cache corruption
+chaos:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/faults -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -125,9 +125,19 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--cache-dir", metavar="DIR",
                        help="memoize results in this cache directory")
     sweep.add_argument("--seed", type=int, default=None)
+    sweep.add_argument("--faults", metavar="SPEC",
+                       help="inject deterministic faults, e.g. "
+                            "'spikes,ramp(floor=0.4),jitter' "
+                            "(see docs/FAULTS.md)")
+    sweep.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-experiment timeout in seconds")
+    sweep.add_argument("--max-attempts", type=int, default=3,
+                       help="attempts per experiment before giving up "
+                            "(default 3)")
 
-    cache = sub.add_parser("cache", help="inspect or clear the result cache")
-    cache.add_argument("action", choices=["stats", "clear"])
+    cache = sub.add_parser("cache", help="inspect, verify or clear "
+                                         "the result cache")
+    cache.add_argument("action", choices=["stats", "verify", "clear"])
     cache.add_argument("--dir", dest="cache_dir", metavar="DIR",
                        help="cache directory (default .mnemo-cache)")
     return parser
@@ -286,7 +296,8 @@ def _cmd_multitier(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    from repro.runner import ClientConfig, ExperimentRunner
+    from repro.faults import parse_faults
+    from repro.runner import ClientConfig, ExperimentRunner, RetryPolicy
 
     def pick(raw: str, universe: list[str], what: str) -> list[str]:
         if raw == "all":
@@ -305,9 +316,13 @@ def _cmd_sweep(args) -> int:
     engines = pick(args.engines, sorted(ENGINES), "engine")
     placements = pick(args.placements, ["fast", "slow", "split"], "placement")
 
+    faults = parse_faults(args.faults) if args.faults else None
     runner = ExperimentRunner(
         cache=args.cache_dir,
-        client=ClientConfig(seed=args.seed),
+        client=ClientConfig(seed=args.seed, faults=faults),
+        retry=RetryPolicy(
+            max_attempts=args.max_attempts, timeout_s=args.timeout,
+        ),
     )
     specs = ExperimentRunner.grid(
         [workload_by_name(n) for n in workload_names],
@@ -315,13 +330,21 @@ def _cmd_sweep(args) -> int:
         placements=placements,
         fast_fractions=(args.split,),
     )
-    results = runner.run_grid(specs, workers=args.workers)
+    if faults is not None and faults.active:
+        print(f"fault injection: {faults.describe()}")
+    outcome = runner.sweep(specs, workers=args.workers)
     print(f"{'experiment':<40} {'ops/s':>12} {'avg read us':>12} "
           f"{'p99 us':>9}")
-    for spec, res in zip(specs, results):
+    for spec, res in zip(specs, outcome.results):
+        if res is None:
+            print(f"{spec.label:<40} {'FAILED':>12}")
+            continue
         p99 = res.latency_percentiles_ns.get(99.0, float("nan")) / 1e3
         print(f"{spec.label:<40} {res.throughput_ops_s:>12,.0f} "
               f"{res.avg_read_ns / 1e3:>12.1f} {p99:>9.1f}")
+    if not outcome.ok:
+        print(f"\n{outcome.report.summary()}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -333,6 +356,12 @@ def _cmd_cache(args) -> int:
         removed = cache.clear()
         print(f"removed {removed} cached entries from {cache.root}")
         return 0
+    if args.action == "verify":
+        report = cache.verify()
+        print(f"cache: {cache.root}")
+        for line in report.lines():
+            print(line)
+        return 0 if report.ok else 1
     print(f"cache: {cache.root}")
     for line in cache.stats().lines():
         print(line)

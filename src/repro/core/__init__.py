@@ -29,7 +29,11 @@ from repro.core.mnemot import MnemoT
 from repro.core.pattern import KeyAccessPattern, PatternEngine
 from repro.core.placement import PlacementEngine
 from repro.core.report import MnemoReport
-from repro.core.sensitivity import PerformanceBaselines, SensitivityEngine
+from repro.core.sensitivity import (
+    PerformanceBaselines,
+    SensitivityEngine,
+    estimate_counterpart,
+)
 from repro.core.slo import (
     DEFAULT_MAX_SLOWDOWN,
     SizingChoice,
@@ -52,6 +56,7 @@ __all__ = [
     "WorkloadDescriptor",
     "SensitivityEngine",
     "PerformanceBaselines",
+    "estimate_counterpart",
     "PatternEngine",
     "KeyAccessPattern",
     "EstimateEngine",

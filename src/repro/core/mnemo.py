@@ -86,6 +86,7 @@ class Mnemo:
         self,
         workload: Trace | WorkloadDescriptor,
         external_order: np.ndarray | None = None,
+        allow_partial: bool = False,
     ) -> MnemoReport:
         """Run the full Mnemo pipeline on a workload.
 
@@ -97,13 +98,20 @@ class Mnemo:
             A key ordering from an existing tiering solution (the
             Fig 2b configuration); only valid when ``pattern_mode`` is
             ``"external"``.
+        allow_partial:
+            Degrade gracefully when a baseline measurement fails: the
+            missing extreme is synthesised analytically and the report's
+            :attr:`~repro.core.report.MnemoReport.confidence` drops
+            below 1.0 instead of the pipeline crashing.
         """
         descriptor = (
             workload
             if isinstance(workload, WorkloadDescriptor)
             else WorkloadDescriptor.from_trace(workload)
         )
-        baselines = self.sensitivity.measure(descriptor)
+        baselines = self.sensitivity.measure(
+            descriptor, allow_partial=allow_partial
+        )
         pattern = self.pattern_engine.analyze(descriptor, external_order)
         curve = self.estimate_engine.estimate(baselines, pattern)
         return MnemoReport(

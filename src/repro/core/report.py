@@ -28,6 +28,16 @@ class MnemoReport:
     pattern: KeyAccessPattern
     curve: EstimateCurve
 
+    @property
+    def confidence(self) -> float:
+        """Trustworthiness of the recommendation, 1.0 = clean baselines.
+
+        Below 1.0 when a baseline was synthesised from a partial
+        measurement or measured under fault injection (see
+        :attr:`~repro.core.sensitivity.PerformanceBaselines.confidence`).
+        """
+        return self.baselines.confidence
+
     def write_csv(self, path: str | Path) -> Path:
         """The 3-column output file of Section IV (key, estimate, cost)."""
         return self.curve.write_csv(path)
@@ -150,4 +160,9 @@ class MnemoReport:
             f"({choice.savings_percent:.0f}% memory-cost saving, "
             f"FastMem share {choice.capacity_ratio:.0%})",
         ]
+        if b.degraded:
+            lines.append(
+                f"  confidence          : {self.confidence:.0%} "
+                f"(degraded baselines: {', '.join(b.flags)})"
+            )
         return "\n".join(lines)

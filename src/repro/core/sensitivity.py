@@ -9,9 +9,11 @@ response times" (Section IV).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.errors import FaultError, ReproError
+from repro.kvstore.profiles import EngineProfile
 from repro.kvstore.server import EngineFactory, HybridDeployment
 from repro.memsim.system import HybridMemorySystem
 from repro.ycsb.client import RunResult, YCSBClient
@@ -19,13 +21,117 @@ from repro.core.descriptor import WorkloadDescriptor
 
 SystemFactory = Callable[[], HybridMemorySystem]
 
+#: Confidence multiplier applied per analytically synthesised baseline.
+ESTIMATED_PENALTY = 0.5
+#: Confidence multiplier applied per baseline measured under fault injection.
+FAULTY_PENALTY = 0.75
+
+
+def estimate_counterpart(
+    measured: RunResult,
+    profile: EngineProfile,
+    system: HybridMemorySystem,
+    target: str,
+) -> RunResult:
+    """Synthesize the missing extreme baseline from the measured one.
+
+    Inverts the timing model ``t = cpu + passes * (lat + bytes/bw)`` on
+    the node the measurement ran on, recovering the average bytes each
+    request touches, then re-evaluates it with the *target* node's
+    latency and bandwidth.  LLC hits and measurement noise are not
+    modelled — which is exactly why estimated baselines carry a reduced
+    :attr:`PerformanceBaselines.confidence`.
+
+    Parameters
+    ----------
+    measured:
+        The surviving extreme measurement.
+    profile:
+        The engine cost profile both measurements share.
+    system:
+        The hybrid system the measurement ran against.
+    target:
+        ``"fast"`` to synthesize the FastMem-only baseline from a
+        SlowMem-only measurement, ``"slow"`` for the converse.
+    """
+    if target not in ("fast", "slow"):
+        raise FaultError(f"unknown counterpart target {target!r}")
+    src = system.slow if target == "fast" else system.fast
+    dst = system.fast if target == "fast" else system.slow
+
+    def _retime(avg_ns: float, is_read: bool, n: int) -> float:
+        if n == 0:
+            return 0.0
+        cpu = profile.cpu_ns(is_read)
+        passes = profile.passes(is_read)
+        if passes <= 0:
+            return avg_ns  # memory-insensitive op: identical on both nodes
+        touched = ((avg_ns - cpu) / passes - src.latency_ns) * src.bytes_per_ns
+        touched = max(0.0, touched)
+        return cpu + passes * (dst.latency_ns + touched / dst.bytes_per_ns)
+
+    est_read = _retime(measured.avg_read_ns, True, measured.n_reads)
+    est_write = _retime(measured.avg_write_ns, False, measured.n_writes)
+    runtime = (
+        measured.n_reads * est_read + measured.n_writes * est_write
+    ) / measured.concurrency
+    ratio = runtime / measured.runtime_ns if measured.runtime_ns > 0 else 1.0
+    percentiles = {
+        q: v * ratio for q, v in measured.latency_percentiles_ns.items()
+    }
+    return RunResult(
+        workload=measured.workload,
+        engine=measured.engine,
+        n_requests=measured.n_requests,
+        n_reads=measured.n_reads,
+        n_writes=measured.n_writes,
+        runtime_ns=runtime,
+        avg_read_ns=est_read,
+        avg_write_ns=est_write,
+        latency_percentiles_ns=percentiles,
+        repeats=measured.repeats,
+        runtime_std_ns=0.0,
+        concurrency=measured.concurrency,
+    )
+
 
 @dataclass(frozen=True)
 class PerformanceBaselines:
-    """The two extreme-configuration measurements the model is built on."""
+    """The two extreme-configuration measurements the model is built on.
+
+    ``flags`` records how each side was obtained when anything other
+    than a clean measurement produced it: ``"<side>:estimated"`` for an
+    analytically synthesised baseline (the measurement failed and
+    ``allow_partial`` was set) and ``"<side>:faulty"`` for one measured
+    under active fault injection.  :attr:`confidence` folds the flags
+    into a single 0..1 figure that reports and advisors surface.
+    """
 
     fast: RunResult  # best case: all data in FastMem
     slow: RunResult  # worst case: all data in SlowMem
+    flags: tuple[str, ...] = field(default=())
+
+    @property
+    def confidence(self) -> float:
+        """Trustworthiness of the baselines, 1.0 = cleanly measured.
+
+        Each synthesised side halves it; each fault-injected side takes
+        a quarter off.  Purely multiplicative, so the worst case (one
+        side estimated because the other, fault-ridden side was the
+        only survivor) compounds.
+        """
+        c = 1.0
+        for flag in self.flags:
+            if flag.endswith(":estimated"):
+                c *= ESTIMATED_PENALTY
+            elif flag.endswith(":faulty"):
+                c *= FAULTY_PENALTY
+        return c
+
+    @property
+    def degraded(self) -> bool:
+        """True when anything other than clean measurement produced these."""
+        return bool(self.flags)
 
     @property
     def read_delta_ns(self) -> float:
@@ -97,8 +203,20 @@ class SensitivityEngine:
             client = CachingClient.wrap(client, cache)
         self.client = client
 
-    def measure(self, descriptor: WorkloadDescriptor) -> PerformanceBaselines:
-        """Execute the workload in both extreme configurations."""
+    def measure(
+        self, descriptor: WorkloadDescriptor, allow_partial: bool = False,
+    ) -> PerformanceBaselines:
+        """Execute the workload in both extreme configurations.
+
+        With ``allow_partial=True`` the engine degrades gracefully: if
+        one extreme measurement fails (a :class:`~repro.errors.ReproError`
+        — e.g. an injected fault or a corrupt cached trace), the missing
+        baseline is synthesised from the surviving one via
+        :func:`estimate_counterpart` and flagged ``"<side>:estimated"``;
+        sides measured under active fault injection are flagged
+        ``"<side>:faulty"``.  Both failing still raises.  Without
+        ``allow_partial`` any failure propagates unchanged.
+        """
         trace = descriptor.to_trace()
         fast_dep = HybridDeployment.all_fast(
             self.engine_factory, self.system_factory(), trace.record_sizes
@@ -106,7 +224,42 @@ class SensitivityEngine:
         slow_dep = HybridDeployment.all_slow(
             self.engine_factory, self.system_factory(), trace.record_sizes
         )
+        errors: dict[str, ReproError] = {}
+        fast = slow = None
+        try:
+            fast = self.client.execute(trace, fast_dep)
+        except ReproError as exc:
+            if not allow_partial:
+                raise
+            errors["fast"] = exc
+        try:
+            slow = self.client.execute(trace, slow_dep)
+        except ReproError as exc:
+            if not allow_partial:
+                raise
+            errors["slow"] = exc
+        if fast is None and slow is None:
+            raise FaultError(
+                "both extreme baselines failed: "
+                f"fast: {errors['fast']}; slow: {errors['slow']}"
+            ) from errors["slow"]
+
+        flags = []
+        faults = getattr(self.client, "faults", None)
+        faults_active = faults is not None and getattr(faults, "active", False)
+        for side, result in (("fast", fast), ("slow", slow)):
+            if result is not None and faults_active:
+                flags.append(f"{side}:faulty")
+        if fast is None:
+            fast = estimate_counterpart(
+                slow, slow_dep.profile, slow_dep.system, target="fast"
+            )
+            flags.append("fast:estimated")
+        if slow is None:
+            slow = estimate_counterpart(
+                fast, fast_dep.profile, fast_dep.system, target="slow"
+            )
+            flags.append("slow:estimated")
         return PerformanceBaselines(
-            fast=self.client.execute(trace, fast_dep),
-            slow=self.client.execute(trace, slow_dep),
+            fast=fast, slow=slow, flags=tuple(sorted(flags)),
         )

@@ -42,3 +42,31 @@ class PlacementError(ReproError):
 
 class PricingError(ReproError):
     """The VM pricing regression received an unusable catalog."""
+
+
+class FaultError(ReproError):
+    """A fault-injection or resilience failure.
+
+    Raised when an experiment could not be completed despite retries
+    (worker death, injected chaos strikes, unrecoverable fault models)
+    and by :meth:`~repro.runner.grid.GridOutcome.raise_if_failed` when a
+    sweep finished in degraded mode.
+    """
+
+
+class ExperimentTimeoutError(FaultError, TimeoutError):
+    """An experiment exceeded its per-experiment timeout.
+
+    Also a :class:`TimeoutError` so generic timeout handling works; the
+    resilient runner retries timed-out experiments up to the retry
+    policy's attempt budget before recording them in the
+    :class:`~repro.runner.grid.FailureReport`.
+    """
+
+
+class CacheCorruptionError(ReproError):
+    """A cache entry failed its integrity check.
+
+    Only raised by strict-mode caches; the default behaviour is to
+    quarantine the corrupt entry and transparently recompute it.
+    """

@@ -1,0 +1,39 @@
+"""Deterministic fault injection for the measurement pipeline.
+
+Two halves (see ``docs/FAULTS.md``):
+
+- :mod:`repro.faults.models` — seeded *device/measurement* fault models
+  (NVM latency spikes, bandwidth ramps, node-offline windows, jitter
+  bursts) composable onto the memsim timing path.  Schedules are a pure
+  function of (experiment fingerprint, fault spec), so faulty runs stay
+  bit-reproducible and cacheable.
+- :mod:`repro.faults.chaos` — *pipeline* chaos: deterministic worker
+  kills and cache corruption used to exercise the resilient runner and
+  the cache's checksum quarantine.
+"""
+
+from repro.faults.chaos import CHAOS_MODES, ChaosPlan, corrupt_cache_entries
+from repro.faults.models import (
+    FAULT_KINDS,
+    BandwidthDegradation,
+    FaultSpec,
+    FaultTimeline,
+    JitterBursts,
+    LatencySpikes,
+    NodeOffline,
+    parse_faults,
+)
+
+__all__ = [
+    "CHAOS_MODES",
+    "ChaosPlan",
+    "corrupt_cache_entries",
+    "FAULT_KINDS",
+    "BandwidthDegradation",
+    "FaultSpec",
+    "FaultTimeline",
+    "JitterBursts",
+    "LatencySpikes",
+    "NodeOffline",
+    "parse_faults",
+]

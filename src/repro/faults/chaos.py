@@ -1,0 +1,170 @@
+"""Chaos harness: deterministic worker kills and cache corruption.
+
+The fault models in :mod:`repro.faults.models` perturb *measured
+numbers*; this module perturbs the *pipeline itself*, so the resilient
+runner's retry / quarantine machinery can be exercised under test:
+
+- :class:`ChaosPlan` strikes (kills or fails) workers on chosen
+  experiment labels, a bounded number of times per label, using atomic
+  marker files so the count is race-free across processes; retried
+  experiments therefore eventually succeed and — because all results
+  are content-addressed — converge to numbers bit-identical to a clean
+  run.
+- :func:`corrupt_cache_entries` flips bytes in (or truncates) on-disk
+  cache entries so the checksum walk in
+  :class:`~repro.runner.cache.ResultCache` can be shown to quarantine
+  and recompute them.
+
+Both are used by the chaos tests under ``tests/faults/`` and the
+``make chaos`` CI smoke job.  They are test instruments, but live in
+the library so operators can stage game-days against real sweeps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError, FaultError
+
+#: Strike behaviours a :class:`ChaosPlan` supports.
+CHAOS_MODES = ("exit", "raise", "hang")
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A deterministic schedule of pipeline strikes.
+
+    Parameters
+    ----------
+    kill_labels:
+        Experiment labels (``spec.label``) to strike.
+    mode:
+        ``"exit"`` kills the worker process outright (parallel grids
+        only — it would take the caller down in serial runs, so serial
+        execution downgrades it to ``"raise"``); ``"raise"`` raises a
+        :class:`~repro.errors.FaultError` from inside the experiment;
+        ``"hang"`` sleeps ``hang_s`` seconds (to trip per-experiment
+        timeouts) and then returns normally.
+    max_strikes:
+        Strikes delivered per label before the experiment is allowed
+        to succeed.  Set it at or above the runner's attempt budget to
+        make an experiment unrecoverable.
+    marker_dir:
+        Directory for the atomic strike markers (shared by all worker
+        processes of a sweep).
+    hang_s:
+        Sleep duration for ``"hang"`` strikes.
+    """
+
+    kill_labels: tuple[str, ...] = ()
+    mode: str = "exit"
+    max_strikes: int = 1
+    marker_dir: str = ".mnemo-chaos"
+    hang_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in CHAOS_MODES:
+            raise ConfigurationError(
+                f"unknown chaos mode {self.mode!r}; choose from {CHAOS_MODES}"
+            )
+        if self.max_strikes < 0:
+            raise ConfigurationError(
+                f"max_strikes must be >= 0, got {self.max_strikes}"
+            )
+        if self.hang_s < 0:
+            raise ConfigurationError(f"hang_s must be >= 0, got {self.hang_s}")
+
+    def _marker(self, label: str, strike: int) -> Path:
+        slug = hashlib.sha256(label.encode("utf-8")).hexdigest()[:16]
+        return Path(self.marker_dir) / f"{slug}.{strike}"
+
+    def strikes_delivered(self, label: str) -> int:
+        """How many strikes have already hit *label*."""
+        return sum(
+            1 for k in range(self.max_strikes)
+            if self._marker(label, k).exists()
+        )
+
+    def maybe_strike(self, label: str, allow_exit: bool = True) -> None:
+        """Deliver the next strike for *label*, if any remain.
+
+        Claims one strike slot atomically (``O_CREAT | O_EXCL`` marker
+        file), so concurrent workers never double-count.  Once
+        ``max_strikes`` markers exist the experiment runs untouched —
+        that is what lets retries converge.
+        """
+        if label not in self.kill_labels or self.max_strikes == 0:
+            return
+        Path(self.marker_dir).mkdir(parents=True, exist_ok=True)
+        for strike in range(self.max_strikes):
+            path = self._marker(label, strike)
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.close(fd)
+            if self.mode == "hang":
+                time.sleep(self.hang_s)
+                return
+            if self.mode == "exit" and allow_exit:
+                os._exit(17)
+            raise FaultError(
+                f"chaos strike {strike + 1}/{self.max_strikes} on {label!r}"
+            )
+        return
+
+
+def corrupt_cache_entries(
+    cache,
+    kinds: tuple[str, ...] = ("results", "traces", "hitmasks"),
+    mode: str = "flip",
+    limit: int | None = None,
+) -> list[Path]:
+    """Corrupt on-disk cache entries in place; returns the paths touched.
+
+    Parameters
+    ----------
+    cache:
+        A :class:`~repro.runner.cache.ResultCache`.
+    kinds:
+        Which entry kinds to corrupt.
+    mode:
+        ``"flip"`` XORs a byte in the middle of the file (subtle
+        corruption only a checksum catches); ``"truncate"`` chops the
+        file in half (what a crashed writer without atomic renames
+        would leave behind).
+    limit:
+        Corrupt at most this many entries (None = all).
+
+    Deterministic: entries are walked in sorted order and mutated in
+    place, so a chaos test corrupts the same files every run.
+    """
+    if mode not in ("flip", "truncate"):
+        raise ConfigurationError(
+            f"unknown corruption mode {mode!r}; choose 'flip' or 'truncate'"
+        )
+    touched: list[Path] = []
+    for kind in kinds:
+        directory = cache._base / kind
+        if not directory.is_dir():
+            continue
+        for path in sorted(directory.iterdir()):
+            if path.name.startswith(".tmp-"):
+                continue
+            data = path.read_bytes()
+            if not data:
+                continue
+            if mode == "truncate":
+                path.write_bytes(data[: len(data) // 2])
+            else:
+                mid = len(data) // 2
+                data = data[:mid] + bytes([data[mid] ^ 0xFF]) + data[mid + 1:]
+                path.write_bytes(data)
+            touched.append(path)
+            if limit is not None and len(touched) >= limit:
+                return touched
+    return touched

@@ -1,0 +1,377 @@
+"""Deterministic, seeded fault models for the measurement pipeline.
+
+Real hybrid-memory deployments do not behave like Table I around the
+clock: NVM parts exhibit latency spikes under write pressure, sustained
+bandwidth degrades as media wears or thermal throttling kicks in, nodes
+drop out for firmware resets, and the measurement harness itself sees
+jitter bursts from co-located tenants.  A capacity advisor that only
+ever sees clean baselines silently over-promises.
+
+This module provides *composable* fault models that perturb the memsim
+timing path (:mod:`repro.memsim.timing`) per request.  The central
+design rule is determinism:
+
+    every fault schedule is a pure function of
+    ``(experiment fingerprint, fault spec)``.
+
+The spec is part of the experiment fingerprint
+(:func:`repro.runner.fingerprint.client_fingerprint`), and the schedule
+RNG is seeded from that fingerprint — so a faulty run is exactly as
+bit-reproducible and cacheable as a clean one: serial, parallel and
+warm-cache executions of the same faulty experiment produce identical
+timelines and identical numbers.
+
+Fault catalogue (see ``docs/FAULTS.md``):
+
+:class:`LatencySpikes`
+    Transient SlowMem (NVM) latency spikes: windows of requests whose
+    SlowMem latency is multiplied by ``magnitude``.
+:class:`BandwidthDegradation`
+    A monotone SlowMem bandwidth ramp-down across the run — by the end
+    of the trace the device delivers only ``floor`` of its nominal
+    bandwidth.
+:class:`NodeOffline`
+    Transient node-offline windows: requests that target the offline
+    node during a window stall for ``stall_ns`` (a remote-fetch /
+    retry penalty) on top of their normal cost.
+:class:`JitterBursts`
+    Measurement-jitter bursts: windows in which the client's noise
+    sigma is scaled up, modelling a noisy co-tenant or a perf-counter
+    hiccup.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import derive_seed, ensure_rng
+
+
+def _windows_mask(
+    n: int, starts: np.ndarray, width: int,
+) -> np.ndarray:
+    """Boolean mask covering ``[s, s + width)`` for every start."""
+    mask = np.zeros(n, dtype=bool)
+    for s in starts:
+        mask[int(s):int(s) + width] = True
+    return mask
+
+
+@dataclass(frozen=True)
+class LatencySpikes:
+    """Transient SlowMem latency spikes.
+
+    Parameters
+    ----------
+    rate:
+        Expected fraction of requests inside a spike window (0..1).
+    magnitude:
+        Latency multiplier during a spike (>= 1).
+    width:
+        Requests per spike window.
+    """
+
+    rate: float = 0.02
+    magnitude: float = 4.0
+    width: int = 128
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(f"spike rate must be in [0, 1], got {self.rate}")
+        if self.magnitude < 1.0:
+            raise ConfigurationError(
+                f"spike magnitude must be >= 1, got {self.magnitude}"
+            )
+        if self.width <= 0:
+            raise ConfigurationError(f"spike width must be positive, got {self.width}")
+
+    def latency_multipliers(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Per-request SlowMem latency multipliers (1.0 outside spikes)."""
+        out = np.ones(n, dtype=np.float64)
+        # ceil: any positive rate delivers at least one spike window,
+        # even for traces shorter than 1/rate windows
+        n_windows = int(np.ceil(self.rate * n / self.width))
+        if n_windows > 0 and n > 0:
+            starts = rng.integers(0, n, size=n_windows)
+            out[_windows_mask(n, starts, self.width)] = self.magnitude
+        return out
+
+
+@dataclass(frozen=True)
+class BandwidthDegradation:
+    """A monotone SlowMem bandwidth ramp-down across the run.
+
+    Parameters
+    ----------
+    onset:
+        Position in the trace (fraction, 0..1) where degradation starts.
+    floor:
+        Bandwidth multiplier reached at the end of the trace (0 < floor <= 1).
+    """
+
+    onset: float = 0.25
+    floor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.onset < 1.0:
+            raise ConfigurationError(f"onset must be in [0, 1), got {self.onset}")
+        if not 0.0 < self.floor <= 1.0:
+            raise ConfigurationError(f"floor must be in (0, 1], got {self.floor}")
+
+    def bandwidth_multipliers(self, n: int) -> np.ndarray:
+        """Per-request SlowMem bandwidth multipliers (deterministic ramp)."""
+        if n == 0:
+            return np.ones(0, dtype=np.float64)
+        t = np.arange(n, dtype=np.float64) / n
+        ramp = 1.0 - (1.0 - self.floor) * (t - self.onset) / (1.0 - self.onset)
+        return np.where(t < self.onset, 1.0, ramp)
+
+
+@dataclass(frozen=True)
+class NodeOffline:
+    """Transient node-offline windows.
+
+    Requests that target the offline node during a window pay
+    ``stall_ns`` on top of their normal service time — the cost of
+    waiting out the outage (firmware reset, hot spare fetch, retry).
+
+    Parameters
+    ----------
+    node:
+        Which node goes offline: ``"fast"`` or ``"slow"``.
+    windows:
+        Number of offline windows across the trace.
+    width:
+        Requests per offline window.
+    stall_ns:
+        Stall added to each affected request.
+    """
+
+    node: str = "slow"
+    windows: int = 1
+    width: int = 256
+    stall_ns: float = 50_000.0
+
+    def __post_init__(self) -> None:
+        if self.node not in ("fast", "slow"):
+            raise ConfigurationError(
+                f"offline node must be 'fast' or 'slow', got {self.node!r}"
+            )
+        if self.windows < 0:
+            raise ConfigurationError(f"windows must be >= 0, got {self.windows}")
+        if self.width <= 0:
+            raise ConfigurationError(f"width must be positive, got {self.width}")
+        if self.stall_ns < 0:
+            raise ConfigurationError(f"stall_ns must be >= 0, got {self.stall_ns}")
+
+    def stall_schedule(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Per-request stall in ns for requests hitting the offline node."""
+        out = np.zeros(n, dtype=np.float64)
+        if self.windows > 0 and n > 0:
+            starts = rng.integers(0, n, size=self.windows)
+            out[_windows_mask(n, starts, self.width)] = self.stall_ns
+        return out
+
+
+@dataclass(frozen=True)
+class JitterBursts:
+    """Measurement-jitter bursts.
+
+    Parameters
+    ----------
+    bursts:
+        Number of burst windows across the trace.
+    width:
+        Requests per burst window.
+    sigma_scale:
+        Noise-sigma multiplier inside a burst (>= 1).
+    """
+
+    bursts: int = 2
+    width: int = 512
+    sigma_scale: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.bursts < 0:
+            raise ConfigurationError(f"bursts must be >= 0, got {self.bursts}")
+        if self.width <= 0:
+            raise ConfigurationError(f"width must be positive, got {self.width}")
+        if self.sigma_scale < 1.0:
+            raise ConfigurationError(
+                f"sigma_scale must be >= 1, got {self.sigma_scale}"
+            )
+
+    def noise_scales(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Per-request noise-sigma multipliers (1.0 outside bursts)."""
+        out = np.ones(n, dtype=np.float64)
+        if self.bursts > 0 and n > 0:
+            starts = rng.integers(0, n, size=self.bursts)
+            out[_windows_mask(n, starts, self.width)] = self.sigma_scale
+        return out
+
+
+class FaultTimeline:
+    """Materialised per-request fault schedules for one experiment.
+
+    All arrays have length ``n_requests`` (or are None when the
+    corresponding fault model is absent).  The timeline is shared by
+    every repeat of a measurement — device behaviour, unlike
+    measurement noise, does not re-roll per repeat.
+    """
+
+    __slots__ = (
+        "slow_latency_mult", "slow_bandwidth_mult",
+        "stall_ns", "stall_node", "noise_scale",
+    )
+
+    def __init__(
+        self,
+        slow_latency_mult: np.ndarray | None = None,
+        slow_bandwidth_mult: np.ndarray | None = None,
+        stall_ns: np.ndarray | None = None,
+        stall_node: str = "slow",
+        noise_scale: np.ndarray | None = None,
+    ):
+        self.slow_latency_mult = slow_latency_mult
+        self.slow_bandwidth_mult = slow_bandwidth_mult
+        self.stall_ns = stall_ns
+        self.stall_node = stall_node
+        self.noise_scale = noise_scale
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A composable set of fault models injected into one experiment.
+
+    Frozen and field-typed so it can be pickled across process
+    boundaries and canonicalised into the experiment fingerprint
+    (:func:`repro.runner.fingerprint.canonicalize` handles nested
+    frozen dataclasses).  ``None`` fields mean "fault absent".
+    """
+
+    latency_spikes: LatencySpikes | None = None
+    bandwidth_degradation: BandwidthDegradation | None = None
+    node_offline: NodeOffline | None = None
+    jitter_bursts: JitterBursts | None = None
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault model is configured."""
+        return any(getattr(self, f.name) is not None for f in fields(self))
+
+    def describe(self) -> str:
+        """Short human-readable list of active fault models."""
+        parts = [
+            f.name for f in fields(self) if getattr(self, f.name) is not None
+        ]
+        return "+".join(parts) if parts else "none"
+
+    def timeline(self, n_requests: int, label: str) -> FaultTimeline:
+        """Materialise the fault schedules for one experiment.
+
+        Parameters
+        ----------
+        n_requests:
+            Trace length; every schedule array has this length.
+        label:
+            The experiment fingerprint (or, for non-fingerprintable
+            clients, the trace name).  Each fault model draws from its
+            own stream derived from ``label`` — schedules are a pure
+            function of (label, spec) and independent of call order,
+            process, or parallel schedule.
+        """
+        tl = FaultTimeline()
+        if self.latency_spikes is not None:
+            rng = ensure_rng(derive_seed(None, f"{label}/fault/spikes"))
+            tl.slow_latency_mult = self.latency_spikes.latency_multipliers(
+                n_requests, rng
+            )
+        if self.bandwidth_degradation is not None:
+            tl.slow_bandwidth_mult = (
+                self.bandwidth_degradation.bandwidth_multipliers(n_requests)
+            )
+        if self.node_offline is not None:
+            rng = ensure_rng(derive_seed(None, f"{label}/fault/offline"))
+            tl.stall_ns = self.node_offline.stall_schedule(n_requests, rng)
+            tl.stall_node = self.node_offline.node
+        if self.jitter_bursts is not None:
+            rng = ensure_rng(derive_seed(None, f"{label}/fault/jitter"))
+            tl.noise_scale = self.jitter_bursts.noise_scales(n_requests, rng)
+        return tl
+
+
+#: Fault-model constructors by the short names the CLI DSL accepts.
+FAULT_KINDS = {
+    "spikes": ("latency_spikes", LatencySpikes),
+    "ramp": ("bandwidth_degradation", BandwidthDegradation),
+    "offline": ("node_offline", NodeOffline),
+    "jitter": ("jitter_bursts", JitterBursts),
+}
+
+
+_ITEM_RE = re.compile(r"\s*([a-z_]+)\s*(?:\(([^)]*)\))?\s*(?:,|$)")
+
+
+def _coerce_params(name: str, cls, params: str | None) -> dict:
+    """Parse ``key=value,...`` using the model's field defaults for types."""
+    if not params or not params.strip():
+        return {}
+    field_types = {
+        f.name: type(f.default) for f in fields(cls)
+    }
+    kwargs = {}
+    for item in params.split(","):
+        if "=" not in item:
+            raise ConfigurationError(
+                f"fault {name!r}: expected key=value, got {item.strip()!r}"
+            )
+        key, value = (part.strip() for part in item.split("=", 1))
+        if key not in field_types:
+            raise ConfigurationError(
+                f"fault {name!r} has no parameter {key!r}; "
+                f"choose from {sorted(field_types)}"
+            )
+        caster = field_types[key]
+        try:
+            kwargs[key] = value if caster is str else caster(value)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"fault {name!r}: bad value for {key}: {value!r}"
+            ) from exc
+    return kwargs
+
+
+def parse_faults(text: str | None) -> FaultSpec | None:
+    """Parse the CLI fault DSL into a :class:`FaultSpec`.
+
+    The DSL is a comma-separated list of fault names, each optionally
+    parameterised with ``(key=value,...)``::
+
+        spikes
+        spikes(rate=0.05,magnitude=6),ramp(floor=0.4),offline,jitter
+
+    Returns None for empty input.  Unknown names or parameters raise
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    if not text or not text.strip():
+        return None
+    spec_kwargs: dict[str, object] = {}
+    s, pos = text.strip(), 0
+    while pos < len(s):
+        m = _ITEM_RE.match(s, pos)
+        if not m or m.end() == pos:
+            raise ConfigurationError(f"malformed fault spec near {s[pos:]!r}")
+        name, params = m.group(1), m.group(2)
+        if name not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault model {name!r}; "
+                f"choose from {sorted(FAULT_KINDS)}"
+            )
+        field_name, cls = FAULT_KINDS[name]
+        spec_kwargs[field_name] = cls(**_coerce_params(name, cls, params))
+        pos = m.end()
+    return FaultSpec(**spec_kwargs)

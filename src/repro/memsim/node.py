@@ -104,6 +104,34 @@ class MemoryNode:
         """Drop all occupancy accounting (fresh server deployment)."""
         self.used_bytes = 0
 
+    # -- degradation ---------------------------------------------------------
+
+    def degraded(
+        self, latency_factor: float = 1.0, bandwidth_factor: float = 1.0,
+    ) -> "MemoryNode":
+        """A copy of this node with worse device timing.
+
+        ``latency_factor`` multiplies latency (>= 1 makes it slower);
+        ``bandwidth_factor`` multiplies bandwidth (<= 1 makes it
+        slower).  Occupancy accounting starts fresh — a degraded node
+        models a different steady state, not a live migration.  Used by
+        what-if studies and the fault layer's steady-state degradation
+        scenarios (:mod:`repro.faults`).
+        """
+        if latency_factor <= 0 or bandwidth_factor <= 0:
+            raise ConfigurationError(
+                "degradation factors must be positive, got "
+                f"latency_factor={latency_factor}, "
+                f"bandwidth_factor={bandwidth_factor}"
+            )
+        return MemoryNode(
+            name=self.name,
+            kind=self.kind,
+            latency_ns=self.latency_ns * latency_factor,
+            bandwidth_gbps=self.bandwidth_gbps * bandwidth_factor,
+            capacity_bytes=self.capacity_bytes,
+        )
+
     # -- timing --------------------------------------------------------------
 
     @property

@@ -70,6 +70,30 @@ class HybridMemorySystem:
         )
         return cls(fast=fast, slow=slow, llc=LLCModel(capacity_bytes=llc_bytes))
 
+    def degraded(
+        self,
+        slow_latency_factor: float = 1.0,
+        slow_bandwidth_factor: float = 1.0,
+        fast_latency_factor: float = 1.0,
+        fast_bandwidth_factor: float = 1.0,
+    ) -> "HybridMemorySystem":
+        """A copy of this system with steady-state device degradation.
+
+        The per-request fault timelines in :mod:`repro.faults` model
+        *transient* misbehaviour; this models a device that has settled
+        into a worse operating point (worn NVM media, thermal
+        throttling) — the scenario under which sizing decisions drift.
+        The LLC is shared hardware and carries over unchanged.
+        """
+        return HybridMemorySystem(
+            fast=self.fast.degraded(fast_latency_factor, fast_bandwidth_factor),
+            slow=self.slow.degraded(slow_latency_factor, slow_bandwidth_factor),
+            llc=LLCModel(
+                capacity_bytes=self.llc.capacity_bytes,
+                hit_latency_ns=self.llc.hit_latency_ns,
+            ),
+        )
+
     # -- numactl-style binding ---------------------------------------------------
 
     def bind(self, node: str | NodeKind) -> MemoryNode:

@@ -39,11 +39,24 @@ class NoiseModel:
         if self.sigma < 0:
             raise ConfigurationError(f"noise sigma must be >= 0, got {self.sigma}")
 
-    def apply(self, times_ns: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        """Return a noisy copy of *times_ns* (or the input when sigma==0)."""
+    def apply(
+        self,
+        times_ns: np.ndarray,
+        rng: np.random.Generator,
+        scale: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Return a noisy copy of *times_ns* (or the input when sigma==0).
+
+        ``scale`` optionally multiplies sigma per request — the hook the
+        jitter-burst fault model uses to widen noise inside a burst
+        window without touching requests outside it.
+        """
         if self.sigma == 0.0:
             return times_ns
-        factors = 1.0 + self.sigma * rng.standard_normal(times_ns.shape)
+        z = rng.standard_normal(times_ns.shape)
+        if scale is not None:
+            z = z * scale
+        factors = 1.0 + self.sigma * z
         np.maximum(factors, 1e-3, out=factors)
         return times_ns * factors
 
@@ -73,6 +86,7 @@ class AccessTimer:
         cached: np.ndarray | None = None,
         cache_latency_ns: float = 0.0,
         noisy: bool = True,
+        noise_scale: np.ndarray | None = None,
     ) -> np.ndarray:
         """Compute per-request service times in nanoseconds.
 
@@ -93,6 +107,8 @@ class AccessTimer:
             LLC hit latency.
         noisy:
             Apply the noise model (disable for analytic ground truth).
+        noise_scale:
+            Optional per-request sigma multipliers (jitter bursts).
 
         Returns
         -------
@@ -105,5 +121,5 @@ class AccessTimer:
             mem_ns = np.where(cached, cache_latency_ns, mem_ns)
         times = cpu_ns + mem_ns
         if noisy:
-            times = self.noise.apply(times, self._rng)
+            times = self.noise.apply(times, self._rng, scale=noise_scale)
         return times

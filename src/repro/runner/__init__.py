@@ -20,6 +20,7 @@ from repro.runner.cache import (
     DEFAULT_CACHE_DIR,
     SCHEMA_VERSION,
     CacheStats,
+    CacheVerifyReport,
     ResultCache,
     ensure_cache,
 )
@@ -34,10 +35,15 @@ from repro.runner.fingerprint import (
 )
 from repro.runner.grid import (
     ENGINE_FACTORIES,
+    NON_RETRYABLE,
     PLACEMENTS,
     ClientConfig,
+    ExperimentFailure,
     ExperimentRunner,
     ExperimentSpec,
+    FailureReport,
+    GridOutcome,
+    RetryPolicy,
     default_workers,
     split_fast_keys,
 )
@@ -46,6 +52,7 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "SCHEMA_VERSION",
     "CacheStats",
+    "CacheVerifyReport",
     "ResultCache",
     "ensure_cache",
     "CachingClient",
@@ -57,10 +64,15 @@ __all__ = [
     "trace_fingerprint",
     "workload_fingerprint",
     "ENGINE_FACTORIES",
+    "NON_RETRYABLE",
     "PLACEMENTS",
     "ClientConfig",
+    "ExperimentFailure",
     "ExperimentRunner",
     "ExperimentSpec",
+    "FailureReport",
+    "GridOutcome",
+    "RetryPolicy",
     "default_workers",
     "split_fast_keys",
 ]

@@ -1,12 +1,13 @@
-"""On-disk content-addressed experiment cache.
+"""On-disk content-addressed experiment cache with integrity checking.
 
 Layout (all under the cache root, default ``.mnemo-cache/``)::
 
     .mnemo-cache/
-      v1/                     <- schema version; bumping it orphans old entries
-        results/<fp>.json     <- RunResult payloads
+      v2/                     <- schema version; bumping it orphans old entries
+        results/<fp>.json     <- RunResult payloads (checksummed JSON)
         traces/<fp>.npz       <- generated traces (keys / is_read / sizes)
         hitmasks/<fp>.npz     <- LLC hit masks keyed by (trace, LLC) digest
+        quarantine/<kind>/    <- corrupt entries, moved aside for autopsy
 
 Fingerprints come from :mod:`repro.runner.fingerprint`; an entry is valid
 forever because its key covers everything that determines its content.
@@ -17,31 +18,49 @@ never looked up again, and (3) ``clear()`` drops everything explicitly.
 
 Writes are atomic (temp file + ``os.replace``) so concurrent workers in
 a parallel grid can share one cache directory without corruption.
+
+Integrity: every entry carries a checksum of its own content — a JSON
+canonical-form digest for results, the trace content fingerprint for
+traces, an array digest for hit masks.  A read that fails to parse or
+fails its checksum (a truncated write from a killed machine, bit rot, a
+mangled rsync) is *quarantined* — moved to ``quarantine/<kind>/`` — and
+reported as a miss, so the caller transparently recomputes it; strict
+caches raise :class:`~repro.errors.CacheCorruptionError` instead.
+``verify()`` walks every entry up front (the ``python -m repro cache
+verify`` CLI), and ``stats()`` counts what quarantine holds.
 """
 
 from __future__ import annotations
 
+import hashlib
 import io
 import json
 import os
 import shutil
 import tempfile
-from dataclasses import asdict
+import zipfile
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 import numpy as np
 
+from repro.errors import CacheCorruptionError
+from repro.runner.fingerprint import array_digest, trace_fingerprint
 from repro.ycsb.client import RunResult
 from repro.ycsb.workload import Trace
 
 #: Cache schema version; bump when the on-disk format or the
-#: fingerprint canonicalisation changes incompatibly.
-SCHEMA_VERSION = 1
+#: fingerprint canonicalisation changes incompatibly.  v2 added
+#: per-entry checksums.
+SCHEMA_VERSION = 2
 
 #: Default cache directory name (relative to the working directory).
 DEFAULT_CACHE_DIR = ".mnemo-cache"
 
 _KINDS = ("results", "traces", "hitmasks")
+
+#: Errors ``np.load`` raises on truncated or mangled NPZ files.
+_NPZ_ERRORS = (OSError, KeyError, ValueError, EOFError, zipfile.BadZipFile)
 
 
 def _atomic_write(path: Path, data: bytes) -> None:
@@ -58,12 +77,28 @@ def _atomic_write(path: Path, data: bytes) -> None:
         raise
 
 
-class CacheStats:
-    """Per-kind entry counts and byte totals of a cache directory."""
+def _json_checksum(body) -> str:
+    """SHA-256 of a JSON value in canonical form.
 
-    def __init__(self, entries: dict[str, int], bytes_: dict[str, int]):
+    Callers must pass a value that already round-tripped through JSON
+    (string keys only), so writer and reader canonicalise identically.
+    """
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class CacheStats:
+    """Per-kind entry counts, byte totals and quarantine census."""
+
+    def __init__(
+        self,
+        entries: dict[str, int],
+        bytes_: dict[str, int],
+        quarantined: dict[str, int] | None = None,
+    ):
         self.entries = entries
         self.bytes = bytes_
+        self.quarantined = quarantined or {kind: 0 for kind in _KINDS}
 
     @property
     def total_entries(self) -> int:
@@ -74,6 +109,11 @@ class CacheStats:
     def total_bytes(self) -> int:
         """Bytes across all kinds."""
         return sum(self.bytes.values())
+
+    @property
+    def total_quarantined(self) -> int:
+        """Quarantined entries across all kinds."""
+        return sum(self.quarantined.values())
 
     def lines(self) -> list[str]:
         """Human-readable summary rows (kind, entries, size)."""
@@ -87,6 +127,50 @@ class CacheStats:
             f"{'total':<10} {self.total_entries:>6} entries "
             f"{self.total_bytes / 1e6:>10.2f} MB"
         )
+        if self.total_quarantined:
+            out.append(
+                f"{'quarantine':<10} {self.total_quarantined:>6} entries "
+                f"(corrupt, will be recomputed on demand)"
+            )
+        return out
+
+
+@dataclass(frozen=True)
+class CacheVerifyReport:
+    """Result of a full checksum walk over the cache."""
+
+    checked: dict[str, int] = field(default_factory=dict)
+    corrupt: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when every checked entry passed its checksum."""
+        return not any(self.corrupt.values())
+
+    @property
+    def total_checked(self) -> int:
+        """Entries examined across all kinds."""
+        return sum(self.checked.values())
+
+    @property
+    def total_corrupt(self) -> int:
+        """Entries that failed integrity checks."""
+        return sum(len(v) for v in self.corrupt.values())
+
+    def lines(self) -> list[str]:
+        """Human-readable verification summary."""
+        out = []
+        for kind in _KINDS:
+            n_corrupt = len(self.corrupt.get(kind, ()))
+            status = "ok" if n_corrupt == 0 else f"{n_corrupt} corrupt"
+            out.append(
+                f"{kind:<10} {self.checked.get(kind, 0):>6} checked  {status}"
+            )
+        out.append(
+            f"{'total':<10} {self.total_checked:>6} checked  "
+            + ("all entries intact" if self.ok
+               else f"{self.total_corrupt} corrupt entries quarantined")
+        )
         return out
 
 
@@ -98,10 +182,17 @@ class ResultCache:
     root:
         Cache directory (created lazily on first write).  Defaults to
         ``.mnemo-cache`` in the current working directory.
+    strict:
+        When True, reads of corrupt entries raise
+        :class:`~repro.errors.CacheCorruptionError` (after
+        quarantining) instead of silently recomputing.
     """
 
-    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR):
+    def __init__(
+        self, root: str | Path = DEFAULT_CACHE_DIR, strict: bool = False,
+    ):
         self.root = Path(root)
+        self.strict = strict
         self._base = self.root / f"v{SCHEMA_VERSION}"
 
     # -- paths ----------------------------------------------------------------
@@ -112,46 +203,113 @@ class ResultCache:
     def _ensure(self, kind: str) -> None:
         (self._base / kind).mkdir(parents=True, exist_ok=True)
 
+    # -- integrity ------------------------------------------------------------
+
+    def _quarantine(self, kind: str, path: Path) -> None:
+        qdir = self._base / "quarantine" / kind
+        qdir.mkdir(parents=True, exist_ok=True)
+        try:
+            os.replace(path, qdir / path.name)
+        except OSError:  # pragma: no cover - racing worker moved it first
+            pass
+
+    def _corrupt(self, kind: str, path: Path, reason: str) -> None:
+        """Quarantine a corrupt entry; raise in strict mode.
+
+        Returns None so getters can ``return self._corrupt(...)`` and
+        the caller sees an ordinary miss, recomputing transparently.
+        """
+        self._quarantine(kind, path)
+        if self.strict:
+            raise CacheCorruptionError(f"{path}: {reason}")
+        return None
+
     # -- run results ----------------------------------------------------------
 
-    def get_result(self, fingerprint: str) -> RunResult | None:
-        """Load a cached :class:`~repro.ycsb.client.RunResult` (or None)."""
-        path = self._path("results", fingerprint, ".json")
+    def _load_result_file(self, path: Path):
+        """Load + validate one result entry: (result, corruption reason)."""
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
-            return None
+            payload = json.loads(path.read_bytes())
+        except OSError:
+            return None, "unreadable"
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None, "unparseable JSON"
+        if not isinstance(payload, dict):
+            return None, "payload is not an object"
         if payload.get("schema") != SCHEMA_VERSION:
+            return None, None  # stale schema: a miss, not corruption
+        body = payload.get("result")
+        checksum = payload.get("checksum")
+        if not isinstance(body, dict) or not isinstance(checksum, str):
+            return None, "missing result/checksum fields"
+        if _json_checksum(body) != checksum:
+            return None, "checksum mismatch"
+        body = dict(body)
+        try:
+            body["latency_percentiles_ns"] = {
+                float(q): v for q, v in body["latency_percentiles_ns"].items()
+            }
+            return RunResult(**body), None
+        except (KeyError, TypeError, ValueError):
+            return None, "malformed result body"
+
+    def get_result(self, fingerprint: str) -> RunResult | None:
+        """Load a cached :class:`~repro.ycsb.client.RunResult` (or None).
+
+        Corrupt entries are quarantined and reported as a miss (strict
+        caches raise :class:`~repro.errors.CacheCorruptionError`).
+        """
+        path = self._path("results", fingerprint, ".json")
+        if not path.exists():
             return None
-        body = payload["result"]
-        body["latency_percentiles_ns"] = {
-            float(q): v for q, v in body["latency_percentiles_ns"].items()
-        }
-        return RunResult(**body)
+        result, reason = self._load_result_file(path)
+        if reason is not None:
+            return self._corrupt("results", path, reason)
+        return result
 
     def put_result(self, fingerprint: str, result: RunResult) -> Path:
         """Persist a run result; returns the written path."""
         self._ensure("results")
         path = self._path("results", fingerprint, ".json")
-        payload = {"schema": SCHEMA_VERSION, "result": asdict(result)}
+        # round-trip through JSON so the stored checksum is computed on
+        # exactly the value a reader will re-canonicalise (string keys)
+        body = json.loads(json.dumps(asdict(result)))
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "checksum": _json_checksum(body),
+            "result": body,
+        }
         _atomic_write(path, json.dumps(payload, indent=1).encode())
         return path
 
     # -- traces ---------------------------------------------------------------
 
-    def get_trace(self, fingerprint: str) -> Trace | None:
-        """Load a cached generated trace (or None)."""
-        path = self._path("traces", fingerprint, ".npz")
+    def _load_trace_file(self, path: Path):
+        """Load + validate one trace entry: (trace, corruption reason)."""
         try:
             with np.load(path, allow_pickle=False) as npz:
-                return Trace(
+                trace = Trace(
                     name=str(npz["name"]),
                     keys=npz["keys"],
                     is_read=npz["is_read"],
                     record_sizes=npz["record_sizes"],
                 )
-        except (OSError, KeyError, ValueError):
+                checksum = str(npz["checksum"])
+        except _NPZ_ERRORS:
+            return None, "truncated or unparseable NPZ"
+        if trace_fingerprint(trace) != checksum:
+            return None, "checksum mismatch"
+        return trace, None
+
+    def get_trace(self, fingerprint: str) -> Trace | None:
+        """Load a cached generated trace (or None); quarantines corruption."""
+        path = self._path("traces", fingerprint, ".npz")
+        if not path.exists():
             return None
+        trace, reason = self._load_trace_file(path)
+        if reason is not None:
+            return self._corrupt("traces", path, reason)
+        return trace
 
     def put_trace(self, fingerprint: str, trace: Trace) -> Path:
         """Persist a generated trace; returns the written path."""
@@ -164,44 +322,98 @@ class ResultCache:
             keys=trace.keys,
             is_read=trace.is_read,
             record_sizes=trace.record_sizes,
+            checksum=np.asarray(trace_fingerprint(trace)),
         )
         _atomic_write(path, buf.getvalue())
         return path
 
     # -- hit masks ------------------------------------------------------------
 
-    def get_hitmask(self, fingerprint: str) -> np.ndarray | None:
-        """Load a cached LLC hit mask (or None)."""
-        path = self._path("hitmasks", fingerprint, ".npz")
+    def _load_hitmask_file(self, path: Path):
+        """Load + validate one hit-mask entry: (mask, corruption reason)."""
         try:
             with np.load(path, allow_pickle=False) as npz:
-                return npz["mask"]
-        except (OSError, KeyError, ValueError):
+                mask = npz["mask"]
+                checksum = str(npz["checksum"])
+        except _NPZ_ERRORS:
+            return None, "truncated or unparseable NPZ"
+        if array_digest(mask) != checksum:
+            return None, "checksum mismatch"
+        return mask, None
+
+    def get_hitmask(self, fingerprint: str) -> np.ndarray | None:
+        """Load a cached LLC hit mask (or None); quarantines corruption."""
+        path = self._path("hitmasks", fingerprint, ".npz")
+        if not path.exists():
             return None
+        mask, reason = self._load_hitmask_file(path)
+        if reason is not None:
+            return self._corrupt("hitmasks", path, reason)
+        return mask
 
     def put_hitmask(self, fingerprint: str, mask: np.ndarray) -> Path:
         """Persist an LLC hit mask; returns the written path."""
         self._ensure("hitmasks")
         path = self._path("hitmasks", fingerprint, ".npz")
+        mask = np.asarray(mask, dtype=bool)
         buf = io.BytesIO()
-        np.savez_compressed(buf, mask=np.asarray(mask, dtype=bool))
+        np.savez_compressed(
+            buf, mask=mask, checksum=np.asarray(array_digest(mask)),
+        )
         _atomic_write(path, buf.getvalue())
         return path
 
     # -- maintenance ----------------------------------------------------------
 
+    def _entries(self, kind: str) -> list[Path]:
+        directory = self._base / kind
+        if not directory.is_dir():
+            return []
+        return sorted(
+            p for p in directory.iterdir() if not p.name.startswith(".tmp-")
+        )
+
     def stats(self) -> CacheStats:
-        """Entry counts and byte totals per kind (current schema only)."""
+        """Entry counts, byte totals and quarantine census (current schema)."""
         entries = {}
         bytes_ = {}
+        quarantined = {}
         for kind in _KINDS:
-            files = [
-                p for p in (self._base / kind).glob("*")
-                if not p.name.startswith(".tmp-")
-            ] if (self._base / kind).is_dir() else []
+            files = self._entries(kind)
             entries[kind] = len(files)
             bytes_[kind] = sum(p.stat().st_size for p in files)
-        return CacheStats(entries, bytes_)
+            qdir = self._base / "quarantine" / kind
+            quarantined[kind] = (
+                sum(1 for _ in qdir.iterdir()) if qdir.is_dir() else 0
+            )
+        return CacheStats(entries, bytes_, quarantined)
+
+    def verify(self, repair: bool = True) -> CacheVerifyReport:
+        """Walk every entry and validate its checksum.
+
+        With ``repair=True`` (default) corrupt entries are moved to
+        quarantine so subsequent runs recompute them; with
+        ``repair=False`` the walk only reports.
+        """
+        loaders = {
+            "results": self._load_result_file,
+            "traces": self._load_trace_file,
+            "hitmasks": self._load_hitmask_file,
+        }
+        checked = {}
+        corrupt = {}
+        for kind in _KINDS:
+            bad = []
+            files = self._entries(kind)
+            checked[kind] = len(files)
+            for path in files:
+                _, reason = loaders[kind](path)
+                if reason is not None:
+                    bad.append(path.name)
+                    if repair:
+                        self._quarantine(kind, path)
+            corrupt[kind] = tuple(bad)
+        return CacheVerifyReport(checked=checked, corrupt=corrupt)
 
     def clear(self) -> int:
         """Delete every cached entry; returns the number removed."""

@@ -49,6 +49,7 @@ class CachingClient(YCSBClient):
         seed=None,
         concurrency: int = 1,
         contention: float = 0.15,
+        faults=None,
     ):
         super().__init__(
             repeats=repeats,
@@ -58,6 +59,7 @@ class CachingClient(YCSBClient):
             seed=seed,
             concurrency=concurrency,
             contention=contention,
+            faults=faults,
         )
         self.cache = ensure_cache(cache) or ResultCache()
         self.cache_hits = 0
@@ -80,6 +82,7 @@ class CachingClient(YCSBClient):
             seed=client.seed,
             concurrency=client.concurrency,
             contention=client.contention,
+            faults=getattr(client, "faults", None),
         )
 
     def _cache_mask(

@@ -156,7 +156,7 @@ def client_fingerprint(client) -> dict:
             "clients seeded with a live Generator cannot be fingerprinted; "
             "pass an integer seed (or None) for cacheable experiments"
         )
-    return {
+    body = {
         "repeats": client.repeats,
         "noise_sigma": client.noise.sigma,
         "use_llc": client.use_llc,
@@ -165,6 +165,12 @@ def client_fingerprint(client) -> dict:
         "concurrency": client.concurrency,
         "contention": client.contention,
     }
+    # only fault-injecting clients contribute a "faults" key, so every
+    # pre-fault fingerprint (and cache entry) stays valid
+    faults = getattr(client, "faults", None)
+    if faults is not None and faults.active:
+        body["faults"] = canonicalize(faults)
+    return body
 
 
 def experiment_fingerprint(

@@ -1,4 +1,4 @@
-"""Parallel experiment grids with deterministic results.
+"""Parallel experiment grids with deterministic results and retries.
 
 :class:`ExperimentRunner` executes workload x store x placement grids,
 optionally across a :class:`~concurrent.futures.ProcessPoolExecutor`.
@@ -10,6 +10,16 @@ Three properties make the parallel path safe:
   the same numbers no matter which process or schedule runs it —
   parallel grids are bit-identical to serial ones;
 - cache writes are atomic, so workers can share one cache directory.
+
+The same fingerprint-derived determinism makes the pipeline *crash
+tolerant for free*: a retried experiment measures exactly the numbers
+the crashed attempt would have, so :meth:`ExperimentRunner.sweep` can
+recover from worker death (``BrokenProcessPool``), injected chaos, and
+per-experiment timeouts with bounded, backoff-spaced retries — and a
+sweep that still loses experiments returns every completed result plus
+a structured :class:`FailureReport` instead of raising
+(:meth:`run_grid` keeps the raise-on-failure contract for callers that
+want it).
 
 Placements:
 
@@ -26,12 +36,21 @@ Placements:
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ConfigurationError,
+    ExperimentTimeoutError,
+    FaultError,
+    WorkloadError,
+)
+from repro.rng import derive_seed
 from repro.kvstore.dynamolike import DynamoLike
 from repro.kvstore.memcachedlike import MemcachedLike
 from repro.kvstore.redislike import RedisLike
@@ -60,6 +79,127 @@ ENGINE_FACTORIES = {
 #: Placement modes an :class:`ExperimentSpec` may request.
 PLACEMENTS = ("fast", "slow", "split")
 
+#: Errors that retrying cannot fix (bad inputs, not transient faults).
+NON_RETRYABLE = (ConfigurationError, WorkloadError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    Parameters
+    ----------
+    max_attempts:
+        Attempts per experiment (1 = no retries).
+    timeout_s:
+        Per-experiment timeout in seconds (None = unlimited).  Enforced
+        on the process-pool path; a sweep with a timeout therefore runs
+        pooled even for ``workers=1``.
+    backoff_base_s / backoff_factor:
+        Sleep before retry *k* (1-based) is
+        ``backoff_base_s * backoff_factor**(k - 1)``, scaled by jitter.
+    jitter:
+        Relative jitter width added on top of the exponential backoff.
+        Derived from a hash of (label, attempt) rather than wall-clock
+        entropy, so resilience behaviour is as replayable as the
+        measurements themselves.
+    """
+
+    max_attempts: int = 3
+    timeout_s: float | None = None
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError(
+                f"timeout_s must be positive, got {self.timeout_s}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_factor < 1:
+            raise ConfigurationError(
+                "backoff_base_s must be >= 0 and backoff_factor >= 1"
+            )
+        if self.jitter < 0:
+            raise ConfigurationError(f"jitter must be >= 0, got {self.jitter}")
+
+    def backoff_s(self, attempt: int, label: str = "") -> float:
+        """Sleep before retry *attempt* (1-based), jittered."""
+        base = self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+        u = derive_seed(None, f"{label}/backoff/{attempt}") / 2.0**32
+        return base * (1.0 + self.jitter * u)
+
+
+@dataclass(frozen=True)
+class ExperimentFailure:
+    """One experiment a sweep could not complete."""
+
+    label: str
+    error: str
+    message: str
+    attempts: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label}: {self.error}: {self.message} "
+            f"({self.attempts} attempt{'s' if self.attempts != 1 else ''})"
+        )
+
+
+@dataclass(frozen=True)
+class FailureReport:
+    """Structured record of everything a sweep failed to complete."""
+
+    failures: tuple[ExperimentFailure, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """True when the sweep completed every experiment."""
+        return not self.failures
+
+    def __len__(self) -> int:
+        return len(self.failures)
+
+    def summary(self) -> str:
+        """Multi-line human-readable account of the failures."""
+        if self.ok:
+            return "all experiments completed"
+        lines = [f"{len(self.failures)} experiment(s) failed:"]
+        lines += [f"  - {f}" for f in self.failures]
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class GridOutcome:
+    """What a resilient sweep produced.
+
+    ``results`` preserves spec order, with ``None`` at the slots of
+    failed experiments; ``report`` explains every ``None``.
+    """
+
+    results: tuple[RunResult | None, ...]
+    report: FailureReport = field(default_factory=FailureReport)
+
+    @property
+    def completed(self) -> list[RunResult]:
+        """The successful results, in spec order."""
+        return [r for r in self.results if r is not None]
+
+    @property
+    def ok(self) -> bool:
+        """True when every experiment completed."""
+        return self.report.ok
+
+    def raise_if_failed(self) -> "GridOutcome":
+        """Raise :class:`~repro.errors.FaultError` on any failure."""
+        if not self.report.ok:
+            raise FaultError(self.report.summary())
+        return self
+
 
 @dataclass(frozen=True)
 class ClientConfig:
@@ -67,7 +207,9 @@ class ClientConfig:
 
     Mirrors the :class:`~repro.ycsb.client.YCSBClient` constructor, but
     the seed must be an integer (or None): live generators can be
-    neither pickled nor fingerprinted.
+    neither pickled nor fingerprinted.  ``faults`` is an optional
+    :class:`~repro.faults.FaultSpec` — a frozen dataclass, so the config
+    stays picklable and fingerprintable with faults attached.
     """
 
     repeats: int = 3
@@ -77,6 +219,7 @@ class ClientConfig:
     seed: int | None = None
     concurrency: int = 1
     contention: float = 0.15
+    faults: object | None = None
 
     def build(self, cache: ResultCache | None = None) -> YCSBClient:
         """Construct the client (caching when a cache is supplied)."""
@@ -88,6 +231,7 @@ class ClientConfig:
             seed=self.seed,
             concurrency=self.concurrency,
             contention=self.contention,
+            faults=self.faults,
         )
         if cache is not None:
             return CachingClient(cache=cache, **kwargs)
@@ -159,6 +303,15 @@ class ExperimentRunner:
         default Table I testbed is.
     workers:
         Default process count for :meth:`run_grid` (None = serial).
+    retry:
+        The :class:`RetryPolicy` governing timeouts, retry budget and
+        backoff for :meth:`sweep` / :meth:`run_grid`.
+    chaos:
+        Optional :class:`~repro.faults.ChaosPlan` striking experiments
+        (worker kills / failures / hangs) — the fault-injection hook the
+        chaos tests and game-days use.  Serial runs downgrade ``exit``
+        strikes to raised :class:`~repro.errors.FaultError`\\ s so chaos
+        never kills the calling process.
     """
 
     def __init__(
@@ -167,11 +320,15 @@ class ExperimentRunner:
         client: ClientConfig = ClientConfig(),
         system_factory=HybridMemorySystem.testbed,
         workers: int | None = None,
+        retry: RetryPolicy = RetryPolicy(),
+        chaos=None,
     ):
         self.cache = ensure_cache(cache)
         self.client_config = client
         self.system_factory = system_factory
         self.workers = workers
+        self.retry = retry
+        self.chaos = chaos
         self._client = client.build(self.cache)
 
     # -- building blocks ---------------------------------------------------------
@@ -246,6 +403,173 @@ class ExperimentRunner:
                 return hit
         return self._client.execute(trace, self.deployment_for(spec, trace))
 
+    def _run_one(self, spec: ExperimentSpec) -> RunResult:
+        """Serial execution of one spec, honouring the chaos plan."""
+        if self.chaos is not None:
+            self.chaos.maybe_strike(spec.label, allow_exit=False)
+        return self.run(spec)
+
+    def _payload(self, spec: ExperimentSpec):
+        root = None if self.cache is None else str(self.cache.root)
+        return (spec, self.client_config, root, self.system_factory, self.chaos)
+
+    def sweep(
+        self,
+        specs: list[ExperimentSpec],
+        workers: int | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> GridOutcome:
+        """Execute *specs* resiliently; never raises on partial loss.
+
+        Failures — worker death, injected chaos, timeouts, transient
+        errors — are retried up to ``retry.max_attempts`` times with
+        exponential backoff.  Because every measurement is a pure
+        function of its fingerprint, a retried experiment produces
+        numbers bit-identical to what the lost attempt would have
+        measured.  Experiments that stay broken are recorded in the
+        outcome's :class:`FailureReport` while every completed result
+        is returned in spec order.
+
+        Per-experiment timeouts (``retry.timeout_s``) are enforced on
+        the process-pool path; setting one forces pooled execution even
+        for a single worker.  The timeout bounds the wait once the
+        sweep starts waiting on an experiment, so concurrent
+        experiments never make each other time out.
+        """
+        retry = self.retry if retry is None else retry
+        workers = self.workers if workers is None else workers
+        workers = max(1, min(int(workers or 1), len(specs) or 1))
+        n = len(specs)
+        results: list[RunResult | None] = [None] * n
+        attempts = [0] * n
+        pending = set(range(n))
+        failures: list[ExperimentFailure] = []
+        use_pool = n > 0 and (workers > 1 or retry.timeout_s is not None)
+        isolate = False
+
+        while pending:
+            if use_pool:
+                failed, broke = self._pooled_round(
+                    specs, results, sorted(pending), pending,
+                    workers, retry, isolate,
+                )
+                isolate = broke
+            else:
+                failed = self._serial_round(
+                    specs, results, sorted(pending), pending,
+                )
+            retryable = []
+            for i, exc in failed.items():
+                attempts[i] += 1
+                exhausted = attempts[i] >= retry.max_attempts
+                if exhausted or isinstance(exc, NON_RETRYABLE):
+                    pending.discard(i)
+                    failures.append(ExperimentFailure(
+                        label=specs[i].label,
+                        error=type(exc).__name__,
+                        message=str(exc),
+                        attempts=attempts[i],
+                    ))
+                else:
+                    retryable.append(i)
+            if pending and (failed or isolate):
+                worst = max((attempts[i] for i in retryable), default=1)
+                time.sleep(retry.backoff_s(
+                    worst, label=specs[min(pending)].label,
+                ))
+
+        order = {spec.label: k for k, spec in enumerate(specs)}
+        failures.sort(key=lambda f: order.get(f.label, n))
+        return GridOutcome(
+            results=tuple(results),
+            report=FailureReport(failures=tuple(failures)),
+        )
+
+    def _serial_round(self, specs, results, order, pending):
+        """One in-process attempt at every pending spec."""
+        failed: dict[int, Exception] = {}
+        for i in order:
+            try:
+                results[i] = self._run_one(specs[i])
+                pending.discard(i)
+            except Exception as exc:
+                failed[i] = exc
+        return failed
+
+    def _pooled_round(
+        self, specs, results, order, pending, workers, retry, isolate,
+    ):
+        """One process-pool attempt at every pending spec.
+
+        Returns ``(failed, broke)``.  When a worker dies it takes the
+        whole pool with it and the uncollected tasks cannot be told
+        apart from the killer — so nobody's attempt budget is charged
+        (``broke=True``) and the next round runs *isolated*: one fresh
+        single-task pool per spec, which attributes any further crash
+        to exactly the experiment that caused it.
+        """
+        if isolate:
+            failed: dict[int, Exception] = {}
+            for i in order:
+                failed.update(self._pooled_round(
+                    specs, results, [i], pending, 1, retry, False,
+                )[0])
+            return failed, False
+
+        failed = {}
+        broke = False
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(order)))
+        futs = {i: pool.submit(_worker_run, self._payload(specs[i]))
+                for i in order}
+        collected: set[int] = set()
+        terminate = False
+        try:
+            for i in order:
+                try:
+                    results[i] = futs[i].result(timeout=retry.timeout_s)
+                    pending.discard(i)
+                    collected.add(i)
+                except BrokenProcessPool:
+                    broke = True
+                    break
+                except FuturesTimeoutError:
+                    failed[i] = ExperimentTimeoutError(
+                        f"{specs[i].label} exceeded the "
+                        f"{retry.timeout_s:g}s per-experiment timeout"
+                    )
+                    collected.add(i)
+                    terminate = True
+                    break
+                except Exception as exc:
+                    failed[i] = exc
+                    collected.add(i)
+        finally:
+            # salvage results that finished before the round broke
+            for i in order:
+                if i in collected or not futs[i].done():
+                    continue
+                try:
+                    results[i] = futs[i].result(timeout=0)
+                    pending.discard(i)
+                except Exception:
+                    pass
+            if terminate:
+                for proc in getattr(pool, "_processes", {}).values():
+                    try:
+                        proc.terminate()
+                    except OSError:  # pragma: no cover - already gone
+                        pass
+            pool.shutdown(wait=not (broke or terminate), cancel_futures=True)
+
+        if broke and len([i for i in order if i in pending]) == 1:
+            # a single suspect needs no isolation round to be convicted
+            culprit = next(i for i in order if i in pending)
+            failed[culprit] = FaultError(
+                f"worker process died while running {specs[culprit].label}"
+            )
+            broke = False
+        return failed, broke
+
     def run_grid(
         self, specs: list[ExperimentSpec], workers: int | None = None,
     ) -> list[RunResult]:
@@ -253,21 +577,15 @@ class ExperimentRunner:
 
         Results are bit-identical to a serial :meth:`run` loop: each
         task's noise streams derive from its experiment fingerprint, so
-        scheduling cannot leak into the numbers.
+        scheduling cannot leak into the numbers.  Transient failures
+        are retried per the runner's :class:`RetryPolicy`; if any
+        experiment stays broken this raises
+        :class:`~repro.errors.FaultError` (use :meth:`sweep` for the
+        gracefully-degrading variant).
         """
-        workers = self.workers if workers is None else workers
-        if workers is None:
-            workers = 1
-        workers = max(1, min(int(workers), len(specs) or 1))
-        if workers == 1 or len(specs) <= 1:
-            return [self.run(spec) for spec in specs]
-        root = None if self.cache is None else str(self.cache.root)
-        payloads = [
-            (spec, self.client_config, root, self.system_factory)
-            for spec in specs
-        ]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_worker_run, payloads))
+        outcome = self.sweep(specs, workers=workers)
+        outcome.raise_if_failed()
+        return list(outcome.results)
 
     def baselines(self, workload: WorkloadSpec, engine: str = "redis"):
         """FastMem/SlowMem baselines for one (workload, engine) pair.
@@ -315,8 +633,16 @@ def default_workers() -> int:
 
 
 def _worker_run(payload) -> RunResult:
-    """Process-pool entry point: rebuild a serial runner and execute."""
-    spec, client_config, cache_root, system_factory = payload
+    """Process-pool entry point: rebuild a serial runner and execute.
+
+    Chaos strikes happen here, inside the worker, so an ``exit`` strike
+    kills a real worker process (exactly the failure mode
+    ``BrokenProcessPool`` recovery exists for) without ever touching
+    the coordinating process.
+    """
+    spec, client_config, cache_root, system_factory, chaos = payload
+    if chaos is not None:
+        chaos.maybe_strike(spec.label, allow_exit=True)
     runner = ExperimentRunner(
         cache=cache_root,
         client=client_config,

@@ -27,7 +27,12 @@ from repro.ycsb.presets import TABLE_III_WORKLOADS, workload_by_name
 from repro.ycsb.sampling import downsample
 from repro.ycsb.sizes import SIZE_MODELS, SizeModel, record_sizes
 from repro.ycsb.synthesis import TraceCharacterisation, fit_trace, synthesize
-from repro.ycsb.trace_io import load_trace_csv, save_trace_csv
+from repro.ycsb.trace_io import (
+    load_trace_csv,
+    load_trace_npz,
+    save_trace_csv,
+    save_trace_npz,
+)
 from repro.ycsb.workload import Trace, WorkloadSpec
 
 __all__ = [
@@ -47,6 +52,8 @@ __all__ = [
     "downsample",
     "save_trace_csv",
     "load_trace_csv",
+    "save_trace_npz",
+    "load_trace_npz",
     "fit_trace",
     "synthesize",
     "TraceCharacterisation",

@@ -127,6 +127,13 @@ class YCSBClient:
         keeps the analytic model exact (see the concurrency ablation).
     contention:
         Per-extra-thread relative bandwidth penalty.
+    faults:
+        Optional :class:`~repro.faults.FaultSpec` injected into every
+        measurement.  Fault schedules derive from the experiment
+        fingerprint (which covers the spec itself), so faulty runs are
+        exactly as reproducible and cacheable as clean ones; the
+        timeline is shared across repeats — device behaviour, unlike
+        measurement noise, does not re-roll per repeat.
     """
 
     def __init__(
@@ -138,6 +145,7 @@ class YCSBClient:
         seed: SeedLike = None,
         concurrency: int = 1,
         contention: float = 0.15,
+        faults=None,
     ):
         if repeats <= 0:
             raise ConfigurationError(f"repeats must be positive, got {repeats}")
@@ -156,6 +164,7 @@ class YCSBClient:
         self.use_llc = use_llc
         self.percentiles = tuple(percentiles)
         self._seed = seed
+        self.faults = faults
         # hit masks are a pure function of (trace, LLC capacity); memoize
         # them so repeated measurements never replay the LRU
         self._hitmask_memo: dict[tuple[str, int], np.ndarray] = {}
@@ -187,7 +196,27 @@ class YCSBClient:
             # bandwidth sharing: each in-flight peer slows the memory term
             passes = passes * (1 + self.contention * (self.concurrency - 1))
         cpu = np.where(trace.is_read, prof.read_cpu_ns, prof.write_cpu_ns)
-        return sizes, latency, bpns, passes, cpu
+        return sizes, latency, bpns, passes, cpu, on_fast
+
+    def _fault_arrays(self, label, on_fast, latency, bpns, cpu):
+        """Apply the configured fault timeline to per-request arrays.
+
+        Returns the (possibly perturbed) latency / bandwidth / cpu
+        arrays plus the per-request noise-sigma scale (or None).  The
+        timeline derives from *label* — the experiment fingerprint —
+        so it is identical for serial, parallel and repeated runs.
+        """
+        if self.faults is None or not self.faults.active:
+            return latency, bpns, cpu, None
+        tl = self.faults.timeline(on_fast.size, label)
+        if tl.slow_latency_mult is not None:
+            latency = latency * np.where(on_fast, 1.0, tl.slow_latency_mult)
+        if tl.slow_bandwidth_mult is not None:
+            bpns = bpns * np.where(on_fast, 1.0, tl.slow_bandwidth_mult)
+        if tl.stall_ns is not None:
+            offline = on_fast if tl.stall_node == "fast" else ~on_fast
+            cpu = cpu + np.where(offline, tl.stall_ns, 0.0)
+        return latency, bpns, cpu, tl.noise_scale
 
     def _cache_mask(
         self, trace: Trace, deployment: HybridDeployment,
@@ -257,8 +286,13 @@ class YCSBClient:
         that need the raw service process rather than aggregated
         closed-loop measurements.
         """
-        sizes, latency, bpns, passes, cpu = self._gather(trace, deployment)
+        sizes, latency, bpns, passes, cpu, on_fast = self._gather(
+            trace, deployment
+        )
         label, cached, cache_lat = self._experiment_context(trace, deployment)
+        latency, bpns, cpu, noise_scale = self._fault_arrays(
+            label, on_fast, latency, bpns, cpu
+        )
         timer = AccessTimer(
             noise=self.noise,
             seed=derive_seed(self._seed, f"{label}/svc"),
@@ -266,12 +300,18 @@ class YCSBClient:
         return timer.request_times_ns(
             sizes, latency, bpns, passes, cpu,
             cached=cached, cache_latency_ns=cache_lat,
+            noise_scale=noise_scale,
         )
 
     def execute(self, trace: Trace, deployment: HybridDeployment) -> RunResult:
         """Run *trace* against *deployment*; return averaged measurements."""
-        sizes, latency, bpns, passes, cpu = self._gather(trace, deployment)
+        sizes, latency, bpns, passes, cpu, on_fast = self._gather(
+            trace, deployment
+        )
         label, cached, cache_lat = self._experiment_context(trace, deployment)
+        latency, bpns, cpu, noise_scale = self._fault_arrays(
+            label, on_fast, latency, bpns, cpu
+        )
 
         runtimes = np.empty(self.repeats)
         read_sums = np.empty(self.repeats)
@@ -289,6 +329,7 @@ class YCSBClient:
             times = timer.request_times_ns(
                 sizes, latency, bpns, passes, cpu,
                 cached=cached, cache_latency_ns=cache_lat,
+                noise_scale=noise_scale,
             )
             runtimes[r] = times.sum() / self.concurrency
             read_sums[r] = times[is_read].sum()

@@ -1,0 +1,183 @@
+"""Tests for the fault models, their schedules, and the CLI fault DSL."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    FAULT_KINDS,
+    BandwidthDegradation,
+    FaultSpec,
+    JitterBursts,
+    LatencySpikes,
+    NodeOffline,
+    parse_faults,
+)
+from repro.rng import derive_seed, ensure_rng
+
+
+def _rng(label="lbl"):
+    return ensure_rng(derive_seed(None, label))
+
+
+class TestLatencySpikes:
+    def test_multipliers_are_magnitude_or_one(self):
+        mult = LatencySpikes(rate=0.05, magnitude=4.0).latency_multipliers(
+            5_000, _rng()
+        )
+        assert set(np.unique(mult)) <= {1.0, 4.0}
+
+    def test_positive_rate_always_spikes(self):
+        # even traces shorter than one window per 1/rate get a window
+        mult = LatencySpikes(rate=0.01, width=128).latency_multipliers(
+            1_000, _rng()
+        )
+        assert mult.max() > 1.0
+
+    def test_zero_rate_is_identity(self):
+        mult = LatencySpikes(rate=0.0).latency_multipliers(1_000, _rng())
+        assert (mult == 1.0).all()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LatencySpikes(rate=1.5)
+        with pytest.raises(ConfigurationError):
+            LatencySpikes(magnitude=0.5)
+        with pytest.raises(ConfigurationError):
+            LatencySpikes(width=0)
+
+
+class TestBandwidthDegradation:
+    def test_ramp_is_monotone_and_bounded(self):
+        mult = BandwidthDegradation(onset=0.25, floor=0.5).bandwidth_multipliers(
+            4_000
+        )
+        assert mult[0] == 1.0
+        assert (np.diff(mult) <= 0).all()
+        assert mult.min() >= 0.5 - 1e-9
+
+    def test_before_onset_untouched(self):
+        mult = BandwidthDegradation(onset=0.5).bandwidth_multipliers(1_000)
+        assert (mult[:500] == 1.0).all()
+        assert mult[-1] < 1.0
+
+    def test_deterministic_without_rng(self):
+        d = BandwidthDegradation()
+        assert np.array_equal(
+            d.bandwidth_multipliers(777), d.bandwidth_multipliers(777)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BandwidthDegradation(onset=1.0)
+        with pytest.raises(ConfigurationError):
+            BandwidthDegradation(floor=0.0)
+
+
+class TestNodeOffline:
+    def test_stall_values(self):
+        stalls = NodeOffline(windows=2, stall_ns=10_000.0).stall_schedule(
+            5_000, _rng()
+        )
+        assert set(np.unique(stalls)) <= {0.0, 10_000.0}
+        assert stalls.max() == 10_000.0
+
+    def test_zero_windows_is_identity(self):
+        stalls = NodeOffline(windows=0).stall_schedule(1_000, _rng())
+        assert (stalls == 0.0).all()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NodeOffline(node="medium")
+        with pytest.raises(ConfigurationError):
+            NodeOffline(stall_ns=-1.0)
+
+
+class TestJitterBursts:
+    def test_scales(self):
+        scales = JitterBursts(bursts=2, sigma_scale=5.0).noise_scales(
+            5_000, _rng()
+        )
+        assert set(np.unique(scales)) <= {1.0, 5.0}
+        assert scales.max() == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            JitterBursts(sigma_scale=0.5)
+
+
+class TestFaultSpec:
+    def test_empty_spec_inactive(self):
+        spec = FaultSpec()
+        assert not spec.active
+        assert spec.describe() == "none"
+
+    def test_active_and_describe(self):
+        spec = FaultSpec(latency_spikes=LatencySpikes(),
+                         jitter_bursts=JitterBursts())
+        assert spec.active
+        assert spec.describe() == "latency_spikes+jitter_bursts"
+
+    def test_timeline_shapes(self):
+        spec = FaultSpec(
+            latency_spikes=LatencySpikes(),
+            bandwidth_degradation=BandwidthDegradation(),
+            node_offline=NodeOffline(node="fast"),
+            jitter_bursts=JitterBursts(),
+        )
+        tl = spec.timeline(2_000, "fp")
+        for arr in (tl.slow_latency_mult, tl.slow_bandwidth_mult,
+                    tl.stall_ns, tl.noise_scale):
+            assert arr is not None and arr.shape == (2_000,)
+        assert tl.stall_node == "fast"
+
+    def test_absent_models_leave_none(self):
+        tl = FaultSpec(latency_spikes=LatencySpikes()).timeline(100, "fp")
+        assert tl.slow_latency_mult is not None
+        assert tl.slow_bandwidth_mult is None
+        assert tl.stall_ns is None
+        assert tl.noise_scale is None
+
+
+class TestParseFaults:
+    def test_empty_input(self):
+        assert parse_faults(None) is None
+        assert parse_faults("") is None
+        assert parse_faults("   ") is None
+
+    def test_bare_names(self):
+        spec = parse_faults("spikes,ramp,offline,jitter")
+        assert spec.latency_spikes == LatencySpikes()
+        assert spec.bandwidth_degradation == BandwidthDegradation()
+        assert spec.node_offline == NodeOffline()
+        assert spec.jitter_bursts == JitterBursts()
+
+    def test_parameterised(self):
+        spec = parse_faults(
+            "spikes(rate=0.05,magnitude=6),ramp(floor=0.4),offline(node=fast)"
+        )
+        assert spec.latency_spikes.rate == 0.05
+        assert spec.latency_spikes.magnitude == 6.0
+        assert spec.bandwidth_degradation.floor == 0.4
+        assert spec.node_offline.node == "fast"
+        assert spec.jitter_bursts is None
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown fault model"):
+            parse_faults("gremlins")
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ConfigurationError, match="no parameter"):
+            parse_faults("spikes(height=2)")
+
+    def test_bad_value(self):
+        with pytest.raises(ConfigurationError, match="bad value"):
+            parse_faults("spikes(rate=abc)")
+
+    def test_malformed(self):
+        with pytest.raises(ConfigurationError):
+            parse_faults("spikes(rate=0.05")
+
+    def test_all_kinds_parse(self):
+        for name in FAULT_KINDS:
+            assert parse_faults(name).active

@@ -1,10 +1,15 @@
-"""Tests for trace CSV persistence."""
+"""Tests for trace CSV/NPZ persistence and corruption handling."""
 
 import numpy as np
 import pytest
 
-from repro.errors import WorkloadError
-from repro.ycsb import load_trace_csv, save_trace_csv
+from repro.errors import ReproError, WorkloadError
+from repro.ycsb import (
+    load_trace_csv,
+    load_trace_npz,
+    save_trace_csv,
+    save_trace_npz,
+)
 
 
 class TestRoundtrip:
@@ -68,3 +73,70 @@ class TestMalformedInput:
         req.write_text("key,op\n0,WRITE\n")
         loaded = load_trace_csv(req, data)
         assert not loaded.is_read[0]
+
+    def test_non_integer_key_rejected(self, small_trace, tmp_path):
+        req, data = save_trace_csv(small_trace, tmp_path)
+        req.write_text("key,op\nabc,READ\n")
+        with pytest.raises(WorkloadError, match="non-integer key"):
+            load_trace_csv(req, data)
+
+    def test_non_integer_size_rejected(self, small_trace, tmp_path):
+        req, data = save_trace_csv(small_trace, tmp_path)
+        req.write_text("key,op\n0,READ\n")
+        data.write_text("key,size_bytes\n0,huge\n")
+        with pytest.raises(WorkloadError, match="non-integer size"):
+            load_trace_csv(req, data)
+
+    def test_missing_file_raises_workload_error(self, small_trace, tmp_path):
+        req, data = save_trace_csv(small_trace, tmp_path)
+        with pytest.raises(WorkloadError, match="unreadable"):
+            load_trace_csv(tmp_path / "nope.csv", data)
+        with pytest.raises(WorkloadError, match="unreadable"):
+            load_trace_csv(req, tmp_path / "nope.csv")
+
+    def test_errors_catchable_as_repro_error(self, small_trace, tmp_path):
+        req, data = save_trace_csv(small_trace, tmp_path)
+        req.write_text("key,op\nabc,READ\n")
+        with pytest.raises(ReproError):
+            load_trace_csv(req, data)
+
+
+class TestNpz:
+    def test_roundtrip_preserves_trace(self, mixed_trace, tmp_path):
+        path = save_trace_npz(mixed_trace, tmp_path / "t.npz")
+        loaded = load_trace_npz(path)
+        assert loaded.name == mixed_trace.name
+        assert np.array_equal(loaded.keys, mixed_trace.keys)
+        assert np.array_equal(loaded.is_read, mixed_trace.is_read)
+        assert np.array_equal(loaded.record_sizes, mixed_trace.record_sizes)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(WorkloadError, match="truncated or unreadable"):
+            load_trace_npz(tmp_path / "absent.npz")
+
+    def test_truncated_archive(self, small_trace, tmp_path):
+        path = save_trace_npz(small_trace, tmp_path / "t.npz")
+        path.write_bytes(path.read_bytes()[:64])
+        with pytest.raises(WorkloadError, match="truncated or unreadable"):
+            load_trace_npz(path)
+
+    def test_bit_flip_detected(self, small_trace, tmp_path):
+        path = save_trace_npz(small_trace, tmp_path / "t.npz")
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(WorkloadError):
+            load_trace_npz(path)
+
+    def test_missing_array_reported(self, small_trace, tmp_path):
+        path = tmp_path / "partial.npz"
+        with path.open("wb") as fh:
+            np.savez_compressed(fh, keys=small_trace.keys)
+        with pytest.raises(WorkloadError, match="missing arrays"):
+            load_trace_npz(path)
+
+    def test_not_an_archive(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(WorkloadError, match="truncated or unreadable"):
+            load_trace_npz(path)
