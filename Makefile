@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test verify chaos bench bench-verbose examples results clean
+.PHONY: install test verify chaos guard bench bench-verbose examples results clean
 
 results: bench
 	$(PYTHON) tools/collect_results.py
@@ -18,6 +18,17 @@ verify:
 # chaos smoke: fault injection, worker kills, cache corruption
 chaos:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/faults -x -q
+
+# SLO guardrails: drift detection, recommendation validation, fallback
+# re-planning — includes the end-to-end validate-reject-fallback scenario
+guard:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/guard \
+		tests/property/test_prop_guard_drift.py -x -q
+	PYTHONPATH=src $(PYTHON) -m repro guard --workload trending \
+		--downsample 8 --repeats 1 --seed 3; test $$? -eq 0
+	PYTHONPATH=src $(PYTHON) -m repro guard --workload trending \
+		--downsample 8 --repeats 1 --seed 3 --live-rotate 3000; \
+		test $$? -eq 3
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

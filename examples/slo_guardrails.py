@@ -10,6 +10,9 @@ recommendation along the three axes the extensions cover:
    across the projected NVM price band and across faster/slower parts?
 3. **tail latency under load** — what p99 does the chosen configuration
    produce at realistic offered loads (the model only predicts means)?
+4. **the closed guard loop** — drift detection, recommendation
+   validation against an error budget, and fallback re-planning when
+   the live workload has rotated away from the plan (docs/GUARD.md).
 
 Run:  python examples/slo_guardrails.py [workload]
 """
@@ -66,6 +69,16 @@ def main() -> None:
               f"{r.avg_sojourn_ns / 1000:.0f} us, "
               f"p99 {r.p99_ns / 1000:.0f} us "
               f"({r.tail_inflation:.1f}x the mean service time)")
+
+    # 4. the closed guard loop -------------------------------------------------
+    from repro.guard.drift import rotate_hot_set
+
+    live = rotate_hot_set(trace, trace.n_keys // 2)
+    outcome = mnemo.guard_loop().run(report, trace, live_trace=live)
+    print(f"\n[guard]   after rotating the hot set through half the key "
+          f"space:")
+    for line in outcome.lines():
+        print(f"            {line}")
 
 
 if __name__ == "__main__":

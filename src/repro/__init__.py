@@ -35,6 +35,14 @@ from repro.core import (
     WorkloadDescriptor,
 )
 from repro.cost import CostModel, cost_reduction_factor
+from repro.guard import (
+    DriftDetector,
+    ErrorBudget,
+    GuardLoop,
+    MarginPolicy,
+    RecommendationValidator,
+    ValidationVerdict,
+)
 from repro.kvstore import (
     DynamoLike,
     HybridDeployment,
@@ -75,5 +83,11 @@ __all__ = [
     "TABLE_III_WORKLOADS",
     "CostModel",
     "cost_reduction_factor",
+    "GuardLoop",
+    "RecommendationValidator",
+    "ValidationVerdict",
+    "ErrorBudget",
+    "DriftDetector",
+    "MarginPolicy",
     "__version__",
 ]

@@ -12,8 +12,11 @@ the reproduction ships a CLI mirroring the paper's interface
     python -m repro pricing
     python -m repro sweep --workloads trending,timeline --workers 4
     python -m repro cache stats
+    python -m repro guard --workload trending --live-rotate 500
 
-Exit code 0 on success; errors print to stderr and exit 2.
+Exit code 0 on success; usage and configuration errors print one clean
+line to stderr and exit 2.  The ``guard`` subcommand additionally uses
+1 (warnings) and 3 (action needed) so CI and cron jobs can react.
 """
 
 from __future__ import annotations
@@ -24,7 +27,7 @@ from typing import Sequence
 
 from repro.analysis.asciiplot import render_estimate
 from repro.core import Mnemo, MnemoT, WorkloadDescriptor
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError, UsageError
 from repro.kvstore import DynamoLike, MemcachedLike, RedisLike
 from repro.ycsb import (
     TABLE_III_WORKLOADS,
@@ -39,6 +42,52 @@ ENGINES = {
     "memcached": MemcachedLike,
     "dynamodb": DynamoLike,
 }
+
+
+def _check_range(
+    name: str,
+    value: float,
+    lo: float | None = None,
+    hi: float | None = None,
+    lo_open: bool = False,
+    hi_open: bool = False,
+) -> float:
+    """Validate a numeric CLI option against an interval.
+
+    Raises :class:`~repro.errors.UsageError` naming the option and the
+    offending value — so ``--split 1.5`` dies with a one-line message
+    instead of a deep traceback (or, worse, silent nonsense downstream).
+    """
+    bad = value != value  # NaN never belongs in a fraction
+    if lo is not None:
+        bad = bad or (value <= lo if lo_open else value < lo)
+    if hi is not None:
+        bad = bad or (value >= hi if hi_open else value > hi)
+    if bad:
+        left = "(" if lo_open else "["
+        right = ")" if hi_open else "]"
+        lo_s = "-inf" if lo is None else f"{lo:g}"
+        hi_s = "inf" if hi is None else f"{hi:g}"
+        raise UsageError(
+            f"{name} must be in {left}{lo_s}, {hi_s}{right}, got {value:g}"
+        )
+    return value
+
+
+def _parse_faults_arg(text: str | None):
+    """Parse ``--faults`` and convert DSL errors into clean usage errors.
+
+    The fault DSL parser raises :class:`~repro.errors.ConfigurationError`
+    with the offending token in the message; at the CLI boundary that
+    becomes a :class:`~repro.errors.UsageError` tagged with the option
+    name so the operator sees exactly which token to fix.
+    """
+    from repro.faults import parse_faults
+
+    try:
+        return parse_faults(text) if text else None
+    except ConfigurationError as exc:
+        raise UsageError(f"--faults: {exc}") from exc
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -140,18 +189,49 @@ def _build_parser() -> argparse.ArgumentParser:
     cache.add_argument("action", choices=["stats", "verify", "clear"])
     cache.add_argument("--dir", dest="cache_dir", metavar="DIR",
                        help="cache directory (default .mnemo-cache)")
+
+    guard = sub.add_parser(
+        "guard",
+        help="validate a recommendation against the live workload "
+             "(CI/cron guardrail; exit 0=clean, 1=warn, 3=act)",
+    )
+    guard.add_argument("--workload", required=True,
+                       help="planning workload (built-in name)")
+    guard.add_argument("--engine", default="redis", choices=sorted(ENGINES))
+    guard.add_argument("--slo", type=float, default=0.10,
+                       help="max slowdown vs FastMem-only (default 0.10)")
+    guard.add_argument("--live-workload", metavar="NAME",
+                       help="built-in workload standing in for the live "
+                            "stream (default: the planning workload)")
+    guard.add_argument("--live-rotate", type=int, default=0, metavar="K",
+                       help="rotate the live trace's hot set by K keys "
+                            "(synthesizes hot-set drift for drills)")
+    guard.add_argument("--budget", type=float, default=10.0, metavar="PCT",
+                       help="throughput/latency error budget in percent "
+                            "(default 10)")
+    guard.add_argument("--no-validate", action="store_true",
+                       help="drift + margin checks only; skip the "
+                            "simulator replay")
+    guard.add_argument("--repeats", type=int, default=3)
+    guard.add_argument("--seed", type=int, default=None)
+    guard.add_argument("--downsample", type=float, default=0.0, metavar="N",
+                       help="plan on a 1/N random sample of the workload")
+    guard.add_argument("--cache-dir", metavar="DIR",
+                       help="memoize measurements and verdicts in this "
+                            "result cache")
     return parser
 
 
 def _load_workload(args) -> WorkloadDescriptor:
     if args.workload and (args.requests or args.dataset):
-        raise ReproError("give either --workload or --requests/--dataset")
+        raise UsageError("give either --workload or --requests/--dataset")
     if args.workload:
         trace = generate_trace(workload_by_name(args.workload))
     elif args.requests and args.dataset:
         return WorkloadDescriptor.from_csv(args.requests, args.dataset)
     else:
-        raise ReproError("need --workload or both --requests and --dataset")
+        raise UsageError("need --workload or both --requests and --dataset")
+    _check_range("--downsample", args.downsample, lo=0.0)
     if args.downsample and args.downsample > 1:
         trace = downsample(trace, factor=args.downsample, seed=args.seed)
     return WorkloadDescriptor.from_trace(trace)
@@ -168,6 +248,8 @@ def _cmd_workloads(_args) -> int:
 
 
 def _cmd_profile(args) -> int:
+    _check_range("--slo", args.slo, lo=0.0, hi=1.0, hi_open=True)
+    _check_range("--p", args.p, lo=0.0, lo_open=True)
     descriptor = _load_workload(args)
     cls = MnemoT if args.mode == "weight" else Mnemo
     mnemo = cls(
@@ -195,6 +277,7 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_compare(args) -> int:
+    _check_range("--slo", args.slo, lo=0.0, hi=1.0, hi_open=True)
     trace = generate_trace(workload_by_name(args.workload))
     print(f"{'engine':<12} {'Fast ops/s':>12} {'Slow ops/s':>12} "
           f"{'gap':>7} {'cost @SLO':>10}")
@@ -296,8 +379,9 @@ def _cmd_multitier(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    from repro.faults import parse_faults
     from repro.runner import ClientConfig, ExperimentRunner, RetryPolicy
+
+    _check_range("--split", args.split, lo=0.0, hi=1.0)
 
     def pick(raw: str, universe: list[str], what: str) -> list[str]:
         if raw == "all":
@@ -305,7 +389,7 @@ def _cmd_sweep(args) -> int:
         names = [n.strip() for n in raw.split(",") if n.strip()]
         for n in names:
             if n not in universe:
-                raise ReproError(
+                raise UsageError(
                     f"unknown {what} {n!r}; choose from {universe}"
                 )
         return names
@@ -316,7 +400,7 @@ def _cmd_sweep(args) -> int:
     engines = pick(args.engines, sorted(ENGINES), "engine")
     placements = pick(args.placements, ["fast", "slow", "split"], "placement")
 
-    faults = parse_faults(args.faults) if args.faults else None
+    faults = _parse_faults_arg(args.faults)
     runner = ExperimentRunner(
         cache=args.cache_dir,
         client=ClientConfig(seed=args.seed, faults=faults),
@@ -368,6 +452,52 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_guard(args) -> int:
+    from repro.guard import ErrorBudget
+    from repro.guard.drift import rotate_hot_set
+    from repro.ycsb import downsample as downsample_trace
+
+    _check_range("--slo", args.slo, lo=0.0, hi=1.0, hi_open=True)
+    _check_range("--budget", args.budget, lo=0.0, lo_open=True)
+    _check_range("--downsample", args.downsample, lo=0.0)
+
+    planning = generate_trace(workload_by_name(args.workload))
+    if args.downsample and args.downsample > 1:
+        planning = downsample_trace(
+            planning, factor=args.downsample, seed=args.seed
+        )
+    if args.live_workload:
+        live = generate_trace(workload_by_name(args.live_workload))
+    else:
+        live = planning
+    if args.live_rotate:
+        live = rotate_hot_set(live, args.live_rotate)
+
+    mnemo = Mnemo(
+        engine_factory=ENGINES[args.engine],
+        client=YCSBClient(repeats=args.repeats, seed=args.seed),
+        cache=args.cache_dir,
+    )
+    report = mnemo.profile(planning)
+    loop = mnemo.guard_loop(
+        budget=ErrorBudget(
+            throughput_pct=args.budget, latency_pct=args.budget
+        ),
+    )
+    outcome = loop.run(
+        report,
+        planning,
+        live_trace=live,
+        max_slowdown=args.slo,
+        validate=not args.no_validate,
+    )
+    print(f"guard — workload {args.workload!r} on {args.engine} "
+          f"(SLO {args.slo:.0%}, budget {args.budget:g}%)")
+    for line in outcome.lines():
+        print(f"  {line}")
+    return outcome.exit_code
+
+
 _COMMANDS = {
     "workloads": _cmd_workloads,
     "profile": _cmd_profile,
@@ -378,14 +508,24 @@ _COMMANDS = {
     "multitier": _cmd_multitier,
     "sweep": _cmd_sweep,
     "cache": _cmd_cache,
+    "guard": _cmd_guard,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Conventions (documented in ``docs/GUARD.md``): 0 success, 2 for any
+    usage or configuration error (printed as one clean ``error:`` line,
+    never a traceback), and for ``guard`` additionally 1 = warnings and
+    3 = action needed.
+    """
     args = _build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except UsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

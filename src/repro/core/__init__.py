@@ -37,6 +37,7 @@ from repro.core.sensitivity import (
 from repro.core.slo import (
     DEFAULT_MAX_SLOWDOWN,
     SizingChoice,
+    choice_at,
     min_cost_for_slowdown,
 )
 from repro.core.validate import (
@@ -67,6 +68,7 @@ __all__ = [
     "ExternalTieringMnemo",
     "MnemoT",
     "SizingChoice",
+    "choice_at",
     "min_cost_for_slowdown",
     "DEFAULT_MAX_SLOWDOWN",
     "MeasuredPoint",

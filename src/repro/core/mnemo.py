@@ -122,6 +122,32 @@ class Mnemo:
             curve=curve,
         )
 
+    # -- guarding ---------------------------------------------------------------------
+
+    def guard_loop(
+        self,
+        budget=None,
+        thresholds=None,
+        policy=None,
+        cache=None,
+    ):
+        """A :class:`~repro.guard.loop.GuardLoop` around this consultant.
+
+        The loop reuses this instance's engines and measuring client, so
+        validation replays happen under exactly the configuration the
+        baselines were measured with.  See ``docs/GUARD.md`` for the
+        error-budget, drift-threshold and margin parameters.
+        """
+        from repro.guard.loop import GuardLoop  # lazy: avoid an import cycle
+
+        return GuardLoop(
+            self,
+            budget=budget,
+            thresholds=thresholds,
+            policy=policy,
+            cache=cache,
+        )
+
     # -- placement --------------------------------------------------------------------
 
     def place(

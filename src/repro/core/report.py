@@ -48,6 +48,38 @@ class MnemoReport:
         """Cheapest sizing within *max_slowdown* of FastMem-only."""
         return min_cost_for_slowdown(self.curve, max_slowdown)
 
+    def choose_guarded(
+        self,
+        max_slowdown: float = DEFAULT_MAX_SLOWDOWN,
+        policy=None,
+        widen: bool = False,
+    ) -> SizingChoice:
+        """Confidence-aware sizing: the SLO slack shrinks as trust drops.
+
+        Applies the guard's margin formula (``docs/GUARD.md``): the
+        permissible slowdown is divided by a headroom factor that grows
+        as :attr:`confidence` falls below 1.0 — so a recommendation
+        built on estimated or fault-flagged baselines buys more FastMem
+        than the raw SLO asks for.  With clean baselines (and
+        ``widen=False``) this is exactly :meth:`choose`.
+
+        Parameters
+        ----------
+        policy:
+            A :class:`~repro.guard.margin.MarginPolicy`; defaults to
+            the documented default policy.
+        widen:
+            Apply the policy's drift widening on top (the drift
+            detectors advised ``widen_margin``).
+        """
+        from repro.guard.margin import DEFAULT_MARGIN_POLICY  # lazy: layering
+
+        policy = policy if policy is not None else DEFAULT_MARGIN_POLICY
+        effective = policy.effective_slowdown(
+            max_slowdown, self.confidence, widen=widen
+        )
+        return min_cost_for_slowdown(self.curve, effective)
+
     def drift_check(
         self,
         trace,
@@ -164,5 +196,15 @@ class MnemoReport:
             lines.append(
                 f"  confidence          : {self.confidence:.0%} "
                 f"(degraded baselines: {', '.join(b.flags)})"
+            )
+            guarded = self.choose_guarded()
+            from repro.guard.margin import DEFAULT_MARGIN_POLICY
+
+            headroom = DEFAULT_MARGIN_POLICY.headroom(self.confidence)
+            lines.append(
+                f"  guarded sizing      : cost factor "
+                f"{guarded.cost_factor:.2f} (FastMem share "
+                f"{guarded.capacity_ratio:.0%}) at headroom "
+                f"{headroom:.2f}x -> effective SLO {guarded.max_slowdown:.1%}"
             )
         return "\n".join(lines)

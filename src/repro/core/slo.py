@@ -40,6 +40,41 @@ class SizingChoice:
         return (1.0 - self.cost_factor) * 100.0
 
 
+def choice_at(
+    curve: EstimateCurve,
+    n_fast_keys: int,
+    max_slowdown: float = DEFAULT_MAX_SLOWDOWN,
+    reference_throughput: float | None = None,
+) -> SizingChoice:
+    """The :class:`SizingChoice` describing an arbitrary curve point.
+
+    Used by the guard's fallback search to materialise the sizing at a
+    probed prefix; ``max_slowdown`` records the SLO the choice is meant
+    to serve (the predicted ``slowdown`` may legitimately exceed it for
+    a rejected candidate).
+    """
+    if not 0 <= n_fast_keys <= curve.n_keys:
+        raise ConfigurationError(
+            f"n_fast_keys must be in [0, {curve.n_keys}], got {n_fast_keys}"
+        )
+    thr = curve.throughput_ops_s
+    ref = reference_throughput if reference_throughput is not None else float(thr[-1])
+    if ref <= 0:
+        raise EstimateError("reference throughput must be positive")
+    i = int(n_fast_keys)
+    return SizingChoice(
+        workload=curve.workload,
+        engine=curve.engine,
+        max_slowdown=max_slowdown,
+        n_fast_keys=i,
+        fast_bytes=float(curve.fast_bytes[i]),
+        capacity_ratio=float(curve.capacity_ratio[i]),
+        cost_factor=float(curve.cost_factor[i]),
+        est_throughput_ops_s=float(thr[i]),
+        slowdown=float(1.0 - thr[i] / ref),
+    )
+
+
 def min_cost_for_slowdown(
     curve: EstimateCurve,
     max_slowdown: float = DEFAULT_MAX_SLOWDOWN,

@@ -70,3 +70,21 @@ class CacheCorruptionError(ReproError):
     Only raised by strict-mode caches; the default behaviour is to
     quarantine the corrupt entry and transparently recompute it.
     """
+
+
+class UsageError(ReproError):
+    """The command line was invoked with malformed or out-of-range input.
+
+    Carries a message naming the offending option and token so CLI users
+    see a one-line diagnosis instead of a traceback from deep inside the
+    pipeline.
+    """
+
+
+class GuardError(ReproError):
+    """The recommendation guard could not complete a check.
+
+    Raised when validation or drift detection is asked for something
+    impossible — e.g. a live trace over a different key space, or a
+    fallback search whose every candidate split fails to validate.
+    """

@@ -1,0 +1,101 @@
+"""Confidence-aware SLO safety margins.
+
+PR 2's resilient pipeline can hand the Estimate Engine *degraded*
+baselines — one side synthesised analytically after a failed
+measurement, or measured under active fault injection
+(:attr:`repro.core.sensitivity.PerformanceBaselines.confidence`).  A
+recommendation built on such baselines is still useful, but trusting it
+with the full SLO slack over-promises: the analytic synthesis ignores
+LLC effects and noise, and fault-ridden measurements skew the per-request
+deltas the whole curve telescopes from.
+
+The fix is a *headroom factor*: scale the permissible slowdown down as
+confidence drops, so a low-confidence plan buys more FastMem than the
+raw SLO asks for.  The formula::
+
+    headroom(c)            = min(max_headroom, 1 + alpha * (1 - c))
+    effective_slowdown(s,c) = s / headroom(c)
+
+With the default ``alpha = 1``: clean baselines (c = 1.0) keep the full
+slack; one estimated side (c = 0.5) halves it at ``headroom = 1.5``
+(10 % SLO -> 6.7 % effective); the worst compound degradation tightens
+further, capped at ``max_headroom``.  A drift warning from
+:mod:`repro.guard.drift` applies the same machinery through
+``drift_extra`` — headroom against workload movement instead of
+measurement doubt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MarginPolicy:
+    """How much SLO slack to surrender per unit of lost confidence.
+
+    Parameters
+    ----------
+    alpha:
+        Headroom grown per unit of lost confidence (>= 0; 0 disables
+        the margin entirely).
+    max_headroom:
+        Cap on the headroom factor, so a near-zero-confidence report
+        still yields a usable (if conservative) sizing.
+    drift_extra:
+        Additional multiplicative headroom applied when the drift
+        detectors advise ``widen_margin``.
+    """
+
+    alpha: float = 1.0
+    max_headroom: float = 4.0
+    drift_extra: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0:
+            raise ConfigurationError(f"alpha must be >= 0, got {self.alpha}")
+        if self.max_headroom < 1:
+            raise ConfigurationError(
+                f"max_headroom must be >= 1, got {self.max_headroom}"
+            )
+        if self.drift_extra < 0:
+            raise ConfigurationError(
+                f"drift_extra must be >= 0, got {self.drift_extra}"
+            )
+
+    def headroom(self, confidence: float, widen: bool = False) -> float:
+        """The SLO headroom factor for a given baseline confidence.
+
+        Parameters
+        ----------
+        confidence:
+            :attr:`~repro.core.sensitivity.PerformanceBaselines.confidence`
+            (1.0 = cleanly measured).
+        widen:
+            Apply the ``drift_extra`` widening on top (the drift
+            detectors advised ``widen_margin``).
+        """
+        if not 0 <= confidence <= 1:
+            raise ConfigurationError(
+                f"confidence must be in [0, 1], got {confidence}"
+            )
+        h = 1.0 + self.alpha * (1.0 - confidence)
+        if widen:
+            h *= 1.0 + self.drift_extra
+        return min(self.max_headroom, h)
+
+    def effective_slowdown(
+        self, max_slowdown: float, confidence: float, widen: bool = False,
+    ) -> float:
+        """The tightened slowdown budget the sizing query should use."""
+        if not 0 <= max_slowdown < 1:
+            raise ConfigurationError(
+                f"max_slowdown must be in [0, 1), got {max_slowdown}"
+            )
+        return max_slowdown / self.headroom(confidence, widen=widen)
+
+
+#: The policy reports and the guard loop use unless told otherwise.
+DEFAULT_MARGIN_POLICY = MarginPolicy()

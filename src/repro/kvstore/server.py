@@ -12,7 +12,7 @@ from typing import Callable, Iterable, Mapping
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, KeyNotFoundError
 from repro.kvstore.base import FAST, SLOW, KVEngine, OpResult
 from repro.memsim.system import HybridMemorySystem
 
@@ -167,8 +167,25 @@ class HybridDeployment:
         return self.record_sizes.size
 
     def route(self, key: int) -> ServerInstance:
-        """The server instance holding *key*."""
-        return self.fast_server if self.fast_mask[key] else self.slow_server
+        """The server instance holding *key*.
+
+        Raises
+        ------
+        KeyNotFoundError
+            If *key* is outside the deployment's key space — the error
+            names the key and describes the deployment so a bad trace
+            or off-by-one in placement code fails loudly instead of
+            hitting numpy's wrap-around indexing.
+        """
+        k = int(key)
+        if not 0 <= k < self.record_sizes.size:
+            raise KeyNotFoundError(
+                f"key {k} not in deployment "
+                f"(engine {self.profile.name!r}, "
+                f"{self.record_sizes.size} keys, "
+                f"{int(self.fast_mask.sum())} on FastMem)"
+            )
+        return self.fast_server if self.fast_mask[k] else self.slow_server
 
     def get(self, key: int) -> OpResult:
         """Routed read."""

@@ -7,6 +7,7 @@ Layout (all under the cache root, default ``.mnemo-cache/``)::
         results/<fp>.json     <- RunResult payloads (checksummed JSON)
         traces/<fp>.npz       <- generated traces (keys / is_read / sizes)
         hitmasks/<fp>.npz     <- LLC hit masks keyed by (trace, LLC) digest
+        verdicts/<fp>.json    <- guard ValidationVerdict payloads (JSON)
         quarantine/<kind>/    <- corrupt entries, moved aside for autopsy
 
 Fingerprints come from :mod:`repro.runner.fingerprint`; an entry is valid
@@ -57,7 +58,7 @@ SCHEMA_VERSION = 2
 #: Default cache directory name (relative to the working directory).
 DEFAULT_CACHE_DIR = ".mnemo-cache"
 
-_KINDS = ("results", "traces", "hitmasks")
+_KINDS = ("results", "traces", "hitmasks", "verdicts")
 
 #: Errors ``np.load`` raises on truncated or mangled NPZ files.
 _NPZ_ERRORS = (OSError, KeyError, ValueError, EOFError, zipfile.BadZipFile)
@@ -327,6 +328,63 @@ class ResultCache:
         _atomic_write(path, buf.getvalue())
         return path
 
+    # -- guard verdicts -------------------------------------------------------
+
+    def _load_verdict_file(self, path: Path):
+        """Load + validate one verdict entry: (payload, corruption reason).
+
+        Verdicts are stored as opaque checksummed JSON objects — the
+        guard layer owns their structure
+        (:meth:`repro.guard.validator.ValidationVerdict.to_payload`),
+        the cache only guarantees integrity.
+        """
+        try:
+            payload = json.loads(path.read_bytes())
+        except OSError:
+            return None, "unreadable"
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None, "unparseable JSON"
+        if not isinstance(payload, dict):
+            return None, "payload is not an object"
+        if payload.get("schema") != SCHEMA_VERSION:
+            return None, None  # stale schema: a miss, not corruption
+        body = payload.get("verdict")
+        checksum = payload.get("checksum")
+        if not isinstance(body, dict) or not isinstance(checksum, str):
+            return None, "missing verdict/checksum fields"
+        if _json_checksum(body) != checksum:
+            return None, "checksum mismatch"
+        return body, None
+
+    def get_verdict(self, fingerprint: str) -> dict | None:
+        """Load a cached guard-verdict payload (or None).
+
+        Corrupt entries are quarantined and reported as a miss (strict
+        caches raise :class:`~repro.errors.CacheCorruptionError`).
+        """
+        path = self._path("verdicts", fingerprint, ".json")
+        if not path.exists():
+            return None
+        body, reason = self._load_verdict_file(path)
+        if reason is not None:
+            return self._corrupt("verdicts", path, reason)
+        return body
+
+    def put_verdict(self, fingerprint: str, payload: dict) -> Path:
+        """Persist a guard-verdict payload; returns the written path."""
+        self._ensure("verdicts")
+        path = self._path("verdicts", fingerprint, ".json")
+        # round-trip through JSON so the stored checksum is computed on
+        # exactly the value a reader will re-canonicalise
+        body = json.loads(json.dumps(payload))
+        envelope = {
+            "schema": SCHEMA_VERSION,
+            "checksum": _json_checksum(body),
+            "verdict": body,
+        }
+        _atomic_write(path, json.dumps(envelope, indent=1).encode())
+        return path
+
     # -- hit masks ------------------------------------------------------------
 
     def _load_hitmask_file(self, path: Path):
@@ -399,6 +457,7 @@ class ResultCache:
             "results": self._load_result_file,
             "traces": self._load_trace_file,
             "hitmasks": self._load_hitmask_file,
+            "verdicts": self._load_verdict_file,
         }
         checked = {}
         corrupt = {}

@@ -1,0 +1,97 @@
+"""Tests for confidence-aware SLO safety margins."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core import MnemoReport
+from repro.guard.margin import DEFAULT_MARGIN_POLICY, MarginPolicy
+
+
+class TestHeadroomFormula:
+    def test_clean_baselines_keep_full_slack(self):
+        policy = MarginPolicy()
+        assert policy.headroom(1.0) == 1.0
+        assert policy.effective_slowdown(0.10, 1.0) == pytest.approx(0.10)
+
+    def test_one_estimated_side(self):
+        # confidence 0.5 (one synthesised baseline) -> headroom 1.5
+        policy = MarginPolicy(alpha=1.0)
+        assert policy.headroom(0.5) == pytest.approx(1.5)
+        assert policy.effective_slowdown(0.10, 0.5) == pytest.approx(0.10 / 1.5)
+
+    def test_headroom_is_capped(self):
+        policy = MarginPolicy(alpha=100.0, max_headroom=4.0)
+        assert policy.headroom(0.0) == 4.0
+
+    def test_widen_multiplies_by_drift_extra(self):
+        policy = MarginPolicy(alpha=1.0, drift_extra=0.5)
+        assert policy.headroom(1.0, widen=True) == pytest.approx(1.5)
+        assert policy.headroom(0.5, widen=True) == pytest.approx(2.25)
+
+    def test_monotone_in_lost_confidence(self):
+        policy = MarginPolicy()
+        values = [policy.headroom(c) for c in (1.0, 0.75, 0.5, 0.25, 0.0)]
+        assert values == sorted(values)
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ConfigurationError):
+            MarginPolicy(alpha=-1.0)
+        with pytest.raises(ConfigurationError):
+            MarginPolicy(max_headroom=0.5)
+        with pytest.raises(ConfigurationError):
+            MarginPolicy().headroom(1.5)
+        with pytest.raises(ConfigurationError):
+            MarginPolicy().effective_slowdown(1.0, 1.0)
+
+
+@pytest.fixture
+def report(guard_report):
+    """The session-shared profiling report (see conftest)."""
+    return guard_report
+
+
+def _degrade(report: MnemoReport, flags: tuple[str, ...]) -> MnemoReport:
+    """The same report, with its baselines re-flagged as degraded."""
+    baselines = dataclasses.replace(report.baselines, flags=flags)
+    return dataclasses.replace(report, baselines=baselines)
+
+
+class TestChooseGuarded:
+    def test_clean_report_matches_plain_choice(self, report):
+        assert (report.choose_guarded(0.10).n_fast_keys
+                == report.choose(0.10).n_fast_keys)
+
+    def test_degraded_report_buys_more_fastmem(self, report):
+        degraded = _degrade(report, ("fast:estimated",))
+        assert degraded.confidence == pytest.approx(0.5)
+        guarded = degraded.choose_guarded(0.10)
+        plain = degraded.choose(0.10)
+        assert guarded.n_fast_keys >= plain.n_fast_keys
+        assert guarded.max_slowdown == pytest.approx(0.10 / 1.5)
+
+    def test_widen_tightens_even_clean_reports(self, report):
+        widened = report.choose_guarded(0.10, widen=True)
+        assert widened.max_slowdown == pytest.approx(0.10 / 1.5)
+        assert widened.n_fast_keys >= report.choose(0.10).n_fast_keys
+
+    def test_custom_policy_respected(self, report):
+        degraded = _degrade(report, ("fast:estimated",))
+        off = MarginPolicy(alpha=0.0)
+        assert (degraded.choose_guarded(0.10, policy=off).n_fast_keys
+                == degraded.choose(0.10).n_fast_keys)
+
+    def test_summary_surfaces_guarded_sizing(self, report):
+        degraded = _degrade(report, ("fast:estimated", "slow:faulty"))
+        text = degraded.summary()
+        assert "confidence" in text
+        assert "guarded sizing" in text
+        assert "headroom" in text
+
+    def test_clean_summary_has_no_guard_line(self, report):
+        assert "guarded sizing" not in report.summary()
+
+
+def test_default_policy_is_documented_default():
+    assert DEFAULT_MARGIN_POLICY == MarginPolicy()

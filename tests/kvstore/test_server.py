@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, KeyNotFoundError
 from repro.kvstore import HybridDeployment, RedisLike, ServerInstance
 
 
@@ -78,6 +78,26 @@ class TestHybridDeployment:
     def test_out_of_range_fast_keys_rejected(self, system, tiny_sizes):
         with pytest.raises(ConfigurationError):
             HybridDeployment(RedisLike, system, tiny_sizes, fast_keys=[99])
+
+    def test_route_unknown_key_raises_descriptively(self, system, tiny_sizes):
+        dep = HybridDeployment(RedisLike, system, tiny_sizes, fast_keys=[0])
+        with pytest.raises(KeyNotFoundError) as exc_info:
+            dep.route(tiny_sizes.size + 5)
+        message = str(exc_info.value)
+        assert str(tiny_sizes.size + 5) in message  # the offending key
+        assert "redis" in message                   # the deployment profile
+        assert str(tiny_sizes.size) in message      # the key-space bound
+
+    def test_route_rejects_negative_key(self, system, tiny_sizes):
+        # numpy would silently wrap -1 to the last key; routing must not
+        dep = HybridDeployment(RedisLike, system, tiny_sizes, fast_keys=[0])
+        with pytest.raises(KeyNotFoundError):
+            dep.route(-1)
+
+    def test_route_error_is_also_a_keyerror(self, system, tiny_sizes):
+        dep = HybridDeployment(RedisLike, system, tiny_sizes)
+        with pytest.raises(KeyError):
+            dep.get(999)
 
     def test_empty_sizes_rejected(self, system):
         with pytest.raises(ConfigurationError):

@@ -81,6 +81,37 @@ class TestHitmasks:
         assert cache.get_hitmask("nope") is None
 
 
+class TestVerdicts:
+    PAYLOAD = {"status": "pass", "n_fast_keys": 42, "points": [1, 2, 3]}
+
+    def test_roundtrip(self, cache):
+        cache.put_verdict("v1", self.PAYLOAD)
+        assert cache.get_verdict("v1") == self.PAYLOAD
+
+    def test_missing_returns_none(self, cache):
+        assert cache.get_verdict("nope") is None
+
+    def test_corrupt_json_quarantined(self, cache):
+        path = cache.put_verdict("v1", self.PAYLOAD)
+        path.write_text("{not json")
+        assert cache.get_verdict("v1") is None
+        assert not path.exists()  # quarantined, not left to rot
+
+    def test_checksum_mismatch_rejected(self, cache):
+        path = cache.put_verdict("v1", self.PAYLOAD)
+        payload = json.loads(path.read_text())
+        payload["verdict"]["status"] = "reject"
+        path.write_text(json.dumps(payload))
+        assert cache.get_verdict("v1") is None
+
+    def test_counted_by_stats_and_verify(self, cache):
+        cache.put_verdict("v1", self.PAYLOAD)
+        assert cache.stats().entries["verdicts"] == 1
+        report = cache.verify()
+        assert report.ok
+        assert report.checked["verdicts"] == 1
+
+
 class TestMaintenance:
     def test_stats_counts_kinds(self, cache, result, small_trace):
         cache.put_result("a", result)
@@ -92,7 +123,7 @@ class TestMaintenance:
         assert stats.entries["hitmasks"] == 0
         assert stats.total_entries == 3
         assert stats.total_bytes > 0
-        assert len(stats.lines()) == 4
+        assert len(stats.lines()) == 5
 
     def test_empty_cache_stats(self, cache):
         assert cache.stats().total_entries == 0

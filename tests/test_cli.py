@@ -99,3 +99,134 @@ class TestPricing:
         assert "cache.r5.large" in out
         assert "n1-ultramem-40" in out
         assert "M128ms" in out
+
+
+@pytest.fixture
+def small_workloads(monkeypatch):
+    """Shrink built-in workloads so CLI runs finish in milliseconds."""
+    import repro.cli as cli_mod
+
+    original = cli_mod.generate_trace
+
+    def small_generate(spec):
+        return original(spec.scaled(n_keys=150, n_requests=2_000))
+
+    monkeypatch.setattr(cli_mod, "generate_trace", small_generate)
+
+
+class TestGuard:
+    def test_clean_run_exits_zero(self, small_workloads, capsys):
+        rc = main(["guard", "--workload", "trending",
+                   "--repeats", "1", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "advice: keep" in out
+        assert "validation: PASS" in out
+        assert "[exit 0]" in out
+
+    def test_rotated_live_trace_exits_three(self, small_workloads, capsys):
+        rc = main(["guard", "--workload", "trending",
+                   "--repeats", "1", "--seed", "3", "--live-rotate", "75"])
+        assert rc == 3
+        out = capsys.readouterr().out
+        assert "advice: reprofile" in out
+        assert "validation: REJECT" in out
+        assert "fallback: re-planned" in out
+
+    def test_no_validate_skips_replay(self, small_workloads, capsys):
+        rc = main(["guard", "--workload", "trending",
+                   "--repeats", "1", "--seed", "3", "--no-validate"])
+        assert rc == 0
+        assert "validation:" not in capsys.readouterr().out
+
+    def test_cached_rerun_is_identical(self, small_workloads, capsys,
+                                       tmp_path):
+        argv = ["guard", "--workload", "trending", "--repeats", "1",
+                "--seed", "3", "--live-rotate", "75",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 3
+        first = capsys.readouterr().out
+        assert main(argv) == 3
+        assert capsys.readouterr().out == first
+
+    def test_live_workload_option(self, small_workloads, capsys):
+        rc = main(["guard", "--workload", "trending",
+                   "--repeats", "1", "--seed", "3",
+                   "--live-workload", "news_feed"])
+        assert rc in (0, 1, 3)  # drift verdict depends on the pair
+        assert "advice:" in capsys.readouterr().out
+
+
+class TestUsageErrors:
+    """Malformed input dies with one clean line, never a traceback."""
+
+    def assert_clean_usage_error(self, capsys, argv, fragment):
+        rc = main(argv)
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert captured.err.startswith("error:")
+        assert fragment in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_slo_out_of_range(self, capsys):
+        self.assert_clean_usage_error(
+            capsys,
+            ["profile", "--workload", "trending", "--slo", "1.5"],
+            "--slo",
+        )
+
+    def test_negative_slo(self, capsys):
+        self.assert_clean_usage_error(
+            capsys,
+            ["guard", "--workload", "trending", "--slo", "-0.1"],
+            "--slo",
+        )
+
+    def test_split_out_of_range(self, capsys):
+        self.assert_clean_usage_error(
+            capsys,
+            ["sweep", "--split", "1.5"],
+            "--split must be in [0, 1], got 1.5",
+        )
+
+    def test_nonpositive_price_factor(self, capsys):
+        self.assert_clean_usage_error(
+            capsys,
+            ["profile", "--workload", "trending", "--p", "0"],
+            "--p",
+        )
+
+    def test_negative_downsample(self, capsys):
+        self.assert_clean_usage_error(
+            capsys,
+            ["profile", "--workload", "trending", "--downsample", "-2"],
+            "--downsample",
+        )
+
+    def test_unknown_fault_names_offending_token(self, capsys):
+        self.assert_clean_usage_error(
+            capsys,
+            ["sweep", "--faults", "spikes,bogus"],
+            "'bogus'",
+        )
+
+    def test_bad_fault_parameter_value(self, capsys):
+        self.assert_clean_usage_error(
+            capsys,
+            ["sweep", "--faults", "spikes(rate=oops)"],
+            "'oops'",
+        )
+
+    def test_malformed_fault_spec(self, capsys):
+        self.assert_clean_usage_error(
+            capsys,
+            ["sweep", "--faults", "spikes(("],
+            "--faults",
+        )
+
+    def test_unknown_sweep_engine(self, capsys):
+        self.assert_clean_usage_error(
+            capsys,
+            ["sweep", "--engines", "sqlite"],
+            "'sqlite'",
+        )
