@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test verify chaos guard bench bench-verbose examples results clean
+.PHONY: install test verify chaos guard bench bench-kernel bench-verbose examples results clean
 
 results: bench
 	$(PYTHON) tools/collect_results.py
@@ -32,6 +32,12 @@ guard:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# kernel speedup smoke: downsized sweep, fails below the speedup floor
+# and outside the analytic error envelope; refreshes BENCH_kernel.json
+bench-kernel:
+	MNEMO_BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest \
+		benchmarks/bench_kernel_speedup.py --benchmark-only -s
 
 bench-verbose:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -1,0 +1,246 @@
+"""Batch-kernel and analytic fast-path speedups over the legacy sweep.
+
+Times a multi-split placement sweep — the shape every sensitivity
+sweep, validation replay and drift drill has — three ways:
+
+- legacy per-deployment path: one :class:`HybridDeployment` built (and
+  one fresh memory system allocated) per split, then ``execute``;
+- batch kernel: one ``execute_placements`` call over all splits;
+- analytic: closed-form :func:`predict_placement` per split (approximate
+  by design; its runtime error against the simulator is recorded).
+
+The sweep runs on a downsampled trace over the full key space — the
+regime the recommendation validator actually replays in — so the
+per-placement Python overhead the kernel amortises (deployment
+construction, re-gathering, re-hashing) dominates honestly rather than
+being hidden under raw timing work shared by both paths.
+
+Batch results must be *bit-identical* to the legacy path; the analytic
+path must stay inside the 5% runtime envelope on every Table III
+preset.  Wall-clocks are best-of-N and the summary JSON is written both
+to ``benchmarks/out/`` and to ``BENCH_kernel.json`` at the repo root,
+where the committed copy records the speedup floor ``make bench-kernel``
+enforces.  ``MNEMO_BENCH_SMOKE=1`` shrinks the sweep for the smoke
+target; the floor scales down with it (the relative overhead shrinks
+with the trace, and single-core CI boxes are noisy).
+
+The mixed-size vectorized LRU is timed too, but *recorded* rather than
+gated: its win is algorithmic (no per-request Python loop) and varies
+with the host; on slow single-core boxes it can sit near parity.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from common import OUT_DIR, emit, table
+
+import repro.memsim.cache as cache_mod
+from repro.kvstore.redislike import RedisLike
+from repro.kvstore.server import HybridDeployment
+from repro.memsim.analytic import predict_placement
+from repro.memsim.cache import LLCModel
+from repro.memsim.system import HybridMemorySystem
+from repro.ycsb.client import YCSBClient
+from repro.ycsb.generator import generate_trace
+from repro.ycsb.presets import TABLE_III_WORKLOADS, workload_by_name
+
+SMOKE = os.environ.get("MNEMO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Sweep shape: full-scale key space, downsampled requests (validator regime).
+N_PLACEMENTS = 8 if SMOKE else 24
+N_REQUESTS = 5_000 if SMOKE else 20_000
+#: Accepted minimum batch-kernel speedup over the legacy path.
+SPEEDUP_FLOOR = 4.0 if SMOKE else 10.0
+#: Accepted maximum analytic runtime error vs the simulator.
+ANALYTIC_ERR_CEILING = 0.05
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_kernel.json"
+
+
+def _best_of(fn, rounds):
+    best, out = float("inf"), None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return out, best
+
+
+def _sweep_masks(n_keys, n_placements, seed=0):
+    rng = np.random.default_rng(seed)
+    masks = np.zeros((n_placements, n_keys), dtype=bool)
+    for i in range(n_placements):
+        n_fast = (i * n_keys) // n_placements
+        masks[i, rng.choice(n_keys, n_fast, replace=False)] = True
+    return masks
+
+
+def _bench_batch():
+    spec = workload_by_name("trending").scaled(n_requests=N_REQUESTS)
+    trace = generate_trace(spec.with_seed(1))
+    system = HybridMemorySystem.testbed()
+    profile = RedisLike(system.fast, system.slow).profile
+    masks = _sweep_masks(trace.n_keys, N_PLACEMENTS)
+    client = YCSBClient(repeats=3, seed=7)
+
+    def legacy():
+        # fresh system per deployment: loading allocates real node
+        # capacity, so a sweep cannot reuse one system across splits
+        return [
+            client.execute(trace, HybridDeployment(
+                RedisLike, HybridMemorySystem.testbed(),
+                trace.record_sizes, fast_keys=np.nonzero(m)[0],
+            ))
+            for m in masks
+        ]
+
+    legacy_results, t_legacy = _best_of(legacy, 2)
+    batch_results, t_batch = _best_of(
+        lambda: client.execute_placements(trace, masks, profile, system), 3
+    )
+    assert batch_results == legacy_results, (
+        "batch kernel diverged from the per-deployment path"
+    )
+    return {
+        "n_keys": trace.n_keys,
+        "n_requests": trace.n_requests,
+        "n_placements": N_PLACEMENTS,
+        "legacy_s": round(t_legacy, 3),
+        "batch_s": round(t_batch, 3),
+        "speedup": round(t_legacy / t_batch, 1),
+    }
+
+
+def _bench_analytic():
+    """Sweep every preset across splits: batch simulate vs closed form.
+
+    Both sides produce the same work product — one ``RunResult`` per
+    (preset, split) — so the wall-clocks compare like for like.  The
+    reuse-time LLC solve is memoized per trace, exactly as the
+    simulator memoizes its LLC hit mask.
+    """
+    system = HybridMemorySystem.testbed()
+    profile = RedisLike(system.fast, system.slow).profile
+    n_splits = 4 if SMOKE else 12
+    worst_err = 0.0
+    t_sim = t_ana = 0.0
+    for w in TABLE_III_WORKLOADS:
+        if SMOKE:
+            w = w.scaled(n_keys=2_000, n_requests=5_000)
+        tr = generate_trace(w.with_seed(2))
+        masks = _sweep_masks(tr.n_keys, n_splits, seed=2)
+        c = YCSBClient(repeats=3, seed=9, use_llc=True)
+        sims, t = _best_of(
+            lambda: c.execute_placements(tr, masks, profile, system), 2
+        )
+        t_sim += t
+        anas, t = _best_of(
+            lambda: [
+                predict_placement(tr, profile, system, m, c) for m in masks
+            ],
+            2,
+        )
+        t_ana += t
+        for ana, sim in zip(anas, sims):
+            worst_err = max(
+                worst_err,
+                abs(ana.runtime_ns - sim.runtime_ns) / sim.runtime_ns,
+            )
+    return {
+        "presets": len(TABLE_III_WORKLOADS),
+        "splits_per_preset": n_splits,
+        "simulate_s": round(t_sim, 3),
+        "analytic_s": round(t_ana, 3),
+        "speedup_vs_batch_simulate": round(t_sim / t_ana, 1),
+        "worst_runtime_error": round(worst_err, 5),
+    }
+
+
+def _bench_mixed_lru():
+    spec = workload_by_name("trending")
+    if SMOKE:
+        spec = spec.scaled(n_keys=2_000, n_requests=10_000)
+    tr = generate_trace(spec.with_seed(3))
+    cap = int(tr.record_sizes.sum() * 0.2)  # forces real evictions
+
+    def vectorized():
+        return LLCModel(capacity_bytes=cap).process(
+            tr.keys, tr.request_sizes
+        )
+
+    def sequential():
+        original = cache_mod.lru_hit_mask_mixed_size
+        cache_mod.lru_hit_mask_mixed_size = lambda *a, **kw: None
+        try:
+            return LLCModel(capacity_bytes=cap).process(
+                tr.keys, tr.request_sizes
+            )
+        finally:
+            cache_mod.lru_hit_mask_mixed_size = original
+
+    fast_mask, t_fast = _best_of(vectorized, 3)
+    slow_mask, t_slow = _best_of(sequential, 3)
+    assert np.array_equal(fast_mask, slow_mask), (
+        "vectorized mixed-size LRU diverged from the sequential model"
+    )
+    return {
+        "n_requests": int(tr.n_requests),
+        "vectorized_s": round(t_fast, 4),
+        "sequential_s": round(t_slow, 4),
+        "speedup": round(t_slow / t_fast, 1),
+    }
+
+
+def run():
+    return {
+        "mode": "smoke" if SMOKE else "full",
+        "batch_kernel": _bench_batch(),
+        "analytic": _bench_analytic(),
+        "mixed_size_lru": _bench_mixed_lru(),
+        "floors": {
+            "batch_speedup": SPEEDUP_FLOOR,
+            "analytic_runtime_error": ANALYTIC_ERR_CEILING,
+        },
+    }
+
+
+def test_kernel_speedup(benchmark):
+    r = benchmark.pedantic(run, rounds=1, iterations=1)
+    b, a, m = r["batch_kernel"], r["analytic"], r["mixed_size_lru"]
+
+    payload = json.dumps(r, indent=2)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "kernel_speedup.json").write_text(payload)
+    RESULT_PATH.write_text(payload + "\n")
+
+    emit("kernel_speedup", table(
+        ["path", "wall-clock", "notes"],
+        [
+            ("legacy sweep", f"{b['legacy_s']:.2f}s",
+             f"{b['n_placements']} deployments"),
+            ("batch kernel", f"{b['batch_s']:.2f}s",
+             f"{b['speedup']:.1f}x, bit-identical"),
+            ("simulate presets", f"{a['simulate_s']:.2f}s",
+             f"{a['presets']}x{a['splits_per_preset']} sweeps, LLC on"),
+            ("analytic presets", f"{a['analytic_s']:.2f}s",
+             f"{a['speedup_vs_batch_simulate']:.1f}x, "
+             f"err {a['worst_runtime_error']:.2%}"),
+            ("mixed LRU", f"{m['vectorized_s']:.3f}s",
+             f"{m['speedup']:.1f}x vs sequential"),
+        ],
+        fmt="{:>18}",
+    ) + [f"summary JSON at BENCH_kernel.json (mode={r['mode']})"])
+
+    assert b["speedup"] >= SPEEDUP_FLOOR, (
+        f"batch kernel speedup {b['speedup']}x fell below the "
+        f"{SPEEDUP_FLOOR}x floor"
+    )
+    assert a["worst_runtime_error"] <= ANALYTIC_ERR_CEILING, (
+        f"analytic runtime error {a['worst_runtime_error']:.2%} exceeds "
+        f"the {ANALYTIC_ERR_CEILING:.0%} envelope"
+    )

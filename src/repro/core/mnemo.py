@@ -19,6 +19,7 @@ from typing import Callable
 import numpy as np
 
 from repro.cost.model import DEFAULT_PRICE_FACTOR
+from repro.errors import ConfigurationError
 from repro.kvstore.redislike import RedisLike
 from repro.kvstore.server import EngineFactory, HybridDeployment
 from repro.memsim.system import HybridMemorySystem
@@ -54,6 +55,14 @@ class Mnemo:
     pattern_mode:
         Tiering-order mode for the Pattern Engine; the stand-alone tool
         uses ``"touch"`` (keys as the workload touches them).
+    accuracy:
+        ``"simulate"`` (default) measures the baselines through the
+        full simulator; ``"analytic"`` predicts them in closed form via
+        the Che-approximation fast path
+        (:mod:`repro.memsim.analytic`) — orders of magnitude cheaper,
+        within a few percent on the YCSB presets (see
+        ``docs/KERNEL.md`` for the error envelope).  Overridable per
+        :meth:`profile` call.
     """
 
     pattern_mode = "touch"
@@ -65,7 +74,9 @@ class Mnemo:
         client: YCSBClient | None = None,
         p: float = DEFAULT_PRICE_FACTOR,
         cache=None,
+        accuracy: str = "simulate",
     ):
+        self.accuracy = self._check_accuracy(accuracy)
         self.engine_factory = engine_factory
         self.system_factory = system_factory
         client = client if client is not None else YCSBClient()
@@ -82,11 +93,30 @@ class Mnemo:
 
     # -- profiling -------------------------------------------------------------------
 
+    @staticmethod
+    def _check_accuracy(accuracy: str) -> str:
+        if accuracy not in ("simulate", "analytic"):
+            raise ConfigurationError(
+                f"accuracy must be 'simulate' or 'analytic', got {accuracy!r}"
+            )
+        return accuracy
+
+    def _analytic_baselines(self, descriptor: WorkloadDescriptor):
+        """Closed-form baselines via the Che-approximation fast path."""
+        from repro.memsim.analytic import predict_baselines
+
+        system = self.system_factory()
+        profile = self.engine_factory(system.fast, system.slow).profile
+        return predict_baselines(
+            descriptor.to_trace(), profile, system, self.client
+        )
+
     def profile(
         self,
         workload: Trace | WorkloadDescriptor,
         external_order: np.ndarray | None = None,
         allow_partial: bool = False,
+        accuracy: str | None = None,
     ) -> MnemoReport:
         """Run the full Mnemo pipeline on a workload.
 
@@ -103,15 +133,26 @@ class Mnemo:
             missing extreme is synthesised analytically and the report's
             :attr:`~repro.core.report.MnemoReport.confidence` drops
             below 1.0 instead of the pipeline crashing.
+        accuracy:
+            Override this consultant's baseline mode for one call:
+            ``"simulate"`` measures, ``"analytic"`` predicts in closed
+            form (``allow_partial`` is then irrelevant — there is no
+            measurement to fail).
         """
+        mode = self._check_accuracy(
+            accuracy if accuracy is not None else self.accuracy
+        )
         descriptor = (
             workload
             if isinstance(workload, WorkloadDescriptor)
             else WorkloadDescriptor.from_trace(workload)
         )
-        baselines = self.sensitivity.measure(
-            descriptor, allow_partial=allow_partial
-        )
+        if mode == "analytic":
+            baselines = self._analytic_baselines(descriptor)
+        else:
+            baselines = self.sensitivity.measure(
+                descriptor, allow_partial=allow_partial
+            )
         pattern = self.pattern_engine.analyze(descriptor, external_order)
         curve = self.estimate_engine.estimate(baselines, pattern)
         return MnemoReport(

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+import numpy as np
+
 from repro.errors import FaultError, ReproError
 from repro.kvstore.profiles import EngineProfile
 from repro.kvstore.server import EngineFactory, HybridDeployment
@@ -218,6 +220,8 @@ class SensitivityEngine:
         ``allow_partial`` any failure propagates unchanged.
         """
         trace = descriptor.to_trace()
+        if not allow_partial:
+            return self._measure_batch(trace)
         fast_dep = HybridDeployment.all_fast(
             self.engine_factory, self.system_factory(), trace.record_sizes
         )
@@ -263,6 +267,31 @@ class SensitivityEngine:
         return PerformanceBaselines(
             fast=fast, slow=slow, flags=tuple(sorted(flags)),
         )
+
+    def _measure_batch(self, trace) -> PerformanceBaselines:
+        """Both extreme baselines in one batch-kernel pass.
+
+        The all-FastMem / all-SlowMem masks go through
+        :meth:`~repro.ycsb.client.YCSBClient.execute_placements`, whose
+        per-placement fingerprints (and therefore noise streams and any
+        cache entries) match the per-deployment path exactly — so the
+        baselines are bit-identical to building the two extreme
+        deployments and executing each, without loading a single record.
+        """
+        system = self.system_factory()
+        profile = self.engine_factory(system.fast, system.slow).profile
+        masks = np.zeros((2, trace.n_keys), dtype=bool)
+        masks[0] = True
+        fast, slow = self.client.execute_placements(
+            trace, masks, profile, system, record_sizes=trace.record_sizes
+        )
+        faults = getattr(self.client, "faults", None)
+        flags = (
+            ("fast:faulty", "slow:faulty")
+            if faults is not None and getattr(faults, "active", False)
+            else ()
+        )
+        return PerformanceBaselines(fast=fast, slow=slow, flags=flags)
 
     def drift_between(
         self,

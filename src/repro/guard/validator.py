@@ -283,6 +283,30 @@ class RecommendationValidator:
 
     # -- validation ---------------------------------------------------------------
 
+    def _replay_batch(
+        self, curve: EstimateCurve, trace: Trace, checked: list[int],
+    ) -> list[PointCheck]:
+        """Simulate every checked split in one batch-kernel pass.
+
+        The placement masks are exactly what the per-point deployments
+        would carry (the curve-order prefixes), so each simulated result
+        is bit-identical to a full per-deployment replay — at the cost
+        of one kernel gather instead of ``len(checked)`` deployment
+        constructions and executes.
+        """
+        system = self.system_factory()
+        masks = np.zeros((len(checked), trace.n_keys), dtype=bool)
+        for i, n in enumerate(checked):
+            masks[i, curve.order[:n]] = True
+        results = self.client.execute_placements(
+            trace, masks, self._profile(), system,
+            record_sizes=trace.record_sizes,
+        )
+        return [
+            self._compare(curve, n, simulated)
+            for n, simulated in zip(checked, results)
+        ]
+
     def _replay(self, curve: EstimateCurve, trace: Trace, n: int) -> PointCheck:
         """Simulate the split at prefix *n* and compare to the prediction."""
         deployment = HybridDeployment(
@@ -292,6 +316,12 @@ class RecommendationValidator:
             fast_keys=curve.order[:n],
         )
         simulated = self.client.execute(trace, deployment)
+        return self._compare(curve, n, simulated)
+
+    def _compare(
+        self, curve: EstimateCurve, n: int, simulated,
+    ) -> PointCheck:
+        """Fold one simulated split into a prediction-vs-truth check."""
         predicted = curve.point_for_keys(n)
         sim_thr = simulated.throughput_ops_s
         sim_lat = simulated.avg_latency_ns
@@ -381,7 +411,7 @@ class RecommendationValidator:
                 self.cache_hits += 1
                 return ValidationVerdict.from_payload(payload)
             self.cache_misses += 1
-        points = [self._replay(curve, trace, k) for k in checked]
+        points = self._replay_batch(curve, trace, checked)
         verdict = self._judge(curve, n, points, fingerprint or "")
         if fingerprint is not None:
             self.cache.put_verdict(fingerprint, verdict.to_payload())

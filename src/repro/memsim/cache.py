@@ -9,18 +9,23 @@ capacity in bytes.  Records larger than the cache never hit.
 Two implementations back :meth:`LLCModel.process`:
 
 - an exact dict LRU (CPython's insertion-ordered dict: re-insertion ==
-  move-to-back) — the general path for mixed record sizes;
-- a vectorized NumPy fast path for the common fixed-record-size case,
-  based on stack-distance reasoning: with uniform sizes the byte-capped
-  LRU degenerates to a K-slot LRU stack (K = capacity // size), and an
-  access hits iff the number of *distinct* keys referenced since the
-  previous access to the same key is below K.  Most requests are decided
-  by two O(n) shortcuts (a reuse window shorter than K guarantees a hit;
-  a sliding-window distinct count of at least K over a contained
-  subwindow guarantees a miss), and only the residue pays for an exact
-  blocked reuse-distance count.  The final resident set is reconstructed
-  so the model's state and statistics are bit-identical to the
-  sequential path.
+  move-to-back) — the general path for a warm cache or traces whose
+  per-key sizes vary between accesses;
+- a vectorized NumPy fast path for cold caches, based on stack-distance
+  reasoning.  With uniform sizes the byte-capped LRU degenerates to a
+  K-slot LRU stack (K = capacity // size), and an access hits iff the
+  number of *distinct* keys referenced since the previous access to the
+  same key is below K.  With mixed (per-key-constant) sizes the same
+  reasoning holds *byte-weighted*: an access to key k hits iff
+  ``size_k`` plus the bytes of the distinct other records touched since
+  k's previous access (counting only records that fit the cache) is at
+  most the capacity — see :func:`lru_hit_mask_mixed_size` for why.
+  Most requests are decided by two O(n) shortcuts (a reuse window whose
+  *raw* byte sum fits guarantees a hit; a sliding-window distinct byte
+  count exceeding the budget over a contained subwindow guarantees a
+  miss), and only the residue pays for an exact blocked reuse-distance
+  count.  The final resident set is reconstructed so the model's state
+  and statistics are bit-identical to the sequential path.
 """
 
 from __future__ import annotations
@@ -53,48 +58,62 @@ def _next_occurrence(prev: np.ndarray) -> np.ndarray:
     return nxt
 
 
-def _sliding_distinct(nxt: np.ndarray, width: int) -> np.ndarray:
-    """``S[i]`` = number of distinct keys among positions [i-width+1, i-1].
+def _sliding_distinct(
+    nxt: np.ndarray, width: int, weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """``S[i]`` = distinct-key weight among positions [i-width+1, i-1].
 
-    A position j is the *last* in-window occurrence of its key for query
-    i exactly when ``j < i <= min(nxt[j], j + width - 1)``, so each j
-    contributes +1 to a contiguous range of queries.  Accumulating those
-    ranges with a difference array makes the whole computation O(n).
+    With *weights* None every key weighs 1 and ``S`` is the distinct
+    *count*; with per-position weights (byte sizes) ``S`` is the sum of
+    each distinct key's weight.  A position j is the *last* in-window
+    occurrence of its key for query i exactly when
+    ``j < i <= min(nxt[j], j + width - 1)``, so each j contributes its
+    weight to a contiguous range of queries.  Accumulating those ranges
+    with a difference array makes the whole computation O(n).
     """
     n = nxt.size
-    diff = np.zeros(n + 2, dtype=np.int64)
     j = np.arange(n, dtype=np.int64)
     hi = np.minimum(nxt, j + width - 1)
     ok = hi >= j + 1
-    np.add.at(diff, j[ok] + 1, 1)
-    np.add.at(diff, hi[ok] + 1, -1)
-    return np.cumsum(diff)[:n]
+    # bincount beats np.add.at by a wide margin for scattered adds; its
+    # float64 weighted sums stay exact for integer weights below 2**53
+    w = None if weights is None else weights[ok].astype(np.float64)
+    diff = np.bincount(j[ok] + 1, weights=w, minlength=n + 2)
+    diff -= np.bincount(hi[ok] + 1, weights=w, minlength=n + 2)
+    return np.cumsum(diff)[:n].astype(np.int64)
 
 
-def _dup_for_queries(prev: np.ndarray, qidx: np.ndarray) -> np.ndarray:
-    """``#{j < i : prev[j] > prev[i]}`` for each query position i in *qidx*.
+def _dup_for_queries(
+    prev: np.ndarray, qidx: np.ndarray, weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """``Σ {w_j : j < i, prev[j] > prev[i]}`` for each query position i.
 
-    This is the number of *duplicate* (repeat) accesses inside the reuse
-    window ``(prev[i], i)``: a position j in that window repeats an
-    earlier in-window key exactly when its own previous occurrence also
-    falls inside the window, i.e. ``prev[j] > prev[i]`` (``prev[j] < j``
-    and ``j < i`` then place j inside the window automatically).  First
+    This sums the *duplicate* (repeat) accesses inside the reuse window
+    ``(prev[i], i)``: a position j in that window repeats an earlier
+    in-window key exactly when its own previous occurrence also falls
+    inside the window, i.e. ``prev[j] > prev[i]`` (``prev[j] < j`` and
+    ``j < i`` then place j inside the window automatically).  First
     occurrences (``prev[j] == -1``) can never satisfy the inequality, so
-    only repeat positions act as counting points.
+    only repeat positions act as counting points.  With *weights* None
+    every point weighs 1 (the duplicate *count*); with per-position
+    weights (byte sizes) the result is the duplicate byte sum.
 
-    Computed blockwise: a running sorted array of point values answers
-    queries against all *earlier* blocks via ``searchsorted``, and a
-    points-by-queries broadcast handles same-block pairs.  The block
-    size balances merge traffic (``n^2 / B``) against broadcast work
-    (``Q * B``), so sparse query sets get large blocks and cheap sweeps.
+    Computed blockwise: a running sorted array of point values (with
+    weight prefix sums) answers queries against all *earlier* blocks via
+    ``searchsorted``, and a points-by-queries broadcast handles
+    same-block pairs.  The block size balances merge traffic
+    (``n^2 / B``) against broadcast work (``Q * B``), so sparse query
+    sets get large blocks and cheap sweeps.
     """
     n = prev.size
     dup = np.zeros(qidx.size, dtype=np.int64)
     if qidx.size == 0:
         return dup
     pidx = np.nonzero(prev >= 0)[0]
+    wts = None if weights is None else np.asarray(weights, dtype=np.int64)
     block = int(np.clip(n / np.sqrt(2 * qidx.size + 1), 256, 8192))
     sorted_vals = np.empty(0, dtype=np.int64)
+    sorted_wts = np.empty(0, dtype=np.int64)
     for start in range(0, n, block):
         end = min(start + block, n)
         qlo, qhi = np.searchsorted(qidx, [start, end])
@@ -104,15 +123,26 @@ def _dup_for_queries(prev: np.ndarray, qidx: np.ndarray) -> np.ndarray:
         if qs.size:
             qv = prev[qs]
             if sorted_vals.size:
-                dup[qlo:qhi] = sorted_vals.size - np.searchsorted(
-                    sorted_vals, qv, side="right"
-                )
+                rank = np.searchsorted(sorted_vals, qv, side="right")
+                if wts is None:
+                    dup[qlo:qhi] = sorted_vals.size - rank
+                else:
+                    # suffix weight sums over the sorted point values
+                    pref = np.concatenate(
+                        ([0], np.cumsum(sorted_wts, dtype=np.int64))
+                    )
+                    dup[qlo:qhi] = pref[-1] - pref[rank]
             if ps.size:
                 pairs = (prev[ps][:, None] > qv[None, :]) \
                     & (ps[:, None] < qs[None, :])
-                dup[qlo:qhi] += pairs.sum(axis=0)
+                if wts is None:
+                    dup[qlo:qhi] += pairs.sum(axis=0)
+                else:
+                    dup[qlo:qhi] += (pairs * wts[ps][:, None]).sum(axis=0)
         if ps.size:
-            spv = np.sort(prev[ps])
+            order = np.argsort(prev[ps], kind="stable")
+            spv = prev[ps][order]
+            spw = None if wts is None else wts[ps][order]
             if sorted_vals.size:
                 # vectorized two-sorted-array merge via rank placement
                 pos = np.searchsorted(sorted_vals, spv, side="right")
@@ -123,8 +153,15 @@ def _dup_for_queries(prev: np.ndarray, qidx: np.ndarray) -> np.ndarray:
                 rest[pos] = False
                 merged[rest] = sorted_vals
                 sorted_vals = merged
+                if wts is not None:
+                    mw = np.empty(sorted_vals.size, np.int64)
+                    mw[pos] = spw
+                    mw[rest] = sorted_wts
+                    sorted_wts = mw
             else:
                 sorted_vals = spv
+                if wts is not None:
+                    sorted_wts = spw
     return dup
 
 
@@ -184,6 +221,155 @@ def lru_hit_mask_fixed_size(
         if qidx.size:
             dup = _dup_for_queries(prev, qidx)
             hit[qidx] = (window[qidx] - dup) < slots
+    return hit
+
+
+#: Exact-gather work cap for the mixed-size residue, in multiples of n.
+_GATHER_CAP = 16
+#: Residue work estimate (multiples of n) beyond which a *guarded* call
+#: concedes that the sequential dict loop is the cheaper exact method.
+_BAIL_WORK = 64
+
+
+def lru_hit_mask_mixed_size(
+    keys: np.ndarray,
+    sizes: np.ndarray,
+    capacity_bytes: int,
+    prev: np.ndarray | None = None,
+    guarded: bool = False,
+) -> np.ndarray | None:
+    """Exact LRU hit mask for a cold cache and per-key-constant sizes.
+
+    Equivalent (bit-for-bit) to replaying ``(keys, sizes)`` through an
+    empty byte-capped LRU: an access to key k hits iff
+
+    - ``size_k <= capacity`` (larger records are bypassed), and
+    - ``size_k`` plus the *distinct-record* byte sum of the reuse window
+      ``(prev, i)`` is at most the capacity, counting each record's
+      *effective* size (0 when it exceeds the capacity, because bypassed
+      records are never installed and displace nothing).
+
+    Why: every record installed after k's previous access is more recent
+    than k, so it can only be evicted after k; the bytes pressing k
+    toward eviction are therefore exactly the distinct effective bytes
+    touched inside the window, and k survives iff they plus ``size_k``
+    fit.  With uniform sizes this degenerates to the slot-count
+    condition of :func:`lru_hit_mask_fixed_size`.
+
+    Sizes must be constant per key across the trace (a hit does not
+    resize the record in the sequential model); inconsistent sizes raise
+    :class:`~repro.errors.ConfigurationError`.
+
+    Most requests are decided by O(n) rules: a raw window byte sum
+    within budget is a guaranteed hit; a right-anchored subwindow whose
+    distinct byte sum exceeds the budget is a guaranteed miss (widths
+    escalate geometrically, and a subwindow that covers the whole reuse
+    window decides the request exactly either way).  The residue is
+    resolved exactly — short reuse windows by a ragged gather over their
+    positions, long ones by the blocked duplicate-byte count.
+
+    With ``guarded=True`` the function returns ``None`` instead of
+    paying for a residue whose exact resolution would cost more than the
+    sequential dict replay (borderline-locality traces where nearly
+    every window sits at the capacity boundary); the caller is expected
+    to fall back.  Unguarded calls always return the exact mask.
+    """
+    keys = np.ascontiguousarray(keys)
+    sizes = np.ascontiguousarray(sizes).astype(np.int64, copy=False)
+    n = keys.size
+    if sizes.size != n:
+        raise ConfigurationError(
+            f"keys and sizes must align: {keys.shape} vs {sizes.shape}"
+        )
+    if n and int(sizes.min()) <= 0:
+        raise ConfigurationError("record sizes must be positive")
+    cap = int(capacity_bytes)
+    if n == 0 or cap <= 0:
+        return np.zeros(n, dtype=bool)
+    if prev is None:
+        prev = _previous_occurrence(keys)
+    repeat = prev >= 0
+    if not (sizes[repeat] == sizes[prev[repeat]]).all():
+        raise ConfigurationError(
+            "per-key record sizes vary within the trace; "
+            "the vectorized LRU requires constant size per key"
+        )
+    eff = np.where(sizes <= cap, sizes, 0)
+    csum = np.concatenate(([0], np.cumsum(eff, dtype=np.int64)))
+    idx = np.arange(n, dtype=np.int64)
+    # raw byte sum of the reuse window (prev, i), duplicates included
+    raw = csum[idx] - csum[prev + 1]
+    budget = cap - sizes
+    cand = repeat & (sizes <= cap)
+    hit = cand & (raw <= budget)
+    undecided = cand & (raw > budget)
+    if not undecided.any():
+        return hit
+    nxt = _next_occurrence(prev)
+    window = idx - prev
+    # F(i) = distinct live bytes over the whole prefix j < i (each key
+    # counted at its last occurrence before i).  Two global bounds
+    # follow: the window's distinct sum is at most F - eff (the window
+    # cannot contain key i itself), and at least F(i) - F(prev+1)
+    # (everything live at i but already live just after prev is a
+    # conservative cut).  The first one alone decides every repeat
+    # whenever the touched working set still fits the cache.
+    live = _sliding_distinct(nxt, n, weights=eff)
+    quick_hit = undecided & ((live - eff + sizes) <= cap)
+    hit |= quick_hit
+    undecided &= ~quick_hit
+    if undecided.any():
+        live_at_prev = live[np.minimum(prev + 1, n - 1)]
+        quick_miss = undecided & ((live - live_at_prev + sizes) > cap)
+        undecided &= ~quick_miss
+    fitting = eff[eff > 0]
+    avg = int(fitting.mean()) if fitting.size else 1
+    width = min(2 * max(1, cap // max(avg, 1)) + 1, n)
+    while undecided.any():
+        sliding = _sliding_distinct(nxt, width, weights=eff)
+        # subwindow == whole reuse window: the sliding sum is the exact
+        # distinct byte sum, so the request is decided either way
+        exact = undecided & (window == width)
+        hit[exact] = sliding[exact] <= budget[exact]
+        undecided &= ~exact
+        quick_miss = undecided & (window > width) & (sliding > budget)
+        undecided &= ~quick_miss
+        und = int(undecided.sum())
+        if und == 0 or und <= max(256, n // 256) or width >= n:
+            break
+        work = int((window[undecided] - 1).sum())
+        if guarded and work > _BAIL_WORK * n:
+            break  # residue stage below will concede
+        wmax = int(window[undecided].max())
+        if width >= wmax:
+            break
+        width = min(2 * width, wmax)
+    qidx = np.nonzero(undecided)[0]
+    if qidx.size:
+        length = window[qidx] - 1
+        order = np.argsort(length, kind="stable")
+        cum = np.cumsum(length[order])
+        n_small = int(np.searchsorted(cum, _GATHER_CAP * n, side="right"))
+        small = np.sort(qidx[order[:n_small]])
+        big = np.sort(qidx[order[n_small:]])
+        if guarded and big.size > max(512, n // 64):
+            return None
+        if small.size:
+            p = prev[small]
+            seg_len = small - p - 1
+            seg_starts = np.concatenate(([0], np.cumsum(seg_len)[:-1]))
+            total = int(seg_len.sum())
+            # ragged gather of every in-window position; a position
+            # counts iff it is its key's first in-window occurrence
+            starts = np.repeat(p + 1, seg_len)
+            jj = np.arange(total, dtype=np.int64) \
+                - np.repeat(seg_starts, seg_len) + starts
+            contrib = np.where(prev[jj] < starts, eff[jj], 0)
+            dist = np.add.reduceat(contrib, seg_starts)
+            hit[small] = dist <= budget[small]
+        if big.size:
+            dup = _dup_for_queries(prev, big, weights=eff)
+            hit[big] = (raw[big] - dup) <= budget[big]
     return hit
 
 
@@ -279,11 +465,12 @@ class LLCModel:
         """Run a whole trace through the cache; return the boolean hit mask.
 
         This is the batch entry point the client uses.  When the cache is
-        cold and all record sizes are equal — the thumbnail-workload
-        common case — the vectorized stack-distance path runs with no
-        per-request Python loop; mixed sizes or a warm cache fall back to
-        the exact sequential LRU.  Both paths leave identical statistics
-        and residency state.
+        cold, the vectorized stack-distance path runs with no per-request
+        Python loop: uniform record sizes take the slot-count fast path,
+        per-key-constant mixed sizes take the byte-weighted one.  Only a
+        warm cache or per-key-*varying* sizes fall back to the exact
+        sequential LRU.  All paths leave identical statistics and
+        residency state.
         """
         keys = np.asarray(keys)
         sizes = np.asarray(sizes)
@@ -291,12 +478,19 @@ class LLCModel:
             raise ConfigurationError(
                 f"keys and sizes must align: {keys.shape} vs {sizes.shape}"
             )
-        if (
-            keys.size > 0
-            and not self._entries
-            and (sizes == sizes.flat[0]).all()
-        ):
-            return self._process_fixed_size(keys, int(sizes.flat[0]))
+        if keys.size > 0 and not self._entries:
+            if (sizes == sizes.flat[0]).all():
+                return self._process_fixed_size(keys, int(sizes.flat[0]))
+            keys = np.ascontiguousarray(keys)
+            prev = _previous_occurrence(keys)
+            rep = prev >= 0
+            if sizes.min() > 0 and (sizes[rep] == sizes[prev[rep]]).all():
+                hits = lru_hit_mask_mixed_size(
+                    keys, sizes, self.capacity_bytes,
+                    prev=prev, guarded=True,
+                )
+                if hits is not None:
+                    return self._finish_cold_mixed(keys, sizes, hits)
         out = np.empty(keys.shape[0], dtype=bool)
         access = self.access
         key_list = keys.tolist()
@@ -328,4 +522,35 @@ class LLCModel:
             for pos in last_pos[-slots:]:
                 self._entries[int(keys[pos])] = size
             self._used = len(self._entries) * size
+        return hits
+
+    def _finish_cold_mixed(
+        self, keys: np.ndarray, sizes: np.ndarray, hits: np.ndarray,
+    ) -> np.ndarray:
+        """Finalize the vectorized cold-cache mixed-size path.
+
+        Given the hit mask from :func:`lru_hit_mask_mixed_size`,
+        reconstructs the statistics and the exact end-of-trace residency:
+        walking distinct keys from most- to least-recently used, a key
+        stays resident while its own size plus the effective bytes of
+        everything more recent still fits (records larger than the cache
+        are bypassed and contribute nothing).  Inserting the survivors in
+        ascending last-occurrence order reproduces the sequential dict's
+        LRU -> MRU iteration order bit-for-bit.
+        """
+        n = keys.size
+        n_hits = int(hits.sum())
+        self.hits += n_hits
+        self.misses += n - n_hits
+        cap = self.capacity_bytes
+        rev_first = np.unique(keys[::-1], return_index=True)[1]
+        last_pos = np.sort((n - 1) - rev_first)
+        ksz = np.asarray(sizes, dtype=np.int64)[last_pos]
+        keff = np.where(ksz <= cap, ksz, 0)
+        # inclusive suffix sums: each key's own bytes + everything newer
+        suffix = np.cumsum(keff[::-1], dtype=np.int64)[::-1]
+        resident = (ksz <= cap) & (suffix <= cap)
+        for pos, size in zip(last_pos[resident], ksz[resident]):
+            self._entries[int(keys[pos])] = int(size)
+        self._used = int(ksz[resident].sum())
         return hits

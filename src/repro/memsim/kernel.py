@@ -1,0 +1,245 @@
+"""Multi-placement batch simulation kernel.
+
+Every sweep, validation replay and drift drill evaluates the *same trace*
+against many FastMem:SlowMem placements.  The per-deployment path pays a
+stack of per-placement Python overhead for each one: constructing a
+:class:`~repro.kvstore.server.HybridDeployment` (which loads every record
+into both engine instances), re-hashing the full trace for the
+fingerprint, re-gathering the per-request parameter arrays, and looping
+over noise repeats.
+
+:class:`BatchKernel` amortises all of it.  The trace-dependent,
+placement-independent arrays (request sizes, passes, CPU costs, the LLC
+hit mask, the trace digest) are gathered **once**; each placement then
+costs only a fancy-indexed node-parameter gather, a fingerprint over the
+placement mask, and one vectorized (repeats x requests) timing pass.  No
+deployment objects are built at all.
+
+Equivalence is exact, not approximate: the kernel derives each
+placement's noise streams from the same experiment fingerprint the
+per-deployment path uses (via
+:func:`~repro.runner.fingerprint.experiment_fingerprint_parts`), computes
+base times through the shared :func:`~repro.memsim.timing.service_times_ns`
+formula, and realises noise through the same per-repeat
+``derive_seed(seed, f"{label}/run{r}")`` generators — so every
+:class:`~repro.ycsb.client.RunResult` it returns is *bit-identical* to
+what ``YCSBClient.execute`` measures against a real deployment with the
+same placement (see ``tests/memsim/test_kernel.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.memsim.timing import NoiseModel, service_times_ns
+from repro.rng import SeedLike, derive_seed, ensure_rng
+
+
+def realisation_matrix(
+    base_ns: np.ndarray,
+    noise: NoiseModel,
+    seed: SeedLike,
+    label: str,
+    repeats: int,
+    noise_scale: np.ndarray | None = None,
+) -> np.ndarray:
+    """(repeats x requests) noisy service times from one base-time pass.
+
+    Row ``r`` is bit-identical to what an
+    :class:`~repro.memsim.timing.AccessTimer` seeded with
+    ``derive_seed(seed, f"{label}/run{r}")`` would produce from the same
+    base times: the per-repeat ``standard_normal`` draws come from the
+    same derived generators, and the noise arithmetic is elementwise, so
+    broadcasting it over rows changes nothing.  With ``sigma == 0`` the
+    rows are the base times themselves (returned as a read-only
+    broadcast view — no copies needed to summarize).
+    """
+    n = base_ns.size
+    if noise.sigma == 0.0:
+        return np.broadcast_to(base_ns, (repeats, n))
+    z = np.empty((repeats, n))
+    for r in range(repeats):
+        rng = ensure_rng(derive_seed(seed, f"{label}/run{r}"))
+        z[r] = rng.standard_normal(n)
+    if noise_scale is not None:
+        z *= noise_scale
+    factors = 1.0 + noise.sigma * z
+    np.maximum(factors, 1e-3, out=factors)
+    return base_ns[None, :] * factors
+
+
+def summarize(
+    trace,
+    engine: str,
+    times_ns: np.ndarray,
+    concurrency: int,
+    percentiles: tuple[float, ...],
+):
+    """Fold a (repeats x requests) time matrix into a ``RunResult``.
+
+    Matches the per-repeat loop bit-for-bit: full-row sums and the
+    percentile reduction are computed along ``axis=1`` (verified
+    bitwise-equal to the row-at-a-time calls), while the read-masked
+    sums use a per-row slice — a 2-D fancy-indexed sum reassociates and
+    is *not* bit-identical, and the loop is over repeats (tiny), not
+    requests.
+    """
+    from repro.ycsb.client import RunResult  # lazy: import cycle
+
+    repeats = times_ns.shape[0]
+    is_read = trace.is_read
+    n_reads = int(is_read.sum())
+    n_writes = trace.n_requests - n_reads
+    row_sums = np.array([times_ns[r].sum() for r in range(repeats)])
+    runtimes = row_sums / concurrency
+    read_sums = np.array(
+        [times_ns[r][is_read].sum() for r in range(repeats)]
+    )
+    write_sums = row_sums - read_sums
+    pct: dict[float, float] = {}
+    if percentiles:
+        qs = np.percentile(times_ns, percentiles, axis=1)
+        pct = {q: float(qs[i].mean()) for i, q in enumerate(percentiles)}
+    return RunResult(
+        workload=trace.name,
+        engine=engine,
+        n_requests=trace.n_requests,
+        n_reads=n_reads,
+        n_writes=n_writes,
+        runtime_ns=float(runtimes.mean()),
+        avg_read_ns=float(read_sums.mean() / n_reads) if n_reads else 0.0,
+        avg_write_ns=float(write_sums.mean() / n_writes) if n_writes else 0.0,
+        latency_percentiles_ns=pct,
+        repeats=repeats,
+        runtime_std_ns=float(runtimes.std()),
+        concurrency=concurrency,
+    )
+
+
+class BatchKernel:
+    """Evaluates many placements of one trace in a single gathered pass.
+
+    Parameters
+    ----------
+    client:
+        The measuring :class:`~repro.ycsb.client.YCSBClient` whose
+        settings (repeats, noise, seed, concurrency, contention, LLC,
+        faults) define the measurement.  Results are bit-identical to
+        ``client.execute`` against equivalent deployments.
+    trace:
+        The request trace shared by every placement.
+    profile:
+        The engine's :class:`~repro.kvstore.profiles.EngineProfile`.
+    system:
+        The :class:`~repro.memsim.system.HybridMemorySystem` hosting
+        every placement (placements share node parameters; only the
+        mask varies).
+    record_sizes:
+        Dense per-key sizes defining the key space (defaults to
+        ``trace.record_sizes``, which is what every deployment built
+        from the trace uses).
+    """
+
+    def __init__(self, client, trace, profile, system, record_sizes=None):
+        record_sizes = np.asarray(
+            trace.record_sizes if record_sizes is None else record_sizes,
+            dtype=np.int64,
+        )
+        if trace.n_keys != record_sizes.size:
+            raise WorkloadError(
+                f"trace key space ({trace.n_keys}) does not match the "
+                f"placement key space ({record_sizes.size})"
+            )
+        self.client = client
+        self.trace = trace
+        self.profile = profile
+        self.system = system
+        self.record_sizes = record_sizes
+        # request-aligned, placement-independent arrays (gathered once;
+        # identical expressions to YCSBClient._gather)
+        self.sizes = record_sizes[trace.keys] + profile.metadata_bytes
+        passes = np.where(
+            trace.is_read, profile.read_passes, profile.write_passes
+        )
+        if client.concurrency > 1:
+            passes = passes * (1 + client.contention * (client.concurrency - 1))
+        self.passes = passes
+        self.cpu = np.where(
+            trace.is_read, profile.read_cpu_ns, profile.write_cpu_ns
+        )
+        self._live_seed = isinstance(client.seed, np.random.Generator)
+        self.trace_digest = (
+            None if self._live_seed else client.trace_digest(trace)
+        )
+        # the LLC hit mask is placement-independent; one replay serves
+        # every placement (and the client memoizes it across kernels)
+        self._cached, self._cache_lat = client._cache_mask(
+            trace, system.llc, self.trace_digest
+        )
+
+    def fingerprint(self, fast_mask: np.ndarray) -> str | None:
+        """The experiment fingerprint of one placement (None if unseeded).
+
+        Identical to ``client.experiment_fingerprint(trace, deployment)``
+        for a deployment carrying *fast_mask* — computed without building
+        the deployment.
+        """
+        if self._live_seed:
+            return None
+        from repro.runner.fingerprint import experiment_fingerprint_parts
+
+        return experiment_fingerprint_parts(
+            self.trace_digest, self.profile, self._check_mask(fast_mask),
+            self.system, self.client,
+        )
+
+    def _check_mask(self, fast_mask) -> np.ndarray:
+        mask = np.asarray(fast_mask)
+        if mask.dtype != np.bool_ or mask.shape != (self.record_sizes.size,):
+            raise WorkloadError(
+                f"placement mask must be bool of shape "
+                f"({self.record_sizes.size},), got {mask.dtype} {mask.shape}"
+            )
+        return mask
+
+    def run(self, fast_mask: np.ndarray, fingerprint: str | None = None):
+        """Measure one placement; returns a ``RunResult``.
+
+        ``fingerprint`` may be passed when the caller already computed it
+        (e.g. for a cache probe) to avoid hashing the mask twice.
+        """
+        mask = self._check_mask(fast_mask)
+        if self._live_seed:
+            # matches _experiment_context: live-generator clients are not
+            # fingerprintable; the static label still yields fresh streams
+            label = self.trace.name
+        else:
+            label = fingerprint or self.fingerprint(mask)
+        trace, client, system = self.trace, self.client, self.system
+        on_fast = mask[trace.keys]
+        latency = np.where(
+            on_fast, system.fast.latency_ns, system.slow.latency_ns
+        )
+        bpns = np.where(
+            on_fast, system.fast.bytes_per_ns, system.slow.bytes_per_ns
+        )
+        latency, bpns, cpu, noise_scale = client._fault_arrays(
+            label, on_fast, latency, bpns, self.cpu
+        )
+        base = service_times_ns(
+            self.sizes, latency, bpns, self.passes, cpu,
+            cached=self._cached, cache_latency_ns=self._cache_lat,
+        )
+        times = realisation_matrix(
+            base, client.noise, client.seed, label, client.repeats,
+            noise_scale=noise_scale,
+        )
+        return summarize(
+            trace, self.profile.name, times, client.concurrency,
+            client.percentiles,
+        )
+
+    def run_all(self, fast_masks) -> list:
+        """Measure every placement in *fast_masks* (rows or a sequence)."""
+        return [self.run(mask) for mask in fast_masks]

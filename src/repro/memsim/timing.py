@@ -45,20 +45,49 @@ class NoiseModel:
         rng: np.random.Generator,
         scale: np.ndarray | None = None,
     ) -> np.ndarray:
-        """Return a noisy copy of *times_ns* (or the input when sigma==0).
+        """Return a noisy copy of *times_ns* (always a fresh array).
+
+        With ``sigma == 0`` the values pass through unchanged, but still
+        as a *copy*: returning the input array would let a caller that
+        mutates the result silently corrupt the ``times_ns`` it handed
+        in (and anything else aliasing it).
 
         ``scale`` optionally multiplies sigma per request — the hook the
         jitter-burst fault model uses to widen noise inside a burst
         window without touching requests outside it.
         """
         if self.sigma == 0.0:
-            return times_ns
+            return times_ns.copy()
         z = rng.standard_normal(times_ns.shape)
         if scale is not None:
             z = z * scale
         factors = 1.0 + self.sigma * z
         np.maximum(factors, 1e-3, out=factors)
         return times_ns * factors
+
+
+def service_times_ns(
+    sizes: np.ndarray,
+    latency_ns: np.ndarray,
+    bytes_per_ns: np.ndarray,
+    passes: np.ndarray,
+    cpu_ns: np.ndarray,
+    cached: np.ndarray | None = None,
+    cache_latency_ns: float = 0.0,
+) -> np.ndarray:
+    """Noise-free per-request service times (ns), fully vectorized.
+
+    This is the one place the cost formula lives: :class:`AccessTimer`
+    applies noise on top of it, and the batch kernel
+    (:mod:`repro.memsim.kernel`) and analytic predictors
+    (:mod:`repro.memsim.analytic`) reuse it so every path computes
+    bit-identical base times.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    mem_ns = passes * (latency_ns + sizes / bytes_per_ns)
+    if cached is not None:
+        mem_ns = np.where(cached, cache_latency_ns, mem_ns)
+    return cpu_ns + mem_ns
 
 
 class AccessTimer:
@@ -115,11 +144,10 @@ class AccessTimer:
         numpy.ndarray
             Per-request times, same shape as *sizes*.
         """
-        sizes = np.asarray(sizes, dtype=np.float64)
-        mem_ns = passes * (latency_ns + sizes / bytes_per_ns)
-        if cached is not None:
-            mem_ns = np.where(cached, cache_latency_ns, mem_ns)
-        times = cpu_ns + mem_ns
+        times = service_times_ns(
+            sizes, latency_ns, bytes_per_ns, passes, cpu_ns,
+            cached=cached, cache_latency_ns=cache_latency_ns,
+        )
         if noisy:
             times = self.noise.apply(times, self._rng, scale=noise_scale)
         return times

@@ -85,14 +85,10 @@ class CachingClient(YCSBClient):
             faults=getattr(client, "faults", None),
         )
 
-    def _cache_mask(
-        self, trace: Trace, deployment: HybridDeployment,
-        trace_digest: str | None,
-    ):
+    def _cache_mask(self, trace: Trace, llc, trace_digest: str | None):
         """Hit mask lookup: in-memory memo, then disk, then the LRU."""
         if not self.use_llc or trace_digest is None:
-            return super()._cache_mask(trace, deployment, trace_digest)
-        llc = deployment.system.llc
+            return super()._cache_mask(trace, llc, trace_digest)
         key = (trace_digest, llc.capacity_bytes)
         hits = self._hitmask_memo.get(key)
         if hits is not None:
@@ -100,7 +96,7 @@ class CachingClient(YCSBClient):
         fp = hitmask_fingerprint(trace_digest, llc.capacity_bytes)
         hits = self.cache.get_hitmask(fp)
         if hits is None:
-            hits, _ = super()._cache_mask(trace, deployment, trace_digest)
+            hits, _ = super()._cache_mask(trace, llc, trace_digest)
             self.cache.put_hitmask(fp, hits)
         else:
             hits.flags.writeable = False
@@ -125,3 +121,36 @@ class CachingClient(YCSBClient):
         result = super().execute(trace, deployment)
         self.cache.put_result(fp, result)
         return result
+
+    def execute_placements(
+        self, trace, fast_masks, profile, system, record_sizes=None,
+    ):
+        """Batch measurement with per-placement cache probes.
+
+        Each placement is looked up under the same experiment
+        fingerprint :meth:`execute` uses, so batch and per-deployment
+        measurements share one cache namespace; only the misses run
+        through the kernel.
+        """
+        if isinstance(self._seed, np.random.Generator):
+            return super().execute_placements(
+                trace, fast_masks, profile, system,
+                record_sizes=record_sizes,
+            )
+        from repro.memsim.kernel import BatchKernel
+
+        kernel = BatchKernel(
+            self, trace, profile, system, record_sizes=record_sizes
+        )
+        results = []
+        for mask in fast_masks:
+            fp = kernel.fingerprint(mask)
+            result = self.cache.get_result(fp)
+            if result is not None:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+                result = kernel.run(mask, fingerprint=fp)
+                self.cache.put_result(fp, result)
+            results.append(result)
+        return results

@@ -26,6 +26,7 @@ noise realisations.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -33,7 +34,7 @@ import numpy as np
 from repro.errors import ConfigurationError, WorkloadError
 from repro.kvstore.server import HybridDeployment
 from repro.memsim.cache import LLCModel
-from repro.memsim.timing import AccessTimer, NoiseModel
+from repro.memsim.timing import AccessTimer, NoiseModel, service_times_ns
 from repro.rng import SeedLike, derive_seed
 from repro.units import NS_PER_S
 from repro.ycsb.workload import Trace
@@ -168,6 +169,14 @@ class YCSBClient:
         # hit masks are a pure function of (trace, LLC capacity); memoize
         # them so repeated measurements never replay the LRU
         self._hitmask_memo: dict[tuple[str, int], np.ndarray] = {}
+        # fingerprint memos: sweeps measure the same trace object against
+        # many deployments, and hashing the full trace every execute is
+        # pure overhead.  Keyed by object id with a weakref finalizer
+        # evicting dead entries, so a recycled id can never alias.  The
+        # memos assume client settings are fixed after construction (as
+        # everything else about reproducible measurement already does).
+        self._trace_digest_memo: dict[int, str] = {}
+        self._fp_memo: dict[tuple[str, int], str] = {}
 
     @property
     def seed(self) -> SeedLike:
@@ -219,19 +228,17 @@ class YCSBClient:
         return latency, bpns, cpu, tl.noise_scale
 
     def _cache_mask(
-        self, trace: Trace, deployment: HybridDeployment,
-        trace_digest: str | None,
+        self, trace: Trace, llc: LLCModel, trace_digest: str | None,
     ):
         """Boolean per-request hit mask from the LLC model (or None).
 
         Masks are memoized per (trace digest, LLC capacity) — the mask is
         a pure function of those two — so only the first measurement of a
-        trace pays for the LRU replay.  On a memo hit the deployment's
-        LLC object is left untouched.
+        trace pays for the LRU replay.  On a memo hit the passed LLC
+        object is left untouched.
         """
         if not self.use_llc:
             return None, 0.0
-        llc: LLCModel = deployment.system.llc
         key = None
         if trace_digest is not None:
             key = (trace_digest, llc.capacity_bytes)
@@ -245,6 +252,18 @@ class YCSBClient:
             self._hitmask_memo[key] = hits
         return hits, llc.hit_latency_ns
 
+    def trace_digest(self, trace: Trace) -> str:
+        """Memoized content digest of *trace* (hashed once per object)."""
+        key = id(trace)
+        digest = self._trace_digest_memo.get(key)
+        if digest is None:
+            from repro.runner.fingerprint import trace_fingerprint
+
+            digest = trace_fingerprint(trace)
+            self._trace_digest_memo[key] = digest
+            weakref.finalize(trace, self._trace_digest_memo.pop, key, None)
+        return digest
+
     def experiment_fingerprint(
         self, trace: Trace, deployment: HybridDeployment,
     ) -> tuple[str, str]:
@@ -256,12 +275,21 @@ class YCSBClient:
         the content-addressed cache key and the root label of the noise
         streams.  Raises for clients seeded with a live generator, which
         are inherently non-reproducible.
+
+        Memoized per (trace digest, deployment object): a sweep calling
+        ``execute`` repeatedly on the same pair stops re-hashing the
+        placement and system on every measurement.
         """
-        from repro.runner.fingerprint import (
-            experiment_fingerprint, trace_fingerprint,
-        )
-        digest = trace_fingerprint(trace)
-        return digest, experiment_fingerprint(digest, deployment, self)
+        digest = self.trace_digest(trace)
+        key = (digest, id(deployment))
+        fp = self._fp_memo.get(key)
+        if fp is None:
+            from repro.runner.fingerprint import experiment_fingerprint
+
+            fp = experiment_fingerprint(digest, deployment, self)
+            self._fp_memo[key] = fp
+            weakref.finalize(deployment, self._fp_memo.pop, key, None)
+        return digest, fp
 
     def _experiment_context(self, trace: Trace, deployment: HybridDeployment):
         """Noise-stream label, hit mask and hit latency for one measurement."""
@@ -272,7 +300,9 @@ class YCSBClient:
             label, digest = trace.name, None
         else:
             digest, label = self.experiment_fingerprint(trace, deployment)
-        cached, cache_lat = self._cache_mask(trace, deployment, digest)
+        cached, cache_lat = self._cache_mask(
+            trace, deployment.system.llc, digest
+        )
         return label, cached, cache_lat
 
     # -- execution --------------------------------------------------------------------
@@ -304,7 +334,16 @@ class YCSBClient:
         )
 
     def execute(self, trace: Trace, deployment: HybridDeployment) -> RunResult:
-        """Run *trace* against *deployment*; return averaged measurements."""
+        """Run *trace* against *deployment*; return averaged measurements.
+
+        The noise repeats are realised as one (repeats x requests)
+        matrix from a single base-time pass rather than re-running the
+        timer per repeat; each row comes from the same
+        ``derive_seed(seed, f"{label}/run{r}")`` generator the
+        per-repeat loop used, so results are bit-identical to it.
+        """
+        from repro.memsim.kernel import realisation_matrix, summarize
+
         sizes, latency, bpns, passes, cpu, on_fast = self._gather(
             trace, deployment
         )
@@ -312,46 +351,53 @@ class YCSBClient:
         latency, bpns, cpu, noise_scale = self._fault_arrays(
             label, on_fast, latency, bpns, cpu
         )
-
-        runtimes = np.empty(self.repeats)
-        read_sums = np.empty(self.repeats)
-        write_sums = np.empty(self.repeats)
-        pct_acc = {q: np.empty(self.repeats) for q in self.percentiles}
-        is_read = trace.is_read
-        n_reads = int(is_read.sum())
-        n_writes = trace.n_requests - n_reads
-
-        for r in range(self.repeats):
-            timer = AccessTimer(
-                noise=self.noise,
-                seed=derive_seed(self._seed, f"{label}/run{r}"),
-            )
-            times = timer.request_times_ns(
-                sizes, latency, bpns, passes, cpu,
-                cached=cached, cache_latency_ns=cache_lat,
-                noise_scale=noise_scale,
-            )
-            runtimes[r] = times.sum() / self.concurrency
-            read_sums[r] = times[is_read].sum()
-            write_sums[r] = times.sum() - read_sums[r]
-            if self.percentiles:
-                qs = np.percentile(times, self.percentiles)
-                for q, v in zip(self.percentiles, qs):
-                    pct_acc[q][r] = v
-
-        return RunResult(
-            workload=trace.name,
-            engine=deployment.profile.name,
-            n_requests=trace.n_requests,
-            n_reads=n_reads,
-            n_writes=n_writes,
-            runtime_ns=float(runtimes.mean()),
-            avg_read_ns=float(read_sums.mean() / n_reads) if n_reads else 0.0,
-            avg_write_ns=float(write_sums.mean() / n_writes) if n_writes else 0.0,
-            latency_percentiles_ns={
-                q: float(v.mean()) for q, v in pct_acc.items()
-            },
-            repeats=self.repeats,
-            runtime_std_ns=float(runtimes.std()),
-            concurrency=self.concurrency,
+        base = service_times_ns(
+            sizes, latency, bpns, passes, cpu,
+            cached=cached, cache_latency_ns=cache_lat,
         )
+        times = realisation_matrix(
+            base, self.noise, self._seed, label, self.repeats,
+            noise_scale=noise_scale,
+        )
+        return summarize(
+            trace, deployment.profile.name, times, self.concurrency,
+            self.percentiles,
+        )
+
+    def execute_placements(
+        self,
+        trace: Trace,
+        fast_masks,
+        profile,
+        system,
+        record_sizes: np.ndarray | None = None,
+    ) -> list[RunResult]:
+        """Measure *trace* against many placements in one gathered pass.
+
+        Equivalent to building a :class:`HybridDeployment` per mask and
+        calling :meth:`execute` on each — bit-identically so, because the
+        noise streams derive from the same per-placement experiment
+        fingerprints — but the trace-dependent work (array gathering,
+        trace hashing, the LLC replay) happens once, and no deployments
+        are constructed at all.  See
+        :class:`~repro.memsim.kernel.BatchKernel`.
+
+        Parameters
+        ----------
+        trace:
+            The request trace shared by every placement.
+        fast_masks:
+            Boolean placement masks over the key space — a (placements
+            x n_keys) array or any sequence of masks.
+        profile / system:
+            The engine cost profile and hybrid memory system every
+            placement shares.
+        record_sizes:
+            Dense per-key sizes (defaults to ``trace.record_sizes``).
+        """
+        from repro.memsim.kernel import BatchKernel
+
+        kernel = BatchKernel(
+            self, trace, profile, system, record_sizes=record_sizes
+        )
+        return kernel.run_all(fast_masks)

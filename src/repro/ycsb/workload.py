@@ -9,6 +9,7 @@ types" artefact Mnemo takes as its workload descriptor input.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import cached_property
 
 import numpy as np
 
@@ -164,12 +165,25 @@ class Trace:
         """Distinct keys referenced, ascending."""
         return np.unique(self.keys)
 
-    def per_key_counts(self) -> tuple[np.ndarray, np.ndarray]:
-        """(reads, writes) per key id, each of length ``n_keys``."""
+    @cached_property
+    def _per_key_counts(self) -> tuple[np.ndarray, np.ndarray]:
+        # cached_property writes straight into __dict__, bypassing the
+        # frozen-dataclass setattr guard; arrays are returned read-only
+        # so the shared cache can never be mutated through a caller
         n = self.n_keys
         reads = np.bincount(self.keys[self.is_read], minlength=n)
         writes = np.bincount(self.keys[~self.is_read], minlength=n)
+        reads.flags.writeable = False
+        writes.flags.writeable = False
         return reads, writes
+
+    def per_key_counts(self) -> tuple[np.ndarray, np.ndarray]:
+        """(reads, writes) per key id, each of length ``n_keys``.
+
+        Computed once per trace and cached; the returned arrays are
+        read-only views of the cache.
+        """
+        return self._per_key_counts
 
     def first_touch_order(self) -> np.ndarray:
         """Keys in order of first access; untouched keys appended by id.

@@ -1,0 +1,261 @@
+"""Tests for the analytic (Che / reuse-time) performance predictors.
+
+The analytic path trades exactness for closed form: its contract is a
+*tolerance*, not bit-identity.  The tolerance tests here mirror the
+ISSUE acceptance envelope — predicted runtime within 5% of the
+simulator on the YCSB presets, with and without the LLC — on downsized
+traces so the suite stays fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mnemo import Mnemo
+from repro.errors import ConfigurationError
+from repro.kvstore.redislike import RedisLike
+from repro.memsim.analytic import (
+    che_characteristic_time,
+    che_hit_rates,
+    predict_baselines,
+    predict_placement,
+    reuse_time_eviction_age,
+    reuse_time_hit_counts,
+)
+from repro.memsim.cache import LLCModel
+from repro.memsim.system import HybridMemorySystem
+from repro.ycsb.client import YCSBClient
+from repro.ycsb.generator import generate_trace
+from repro.ycsb.presets import TABLE_III_WORKLOADS, workload_by_name
+
+PRESETS = [w.name for w in TABLE_III_WORKLOADS]
+
+
+def small_trace(name, seed=13, n_keys=300, n_requests=3000):
+    spec = workload_by_name(name).scaled(n_keys=n_keys, n_requests=n_requests)
+    return generate_trace(spec.with_seed(seed))
+
+
+class TestCheCharacteristicTime:
+    def test_fits_entirely_means_infinite(self):
+        p = np.array([0.5, 0.5])
+        s = np.array([100.0, 100.0])
+        assert np.isinf(che_characteristic_time(p, s, 200))
+
+    def test_zero_capacity_is_zero(self):
+        assert che_characteristic_time(
+            np.array([1.0]), np.array([10.0]), 0
+        ) == 0.0
+
+    def test_capacity_constraint_holds_at_solution(self):
+        rng = np.random.default_rng(0)
+        p = rng.dirichlet(np.ones(50))
+        s = rng.integers(10, 200, 50).astype(float)
+        cap = int(s.sum() * 0.3)
+        t = che_characteristic_time(p, s, cap)
+        resident = float(-(s * np.expm1(-p * t)).sum())
+        assert resident == pytest.approx(cap, rel=1e-6)
+
+    def test_oversized_keys_excluded(self):
+        # one key larger than the cache must not count toward residency
+        p = np.array([0.5, 0.5])
+        s = np.array([50.0, 1e9])
+        assert np.isinf(che_characteristic_time(p, s, 60))
+
+
+class TestCheHitRates:
+    def test_working_set_fits_all_hit(self):
+        h = che_hit_rates(np.array([5, 3]), np.array([100, 100]), 500)
+        assert np.array_equal(h, [1.0, 1.0])
+
+    def test_oversized_and_unreferenced_get_zero(self):
+        h = che_hit_rates(np.array([5, 0, 3]), np.array([100, 50, 900]), 300)
+        assert h[1] == 0.0  # never referenced
+        assert h[2] == 0.0  # does not fit
+        assert 0.0 < h[0] <= 1.0
+
+    def test_zero_capacity_all_zero(self):
+        h = che_hit_rates(np.array([5, 3]), np.array([10, 10]), 0)
+        assert not h.any()
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            che_hit_rates(np.array([1, 2]), np.array([10.0]), 100)
+
+    def test_hotter_keys_hit_more(self):
+        counts = np.array([100, 10, 1])
+        sizes = np.full(3, 100)
+        h = che_hit_rates(counts, sizes, 150)
+        assert h[0] > h[1] > h[2]
+
+
+class TestReuseTimeModel:
+    def test_fits_entirely_means_infinite_age(self):
+        keys = np.array([0, 1, 0, 1])
+        sizes = np.full(4, 10)
+        assert np.isinf(reuse_time_eviction_age(keys, sizes, 100))
+
+    def test_zero_capacity(self):
+        keys = np.array([0, 0])
+        sizes = np.full(2, 10)
+        assert reuse_time_eviction_age(keys, sizes, 0) == 0.0
+        hits = reuse_time_hit_counts(keys, sizes, 1, 0)
+        assert hits.sum() == 0
+
+    def test_first_touches_always_miss(self):
+        keys = np.array([0, 1, 2, 0, 1, 2])
+        sizes = np.full(6, 10)
+        hits = reuse_time_hit_counts(keys, sizes, 3, 1000)
+        assert hits.sum() == 3  # only the three re-references
+
+    @pytest.mark.parametrize("name", PRESETS)
+    def test_agrees_with_simulated_lru_on_presets(self, name):
+        trace = small_trace(name)
+        # a capacity that forces real evictions on these traces
+        cap = int(trace.record_sizes.sum() * 0.2)
+        predicted = reuse_time_hit_counts(
+            trace.keys, trace.request_sizes, trace.n_keys, cap
+        ).sum()
+        model = LLCModel(capacity_bytes=cap)
+        actual = model.process(trace.keys, trace.request_sizes).sum()
+        # the reuse-time model is approximate; 10% of trace length is a
+        # loose bound — measured agreement is 98%+ per request
+        assert abs(int(predicted) - int(actual)) <= 0.1 * trace.n_requests
+
+
+class TestPredictPlacement:
+    def _setup(self, name="trending", **client_kw):
+        trace = small_trace(name)
+        system = HybridMemorySystem.testbed()
+        profile = RedisLike(system.fast, system.slow).profile
+        client = YCSBClient(seed=17, **client_kw)
+        return trace, profile, system, client
+
+    def test_bad_mask_raises(self):
+        trace, profile, system, client = self._setup()
+        with pytest.raises(ConfigurationError):
+            predict_placement(
+                trace, profile, system,
+                np.ones(trace.n_keys, dtype=np.int64), client,
+            )
+        with pytest.raises(ConfigurationError):
+            predict_placement(
+                trace, profile, system,
+                np.ones(trace.n_keys + 1, dtype=bool), client,
+            )
+
+    def test_all_fast_beats_all_slow(self):
+        trace, profile, system, client = self._setup()
+        fast = predict_placement(
+            trace, profile, system, np.ones(trace.n_keys, dtype=bool), client
+        )
+        slow = predict_placement(
+            trace, profile, system, np.zeros(trace.n_keys, dtype=bool), client
+        )
+        assert fast.runtime_ns < slow.runtime_ns
+        assert fast.runtime_std_ns == 0.0
+
+    @pytest.mark.parametrize("name", PRESETS)
+    @pytest.mark.parametrize("use_llc", [False, True])
+    def test_runtime_within_five_percent_of_simulator(self, name, use_llc):
+        trace, profile, system, client = self._setup(
+            name, use_llc=use_llc, repeats=2
+        )
+        for frac in (0.0, 0.5, 1.0):
+            mask = np.zeros(trace.n_keys, dtype=bool)
+            mask[: int(frac * trace.n_keys)] = True
+            predicted = predict_placement(
+                trace, profile, system, mask, client
+            )
+            (simulated,) = client.execute_placements(
+                trace, mask[None, :], profile, system
+            )
+            err = abs(predicted.runtime_ns - simulated.runtime_ns)
+            assert err <= 0.05 * simulated.runtime_ns
+            # tails are approximate too, but must stay in the envelope
+            for q in client.percentiles:
+                perr = abs(predicted.percentile(q) - simulated.percentile(q))
+                assert perr <= 0.05 * simulated.percentile(q)
+
+    def test_concurrency_mirrors_simulator(self):
+        trace, profile, system, client = self._setup(concurrency=4, repeats=2)
+        mask = np.zeros(trace.n_keys, dtype=bool)
+        mask[::2] = True
+        predicted = predict_placement(trace, profile, system, mask, client)
+        (simulated,) = client.execute_placements(
+            trace, mask[None, :], profile, system
+        )
+        err = abs(predicted.runtime_ns - simulated.runtime_ns)
+        assert err <= 0.05 * simulated.runtime_ns
+        assert predicted.concurrency == 4
+
+
+class TestHitCountMemo:
+    def test_memo_shared_across_predictions_and_evicted_on_gc(self):
+        import gc
+
+        from repro.memsim import analytic as mod
+
+        trace = small_trace("trending")
+        system = HybridMemorySystem.testbed()
+        profile = RedisLike(system.fast, system.slow).profile
+        client = YCSBClient(seed=3, use_llc=True)
+        before = len(mod._hit_counts_memo)
+        a = predict_placement(
+            trace, profile, system, np.ones(trace.n_keys, dtype=bool), client
+        )
+        b = predict_placement(
+            trace, profile, system, np.ones(trace.n_keys, dtype=bool), client
+        )
+        assert a == b  # the memo must not change the prediction
+        assert len(mod._hit_counts_memo) == before + 1
+        del trace
+        gc.collect()
+        assert len(mod._hit_counts_memo) == before
+
+
+class TestPredictBaselines:
+    def test_flags_empty_and_ordering(self):
+        trace = small_trace("timeline")
+        system = HybridMemorySystem.testbed()
+        profile = RedisLike(system.fast, system.slow).profile
+        baselines = predict_baselines(
+            trace, profile, system, YCSBClient(seed=3)
+        )
+        assert baselines.flags == ()
+        assert baselines.fast.runtime_ns < baselines.slow.runtime_ns
+
+
+class TestMnemoAccuracyMode:
+    def test_invalid_accuracy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Mnemo(accuracy="guess")
+        with pytest.raises(ConfigurationError):
+            Mnemo().profile(small_trace("trending"), accuracy="guess")
+
+    def test_analytic_profile_produces_report(self):
+        trace = small_trace("trending")
+        report = Mnemo(
+            client=YCSBClient(seed=5), accuracy="analytic"
+        ).profile(trace)
+        assert report.workload == trace.name
+        assert report.baselines.flags == ()
+
+    def test_analytic_close_to_simulated_choice(self):
+        trace = small_trace("trending")
+        client = YCSBClient(seed=5, repeats=2)
+        simulated = Mnemo(client=client).profile(trace)
+        analytic = Mnemo(client=client).profile(trace, accuracy="analytic")
+        # the two modes must tell the same performance story
+        for a, s in (
+            (analytic.baselines.fast, simulated.baselines.fast),
+            (analytic.baselines.slow, simulated.baselines.slow),
+        ):
+            assert abs(a.runtime_ns - s.runtime_ns) <= 0.05 * s.runtime_ns
+
+    def test_per_call_override_back_to_simulate(self):
+        trace = small_trace("trending")
+        client = YCSBClient(seed=5, repeats=2)
+        consultant = Mnemo(client=client, accuracy="analytic")
+        measured = consultant.profile(trace, accuracy="simulate")
+        direct = Mnemo(client=client).profile(trace)
+        assert measured.baselines.fast == direct.baselines.fast

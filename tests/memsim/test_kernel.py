@@ -1,0 +1,280 @@
+"""Equivalence tests for the multi-placement batch kernel.
+
+The kernel's contract is *bit-identity*: every `RunResult` it produces
+must equal — field for field, bit for bit — what the per-deployment
+path measures, because both derive their noise streams from the same
+experiment fingerprints.  These tests also pin the vectorized-repeats
+`execute` against a verbatim copy of the old per-repeat loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.kvstore.redislike import RedisLike
+from repro.kvstore.server import HybridDeployment
+from repro.memsim.kernel import BatchKernel, realisation_matrix, summarize
+from repro.memsim.system import HybridMemorySystem
+from repro.memsim.timing import AccessTimer, NoiseModel
+from repro.rng import derive_seed
+from repro.runner.cache import ResultCache
+from repro.runner.caching import CachingClient
+from repro.ycsb.client import YCSBClient
+from repro.ycsb.generator import generate_trace
+from repro.ycsb.presets import workload_by_name
+
+
+@pytest.fixture(scope="module")
+def trace():
+    spec = workload_by_name("trending").scaled(n_keys=400, n_requests=4000)
+    return generate_trace(spec.with_seed(7))
+
+
+def _masks(n_keys, fracs=(0.0, 0.35, 1.0), seed=5):
+    rng = np.random.default_rng(seed)
+    masks = np.zeros((len(fracs), n_keys), dtype=bool)
+    for i, frac in enumerate(fracs):
+        picked = rng.choice(n_keys, int(frac * n_keys), replace=False)
+        masks[i, picked] = True
+    return masks
+
+
+def _deployments(trace, masks):
+    return [
+        HybridDeployment(
+            RedisLike, HybridMemorySystem.testbed(), trace.record_sizes,
+            fast_keys=np.nonzero(m)[0],
+        )
+        for m in masks
+    ]
+
+
+def legacy_execute(client, trace, deployment):
+    """Verbatim copy of the pre-kernel per-repeat measurement loop."""
+    sizes, latency, bpns, passes, cpu, on_fast = client._gather(
+        trace, deployment
+    )
+    label, cached, cache_lat = client._experiment_context(trace, deployment)
+    latency, bpns, cpu, noise_scale = client._fault_arrays(
+        label, on_fast, latency, bpns, cpu
+    )
+    runtimes = np.empty(client.repeats)
+    read_sums = np.empty(client.repeats)
+    write_sums = np.empty(client.repeats)
+    pct_acc = {q: np.empty(client.repeats) for q in client.percentiles}
+    is_read = trace.is_read
+    n_reads = int(is_read.sum())
+    n_writes = trace.n_requests - n_reads
+    for r in range(client.repeats):
+        timer = AccessTimer(
+            noise=client.noise,
+            seed=derive_seed(client._seed, f"{label}/run{r}"),
+        )
+        times = timer.request_times_ns(
+            sizes, latency, bpns, passes, cpu,
+            cached=cached, cache_latency_ns=cache_lat,
+            noise_scale=noise_scale,
+        )
+        runtimes[r] = times.sum() / client.concurrency
+        read_sums[r] = times[is_read].sum()
+        write_sums[r] = times.sum() - read_sums[r]
+        if client.percentiles:
+            qs = np.percentile(times, client.percentiles)
+            for q, v in zip(client.percentiles, qs):
+                pct_acc[q][r] = v
+    return dict(
+        runtime_ns=float(runtimes.mean()),
+        avg_read_ns=float(read_sums.mean() / n_reads) if n_reads else 0.0,
+        avg_write_ns=float(write_sums.mean() / n_writes) if n_writes else 0.0,
+        pct={q: float(v.mean()) for q, v in pct_acc.items()},
+        std=float(runtimes.std()),
+    )
+
+
+def assert_matches_legacy(result, legacy):
+    assert result.runtime_ns == legacy["runtime_ns"]
+    assert result.avg_read_ns == legacy["avg_read_ns"]
+    assert result.avg_write_ns == legacy["avg_write_ns"]
+    assert result.latency_percentiles_ns == legacy["pct"]
+    assert result.runtime_std_ns == legacy["std"]
+
+
+class TestVectorizedRepeats:
+    """`execute` folded its per-repeat loop; results must not move a bit."""
+
+    @pytest.mark.parametrize("use_llc", [False, True])
+    @pytest.mark.parametrize("concurrency", [1, 4])
+    def test_execute_bit_identical_to_loop(self, trace, use_llc, concurrency):
+        client = YCSBClient(
+            repeats=3, seed=11, use_llc=use_llc, concurrency=concurrency
+        )
+        (deployment,) = _deployments(trace, _masks(trace.n_keys, (0.4,)))
+        legacy = legacy_execute(client, trace, deployment)
+        assert_matches_legacy(client.execute(trace, deployment), legacy)
+
+    def test_zero_sigma_path(self, trace):
+        client = YCSBClient(repeats=2, seed=1, noise_sigma=0.0)
+        (deployment,) = _deployments(trace, _masks(trace.n_keys, (0.0,)))
+        legacy = legacy_execute(client, trace, deployment)
+        assert_matches_legacy(client.execute(trace, deployment), legacy)
+
+    def test_live_generator_seed_still_runs(self, trace):
+        client = YCSBClient(repeats=2, seed=np.random.default_rng(3))
+        (deployment,) = _deployments(trace, _masks(trace.n_keys, (0.5,)))
+        result = client.execute(trace, deployment)
+        assert result.runtime_ns > 0
+
+
+class TestRealisationMatrix:
+    def test_rows_match_per_repeat_timers(self):
+        base = np.random.default_rng(0).random(500) * 1000 + 10
+        noise = NoiseModel(sigma=0.02)
+        mat = realisation_matrix(base, noise, 9, "lbl", 4)
+        for r in range(4):
+            timer = AccessTimer(noise=noise, seed=derive_seed(9, "lbl/run" + str(r)))
+            n = base.size
+            row = timer.noise.apply(base, timer._rng)
+            assert np.array_equal(mat[r], row)
+            assert row.size == n
+
+    def test_zero_sigma_is_base_broadcast(self):
+        base = np.arange(10.0)
+        mat = realisation_matrix(base, NoiseModel(sigma=0.0), 1, "x", 3)
+        assert mat.shape == (3, 10)
+        assert (mat == base).all()
+
+
+class TestBatchKernel:
+    @pytest.mark.parametrize("use_llc", [False, True])
+    def test_bit_identical_to_per_deployment(self, trace, use_llc):
+        client = YCSBClient(repeats=3, seed=4, use_llc=use_llc)
+        system = HybridMemorySystem.testbed()
+        profile = RedisLike(system.fast, system.slow).profile
+        masks = _masks(trace.n_keys)
+        batch = client.execute_placements(trace, masks, profile, system)
+        for mask, deployment, got in zip(
+            masks, _deployments(trace, masks), batch
+        ):
+            assert got == client.execute(trace, deployment)
+
+    def test_fingerprints_match_deployment_path(self, trace):
+        client = YCSBClient(seed=4)
+        system = HybridMemorySystem.testbed()
+        profile = RedisLike(system.fast, system.slow).profile
+        kernel = BatchKernel(client, trace, profile, system)
+        masks = _masks(trace.n_keys)
+        for mask, deployment in zip(masks, _deployments(trace, masks)):
+            assert kernel.fingerprint(mask) == \
+                client.experiment_fingerprint(trace, deployment)[1]
+
+    def test_concurrency_and_faults(self, trace):
+        from repro.faults import FaultSpec, JitterBursts, LatencySpikes
+
+        faults = FaultSpec(
+            latency_spikes=LatencySpikes(),
+            jitter_bursts=JitterBursts(),  # exercises noise_scale too
+        )
+        client = YCSBClient(
+            repeats=2, seed=8, concurrency=3, faults=faults
+        )
+        system = HybridMemorySystem.testbed()
+        profile = RedisLike(system.fast, system.slow).profile
+        masks = _masks(trace.n_keys, (0.2, 0.9))
+        batch = client.execute_placements(trace, masks, profile, system)
+        for mask, deployment, got in zip(
+            masks, _deployments(trace, masks), batch
+        ):
+            assert got == client.execute(trace, deployment)
+
+    def test_key_space_mismatch_raises(self, trace):
+        client = YCSBClient(seed=1)
+        system = HybridMemorySystem.testbed()
+        profile = RedisLike(system.fast, system.slow).profile
+        with pytest.raises(WorkloadError):
+            BatchKernel(
+                client, trace, profile, system,
+                record_sizes=np.ones(trace.n_keys + 1, dtype=np.int64),
+            )
+
+    def test_bad_mask_raises(self, trace):
+        client = YCSBClient(seed=1)
+        system = HybridMemorySystem.testbed()
+        profile = RedisLike(system.fast, system.slow).profile
+        kernel = BatchKernel(client, trace, profile, system)
+        with pytest.raises(WorkloadError):
+            kernel.run(np.ones(trace.n_keys, dtype=np.int64))
+        with pytest.raises(WorkloadError):
+            kernel.run(np.ones(trace.n_keys - 1, dtype=bool))
+
+    def test_live_generator_batch_runs(self, trace):
+        client = YCSBClient(repeats=2, seed=np.random.default_rng(5))
+        system = HybridMemorySystem.testbed()
+        profile = RedisLike(system.fast, system.slow).profile
+        results = client.execute_placements(
+            trace, _masks(trace.n_keys, (0.5,)), profile, system
+        )
+        assert results[0].runtime_ns > 0
+
+
+class TestCachingBatch:
+    def test_batch_shares_cache_with_execute(self, trace, tmp_path):
+        system = HybridMemorySystem.testbed()
+        profile = RedisLike(system.fast, system.slow).profile
+        masks = _masks(trace.n_keys)
+        cache = ResultCache(tmp_path)
+
+        writer = CachingClient(cache=cache, seed=6, repeats=2)
+        batch = writer.execute_placements(trace, masks, profile, system)
+        assert writer.cache_misses == len(masks)
+
+        # the per-deployment path must recall the batch's entries
+        reader = CachingClient(cache=cache, seed=6, repeats=2)
+        for mask, deployment, expect in zip(
+            masks, _deployments(trace, masks), batch
+        ):
+            assert reader.execute(trace, deployment) == expect
+        assert reader.cache_hits == len(masks)
+
+        # and the batch path recalls per-deployment entries
+        again = CachingClient(cache=cache, seed=6, repeats=2)
+        assert again.execute_placements(trace, masks, profile, system) == batch
+        assert again.cache_hits == len(masks)
+        assert again.cache_misses == 0
+
+
+class TestFingerprintMemo:
+    def test_memoized_fingerprint_is_stable(self, trace):
+        client = YCSBClient(seed=2)
+        (deployment,) = _deployments(trace, _masks(trace.n_keys, (0.3,)))
+        first = client.experiment_fingerprint(trace, deployment)
+        assert client.experiment_fingerprint(trace, deployment) == first
+        # memo entries keyed by object identity, evicted on GC
+        assert (first[0], id(deployment)) in client._fp_memo
+
+    def test_memo_entries_evict_on_gc(self, trace):
+        import gc
+
+        client = YCSBClient(seed=2)
+        (deployment,) = _deployments(trace, _masks(trace.n_keys, (0.3,)))
+        client.experiment_fingerprint(trace, deployment)
+        assert len(client._fp_memo) == 1
+        del deployment
+        gc.collect()
+        assert len(client._fp_memo) == 0
+
+    def test_distinct_deployments_distinct_fingerprints(self, trace):
+        client = YCSBClient(seed=2)
+        deployments = _deployments(trace, _masks(trace.n_keys, (0.2, 0.8)))
+        fps = {
+            client.experiment_fingerprint(trace, d)[1] for d in deployments
+        }
+        assert len(fps) == 2
+
+
+class TestSummarize:
+    def test_empty_percentiles(self, trace):
+        base = np.linspace(10, 20, trace.n_requests)
+        mat = realisation_matrix(base, NoiseModel(sigma=0.0), 0, "x", 2)
+        result = summarize(trace, "redis-like", mat, 1, ())
+        assert result.latency_percentiles_ns == {}
+        assert result.repeats == 2

@@ -16,10 +16,16 @@ def times(timer, sizes, lat=100.0, bpns=1.0, passes=1.0, cpu=0.0, **kw):
 
 
 class TestNoiseModel:
-    def test_zero_sigma_identity(self):
+    def test_zero_sigma_returns_equal_copy(self):
+        # sigma == 0 must pass values through but never alias the input:
+        # callers mutate returned times, and aliasing would corrupt the
+        # base-time array shared across repeats/placements
         t = np.array([1.0, 2.0, 3.0])
         out = NoiseModel(sigma=0.0).apply(t, np.random.default_rng(0))
-        assert out is t
+        assert out is not t
+        assert np.array_equal(out, t)
+        out[0] = 99.0
+        assert t[0] == 1.0
 
     def test_noise_perturbs(self):
         t = np.ones(1000)

@@ -48,8 +48,15 @@ ORDER = [
 ]
 
 
-def collect(out_dir: Path = OUT_DIR) -> str:
-    """Return the collated results document."""
+def collect(out_dir: Path | None = None) -> str:
+    """Return the collated results document.
+
+    ``out_dir`` defaults to the module's ``OUT_DIR`` *at call time*, so
+    tests (and callers) that rebind ``collect_results.OUT_DIR`` are
+    honoured — a default argument would freeze the path at import.
+    """
+    if out_dir is None:
+        out_dir = OUT_DIR
     if not out_dir.is_dir():
         raise SystemExit(
             f"{out_dir} not found - run "
