@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test verify chaos guard bench bench-kernel bench-verbose examples results clean
+.PHONY: install test verify chaos guard bench bench-kernel bench-obs bench-verbose examples results clean
 
 results: bench
 	$(PYTHON) tools/collect_results.py
@@ -38,6 +38,12 @@ bench:
 bench-kernel:
 	MNEMO_BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/bench_kernel_speedup.py --benchmark-only -s
+
+# telemetry overhead smoke: sweeps with a session on vs off must be
+# bit-identical and within the ceiling; refreshes BENCH_obs.json
+bench-obs:
+	MNEMO_BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest \
+		benchmarks/bench_obs_overhead.py --benchmark-only -s
 
 bench-verbose:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

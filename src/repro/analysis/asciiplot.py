@@ -67,6 +67,34 @@ def render_curve(
     return "\n".join(lines)
 
 
+def render_bars(
+    labels,
+    values,
+    width: int = 40,
+    marker: str = "#",
+) -> list[str]:
+    """Horizontal ASCII bars — one per (label, value), value-annotated.
+
+    Used by ``mnemo obs`` for categorical mixes (kernel paths, cache
+    outcomes) where a curve plot makes no sense.  Bars scale to the
+    largest value; zero-max input renders empty bars rather than
+    dividing by zero.
+    """
+    labels = [str(l) for l in labels]
+    values = [float(v) for v in values]
+    if len(labels) != len(values) or not labels:
+        raise ConfigurationError("need aligned, non-empty labels and values")
+    if width < 4:
+        raise ConfigurationError("bar area too small")
+    peak = max(values)
+    pad = max(len(l) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        n = int(round(value / peak * width)) if peak > 0 else 0
+        lines.append(f"{label:<{pad}} |{marker * n:<{width}} {value:g}")
+    return lines
+
+
 def render_estimate(curve, width: int = 72, height: int = 18,
                     points: int = 120) -> str:
     """Render an :class:`~repro.core.estimate.EstimateCurve`.

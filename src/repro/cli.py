@@ -22,9 +22,11 @@ line to stderr and exit 2.  The ``guard`` subcommand additionally uses
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import Sequence
 
+from repro import telemetry
 from repro.analysis.asciiplot import render_estimate
 from repro.core import Mnemo, MnemoT, WorkloadDescriptor
 from repro.errors import ConfigurationError, ReproError, UsageError
@@ -42,6 +44,34 @@ ENGINES = {
     "memcached": MemcachedLike,
     "dynamodb": DynamoLike,
 }
+
+#: CLI diagnostics go through here (``-v``/``-q`` set the level);
+#: operator-facing reports and tables still ``print`` to stdout.
+log = logging.getLogger("repro.cli")
+
+
+def _configure_logging(verbose: int, quiet: bool) -> None:
+    """Map ``-v``/``-q`` onto stdlib logging levels (stderr handler).
+
+    Default WARNING keeps the happy path silent; ``-v`` shows INFO
+    diagnostics, ``-vv`` DEBUG, ``--quiet`` errors only.  ``force``
+    rebinds the handler so repeated in-process ``main()`` calls (tests)
+    honour the latest flags.
+    """
+    if quiet:
+        level = logging.ERROR
+    elif verbose >= 2:
+        level = logging.DEBUG
+    elif verbose == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    logging.basicConfig(
+        level=level,
+        stream=sys.stderr,
+        format="%(levelname)s %(name)s: %(message)s",
+        force=True,
+    )
 
 
 def _check_range(
@@ -96,6 +126,10 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Mnemo: hybrid-memory capacity sizing consultant "
                     "(IPDPS-W 2019 reproduction)",
     )
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="diagnostic logging (-v info, -vv debug)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="errors only on stderr")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("workloads", help="list the built-in Table III workloads")
@@ -120,6 +154,9 @@ def _build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--seed", type=int, default=None)
     prof.add_argument("--cache-dir", metavar="DIR",
                       help="memoize measurements in this result cache")
+    prof.add_argument("--obs", metavar="PATH",
+                      help="write a telemetry event log (JSONL) here; "
+                           "inspect it with 'obs PATH'")
 
     comp = sub.add_parser("compare",
                           help="compare all engines on one workload")
@@ -183,6 +220,9 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--max-attempts", type=int, default=3,
                        help="attempts per experiment before giving up "
                             "(default 3)")
+    sweep.add_argument("--obs", metavar="PATH",
+                       help="write a telemetry event log (JSONL) here; "
+                            "inspect it with 'obs PATH'")
 
     cache = sub.add_parser("cache", help="inspect, verify or clear "
                                          "the result cache")
@@ -219,6 +259,21 @@ def _build_parser() -> argparse.ArgumentParser:
     guard.add_argument("--cache-dir", metavar="DIR",
                        help="memoize measurements and verdicts in this "
                             "result cache")
+    guard.add_argument("--obs", metavar="PATH",
+                       help="write a telemetry event log (JSONL) here; "
+                            "inspect it with 'obs PATH'")
+
+    obs = sub.add_parser(
+        "obs",
+        help="render a telemetry event log: span tree, slow spans, "
+             "cache hit rate, kernel path mix",
+    )
+    obs.add_argument("path", help="JSONL event log written via --obs")
+    obs.add_argument("--top", type=int, default=10,
+                     help="slow spans to list (default 10)")
+    obs.add_argument("--prom", action="store_true",
+                     help="emit the final metrics in Prometheus text "
+                          "format instead of the report")
     return parser
 
 
@@ -251,6 +306,9 @@ def _cmd_profile(args) -> int:
     _check_range("--slo", args.slo, lo=0.0, hi=1.0, hi_open=True)
     _check_range("--p", args.p, lo=0.0, lo_open=True)
     descriptor = _load_workload(args)
+    log.info("profiling %r on %s (mode=%s, cache=%s)",
+             descriptor.name, args.engine, args.mode,
+             args.cache_dir or "off")
     cls = MnemoT if args.mode == "weight" else Mnemo
     mnemo = cls(
         engine_factory=ENGINES[args.engine],
@@ -415,8 +473,14 @@ def _cmd_sweep(args) -> int:
         fast_fractions=(args.split,),
     )
     if faults is not None and faults.active:
-        print(f"fault injection: {faults.describe()}")
+        log.info("fault injection: %s", faults.describe())
+    log.info(
+        "sweeping %d experiment(s) across %d worker(s)",
+        len(specs), args.workers,
+    )
     outcome = runner.sweep(specs, workers=args.workers)
+    for line in outcome.summary().splitlines():
+        log.info("%s", line)
     print(f"{'experiment':<40} {'ops/s':>12} {'avg read us':>12} "
           f"{'p99 us':>9}")
     for spec, res in zip(specs, outcome.results):
@@ -471,6 +535,7 @@ def _cmd_guard(args) -> int:
     else:
         live = planning
     if args.live_rotate:
+        log.info("rotating the live hot set by %d keys", args.live_rotate)
         live = rotate_hot_set(live, args.live_rotate)
 
     mnemo = Mnemo(
@@ -498,6 +563,24 @@ def _cmd_guard(args) -> int:
     return outcome.exit_code
 
 
+def _cmd_obs(args) -> int:
+    from repro.telemetry.render import RunView, render_run, to_prometheus
+
+    if args.top < 1:
+        raise UsageError(f"--top must be >= 1, got {args.top}")
+    try:
+        view = RunView.load(args.path)
+    except OSError as exc:
+        raise UsageError(f"cannot read {args.path}: {exc}") from exc
+    for problem in view.problems:
+        log.warning("%s", problem)
+    if args.prom:
+        sys.stdout.write(to_prometheus(view))
+        return 0
+    print(render_run(view, top=args.top))
+    return 0
+
+
 _COMMANDS = {
     "workloads": _cmd_workloads,
     "profile": _cmd_profile,
@@ -509,6 +592,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "cache": _cmd_cache,
     "guard": _cmd_guard,
+    "obs": _cmd_obs,
 }
 
 
@@ -521,7 +605,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     3 = action needed.
     """
     args = _build_parser().parse_args(argv)
+    _configure_logging(args.verbose, args.quiet)
     try:
+        sink = getattr(args, "obs", None)
+        if sink and args.command != "obs":
+            with telemetry.session(sink=sink) as tel:
+                tel.run_attrs["command"] = args.command
+                code = _COMMANDS[args.command](args)
+            log.info("telemetry written: %s", sink)
+            return code
         return _COMMANDS[args.command](args)
     except UsageError as exc:
         print(f"error: {exc}", file=sys.stderr)

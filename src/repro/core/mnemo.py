@@ -18,6 +18,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import telemetry
 from repro.cost.model import DEFAULT_PRICE_FACTOR
 from repro.errors import ConfigurationError
 from repro.kvstore.redislike import RedisLike
@@ -147,14 +148,23 @@ class Mnemo:
             if isinstance(workload, WorkloadDescriptor)
             else WorkloadDescriptor.from_trace(workload)
         )
-        if mode == "analytic":
-            baselines = self._analytic_baselines(descriptor)
-        else:
-            baselines = self.sensitivity.measure(
-                descriptor, allow_partial=allow_partial
-            )
-        pattern = self.pattern_engine.analyze(descriptor, external_order)
-        curve = self.estimate_engine.estimate(baselines, pattern)
+        with telemetry.span(
+            "mnemo.profile", workload=descriptor.name, accuracy=mode,
+        ):
+            if mode == "analytic":
+                baselines = self._analytic_baselines(descriptor)
+            else:
+                baselines = self.sensitivity.measure(
+                    descriptor, allow_partial=allow_partial
+                )
+            if baselines.flags:
+                telemetry.event(
+                    "mnemo.degraded_baselines",
+                    workload=descriptor.name,
+                    flags=[str(f) for f in baselines.flags],
+                )
+            pattern = self.pattern_engine.analyze(descriptor, external_order)
+            curve = self.estimate_engine.estimate(baselines, pattern)
         return MnemoReport(
             workload=descriptor.name,
             engine=curve.engine,

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.errors import GuardError
 from repro.ycsb.workload import Trace
 from repro.core.report import MnemoReport
@@ -200,50 +201,66 @@ class GuardLoop:
             Skip simulator replay when False (drift + margin only —
             cheap enough for every cron tick).
         """
-        drift_report = None
-        advice = ReplanAdvice(
-            action="keep", reason="no live trace supplied", signals=(),
-        )
-        if live_trace is not None:
-            drift_report = detect_drift(
-                planning_trace, live_trace, thresholds=self.thresholds
+        with telemetry.span("guard.run", workload=report.workload):
+            drift_report = None
+            advice = ReplanAdvice(
+                action="keep", reason="no live trace supplied", signals=(),
             )
-            advice = drift_report.advice
-
-        widen = advice.action == "widen_margin"
-        confidence = report.confidence
-        headroom = self.policy.headroom(confidence, widen=widen)
-        effective = self.policy.effective_slowdown(
-            max_slowdown, confidence, widen=widen
-        )
-        choice = report.choose(effective)
-
-        verdict = None
-        fallback = None
-        if validate:
-            target = live_trace if live_trace is not None else planning_trace
-            try:
-                verdict, fallback = self.validator.validate_or_fallback(
-                    report.curve, choice, target
+            if live_trace is not None:
+                drift_report = detect_drift(
+                    planning_trace, live_trace, thresholds=self.thresholds
                 )
-            except GuardError:
-                if advice.action == "reprofile":
-                    # the drift detectors already explained the failure:
-                    # no split of this curve serves the moved workload
-                    verdict = self.validator.validate(
+                advice = drift_report.advice
+                for sig in drift_report.signals:
+                    telemetry.gauge(
+                        "guard.drift", sig.value, metric=sig.metric,
+                    )
+
+            widen = advice.action == "widen_margin"
+            confidence = report.confidence
+            headroom = self.policy.headroom(confidence, widen=widen)
+            effective = self.policy.effective_slowdown(
+                max_slowdown, confidence, widen=widen
+            )
+            telemetry.gauge("guard.headroom", headroom)
+            telemetry.gauge("guard.effective_slowdown", effective)
+            choice = report.choose(effective)
+
+            verdict = None
+            fallback = None
+            if validate:
+                target = live_trace if live_trace is not None else planning_trace
+                try:
+                    verdict, fallback = self.validator.validate_or_fallback(
                         report.curve, choice, target
                     )
-                else:
-                    raise
-            if fallback is not None:
-                choice = fallback.choice
+                except GuardError:
+                    if advice.action == "reprofile":
+                        # the drift detectors already explained the failure:
+                        # no split of this curve serves the moved workload
+                        verdict = self.validator.validate(
+                            report.curve, choice, target
+                        )
+                    else:
+                        raise
+                if fallback is not None:
+                    choice = fallback.choice
+            if verdict is not None:
+                telemetry.count("guard.verdict", status=verdict.status)
 
-        return GuardOutcome(
-            choice=choice,
-            verdict=verdict,
-            fallback=fallback,
-            drift=drift_report,
-            advice=advice,
-            headroom=headroom,
-            effective_slowdown=effective,
-        )
+            outcome = GuardOutcome(
+                choice=choice,
+                verdict=verdict,
+                fallback=fallback,
+                drift=drift_report,
+                advice=advice,
+                headroom=headroom,
+                effective_slowdown=effective,
+            )
+            telemetry.event(
+                "guard.outcome",
+                exit_code=outcome.exit_code,
+                action=advice.action,
+                replanned=outcome.replanned,
+            )
+        return outcome

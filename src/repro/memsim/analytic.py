@@ -43,6 +43,7 @@ import weakref
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import ConfigurationError
 
 #: Bisection iterations for the characteristic time (halves the bracket
@@ -263,6 +264,7 @@ def predict_placement(trace, profile, system, fast_mask, client):
     """
     from repro.ycsb.client import RunResult  # lazy: import cycle
 
+    telemetry.count("memsim.path", path="analytic")
     mask = np.asarray(fast_mask)
     if mask.dtype != np.bool_ or mask.shape != (trace.n_keys,):
         raise ConfigurationError(

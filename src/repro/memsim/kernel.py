@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import WorkloadError
 from repro.memsim.timing import NoiseModel, service_times_ns
 from repro.rng import SeedLike, derive_seed, ensure_rng
@@ -209,6 +210,7 @@ class BatchKernel:
         ``fingerprint`` may be passed when the caller already computed it
         (e.g. for a cache probe) to avoid hashing the mask twice.
         """
+        telemetry.count("memsim.path", path="batch_kernel")
         mask = self._check_mask(fast_mask)
         if self._live_seed:
             # matches _experiment_context: live-generator clients are not

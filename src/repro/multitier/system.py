@@ -106,7 +106,9 @@ class TieredMemorySystem:
         total = bytes_per_tier.sum()
         if total <= 0:
             raise ConfigurationError("placement holds no bytes")
-        return float((bytes_per_tier * self.price_array()).sum() / total)
+        # Normalize before weighting: multiplying a subnormal byte count by a
+        # sub-unit price underflows to zero and drags the mean below min(price).
+        return float(((bytes_per_tier / total) * self.price_array()).sum())
 
     # -- presets ---------------------------------------------------------------
 

@@ -39,6 +39,7 @@ from repro.runner.grid import (
     PLACEMENTS,
     ClientConfig,
     ExperimentFailure,
+    ExperimentMeta,
     ExperimentRunner,
     ExperimentSpec,
     FailureReport,
@@ -68,6 +69,7 @@ __all__ = [
     "PLACEMENTS",
     "ClientConfig",
     "ExperimentFailure",
+    "ExperimentMeta",
     "ExperimentRunner",
     "ExperimentSpec",
     "FailureReport",

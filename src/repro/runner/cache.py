@@ -45,6 +45,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import CacheCorruptionError
 from repro.runner.fingerprint import array_digest, trace_fingerprint
 from repro.ycsb.client import RunResult
@@ -207,6 +208,7 @@ class ResultCache:
     # -- integrity ------------------------------------------------------------
 
     def _quarantine(self, kind: str, path: Path) -> None:
+        telemetry.count("cache.quarantine", kind=kind)
         qdir = self._base / "quarantine" / kind
         qdir.mkdir(parents=True, exist_ok=True)
         try:
@@ -220,10 +222,20 @@ class ResultCache:
         Returns None so getters can ``return self._corrupt(...)`` and
         the caller sees an ordinary miss, recomputing transparently.
         """
+        telemetry.event(
+            "cache.corrupt", kind=kind, entry=path.name, reason=reason,
+        )
         self._quarantine(kind, path)
         if self.strict:
             raise CacheCorruptionError(f"{path}: {reason}")
         return None
+
+    @staticmethod
+    def _lookup(kind: str, hit: bool) -> None:
+        """Count one cache probe's outcome (off-path telemetry)."""
+        telemetry.count(
+            "cache.lookup", kind=kind, outcome="hit" if hit else "miss",
+        )
 
     # -- run results ----------------------------------------------------------
 
@@ -262,15 +274,19 @@ class ResultCache:
         """
         path = self._path("results", fingerprint, ".json")
         if not path.exists():
+            self._lookup("results", hit=False)
             return None
         result, reason = self._load_result_file(path)
         if reason is not None:
+            self._lookup("results", hit=False)
             return self._corrupt("results", path, reason)
+        self._lookup("results", hit=result is not None)
         return result
 
     def put_result(self, fingerprint: str, result: RunResult) -> Path:
         """Persist a run result; returns the written path."""
         self._ensure("results")
+        telemetry.count("cache.write", kind="results")
         path = self._path("results", fingerprint, ".json")
         # round-trip through JSON so the stored checksum is computed on
         # exactly the value a reader will re-canonicalise (string keys)
@@ -306,15 +322,19 @@ class ResultCache:
         """Load a cached generated trace (or None); quarantines corruption."""
         path = self._path("traces", fingerprint, ".npz")
         if not path.exists():
+            self._lookup("traces", hit=False)
             return None
         trace, reason = self._load_trace_file(path)
         if reason is not None:
+            self._lookup("traces", hit=False)
             return self._corrupt("traces", path, reason)
+        self._lookup("traces", hit=True)
         return trace
 
     def put_trace(self, fingerprint: str, trace: Trace) -> Path:
         """Persist a generated trace; returns the written path."""
         self._ensure("traces")
+        telemetry.count("cache.write", kind="traces")
         path = self._path("traces", fingerprint, ".npz")
         buf = io.BytesIO()
         np.savez_compressed(
@@ -364,15 +384,19 @@ class ResultCache:
         """
         path = self._path("verdicts", fingerprint, ".json")
         if not path.exists():
+            self._lookup("verdicts", hit=False)
             return None
         body, reason = self._load_verdict_file(path)
         if reason is not None:
+            self._lookup("verdicts", hit=False)
             return self._corrupt("verdicts", path, reason)
+        self._lookup("verdicts", hit=body is not None)
         return body
 
     def put_verdict(self, fingerprint: str, payload: dict) -> Path:
         """Persist a guard-verdict payload; returns the written path."""
         self._ensure("verdicts")
+        telemetry.count("cache.write", kind="verdicts")
         path = self._path("verdicts", fingerprint, ".json")
         # round-trip through JSON so the stored checksum is computed on
         # exactly the value a reader will re-canonicalise
@@ -403,15 +427,19 @@ class ResultCache:
         """Load a cached LLC hit mask (or None); quarantines corruption."""
         path = self._path("hitmasks", fingerprint, ".npz")
         if not path.exists():
+            self._lookup("hitmasks", hit=False)
             return None
         mask, reason = self._load_hitmask_file(path)
         if reason is not None:
+            self._lookup("hitmasks", hit=False)
             return self._corrupt("hitmasks", path, reason)
+        self._lookup("hitmasks", hit=True)
         return mask
 
     def put_hitmask(self, fingerprint: str, mask: np.ndarray) -> Path:
         """Persist an LLC hit mask; returns the written path."""
         self._ensure("hitmasks")
+        telemetry.count("cache.write", kind="hitmasks")
         path = self._path("hitmasks", fingerprint, ".npz")
         mask = np.asarray(mask, dtype=bool)
         buf = io.BytesIO()

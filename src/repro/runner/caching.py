@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.kvstore.server import HybridDeployment
 from repro.runner.cache import ResultCache, ensure_cache
 from repro.runner.fingerprint import digest
@@ -111,6 +112,7 @@ class CachingClient(YCSBClient):
         is persisted under its experiment fingerprint.
         """
         if isinstance(self._seed, np.random.Generator):
+            telemetry.count("memsim.fallback", reason="live_seed")
             return super().execute(trace, deployment)
         _, fp = self.experiment_fingerprint(trace, deployment)
         result = self.cache.get_result(fp)
@@ -118,6 +120,7 @@ class CachingClient(YCSBClient):
             self.cache_hits += 1
             return result
         self.cache_misses += 1
+        telemetry.count("cache.recompute", kind="results")
         result = super().execute(trace, deployment)
         self.cache.put_result(fp, result)
         return result
@@ -133,6 +136,7 @@ class CachingClient(YCSBClient):
         through the kernel.
         """
         if isinstance(self._seed, np.random.Generator):
+            telemetry.count("memsim.fallback", reason="live_seed")
             return super().execute_placements(
                 trace, fast_masks, profile, system,
                 record_sizes=record_sizes,
@@ -150,6 +154,7 @@ class CachingClient(YCSBClient):
                 self.cache_hits += 1
             else:
                 self.cache_misses += 1
+                telemetry.count("cache.recompute", kind="results")
                 result = kernel.run(mask, fingerprint=fp)
                 self.cache.put_result(fp, result)
             results.append(result)

@@ -40,10 +40,11 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import (
     ConfigurationError,
     ExperimentTimeoutError,
@@ -174,15 +175,38 @@ class FailureReport:
 
 
 @dataclass(frozen=True)
+class ExperimentMeta:
+    """How one experiment was obtained (not *what* it measured).
+
+    ``provenance`` is ``"cache"`` (recalled from the result cache),
+    ``"computed"`` (measured fresh through the simulator) or
+    ``"uncached"`` (measured with no cache configured).  ``duration_s``
+    is the experiment's wall-clock time in the process that ran it.
+    ``telemetry`` carries a pool worker's
+    :class:`~repro.telemetry.session.TelemetrySnapshot` back to the
+    coordinator; it is stripped before the meta lands in a
+    :class:`GridOutcome`.
+    """
+
+    label: str
+    duration_s: float
+    provenance: str
+    telemetry: object | None = None
+
+
+@dataclass(frozen=True)
 class GridOutcome:
     """What a resilient sweep produced.
 
     ``results`` preserves spec order, with ``None`` at the slots of
-    failed experiments; ``report`` explains every ``None``.
+    failed experiments; ``report`` explains every ``None``; ``metas``
+    (parallel to ``results``) records each experiment's wall-clock
+    duration and cache provenance.
     """
 
     results: tuple[RunResult | None, ...]
     report: FailureReport = field(default_factory=FailureReport)
+    metas: tuple[ExperimentMeta | None, ...] = ()
 
     @property
     def completed(self) -> list[RunResult]:
@@ -193,6 +217,44 @@ class GridOutcome:
     def ok(self) -> bool:
         """True when every experiment completed."""
         return self.report.ok
+
+    @property
+    def durations(self) -> tuple[float | None, ...]:
+        """Per-experiment wall-clock seconds, in spec order."""
+        return tuple(
+            m.duration_s if m is not None else None for m in self.metas
+        )
+
+    @property
+    def provenance(self) -> tuple[str | None, ...]:
+        """Per-experiment cache provenance, in spec order."""
+        return tuple(
+            m.provenance if m is not None else None for m in self.metas
+        )
+
+    def summary(self) -> str:
+        """Human-readable account: completion, timing, provenance."""
+        n = len(self.results)
+        done = len(self.completed)
+        lines = [f"completed {done}/{n} experiment(s)"]
+        metas = [m for m in self.metas if m is not None]
+        if metas:
+            total = sum(m.duration_s for m in metas)
+            counts: dict[str, int] = {}
+            for m in metas:
+                counts[m.provenance] = counts.get(m.provenance, 0) + 1
+            mix = ", ".join(
+                f"{counts[k]} {k}" for k in sorted(counts)
+            )
+            lines.append(f"wall clock: {total:.3f}s measured ({mix})")
+            slowest = max(metas, key=lambda m: m.duration_s)
+            lines.append(
+                f"slowest: {slowest.label} "
+                f"({slowest.duration_s:.3f}s, {slowest.provenance})"
+            )
+        if not self.report.ok:
+            lines.append(self.report.summary())
+        return "\n".join(lines)
 
     def raise_if_failed(self) -> "GridOutcome":
         """Raise :class:`~repro.errors.FaultError` on any failure."""
@@ -396,22 +458,49 @@ class ExperimentRunner:
         fingerprint *before* the deployment is built, so warm runs pay
         only for trace loading and hashing.
         """
-        trace = self.trace_for(spec.workload)
-        if self.cache is not None:
-            hit = self.cache.get_result(self.spec_fingerprint(spec, trace))
-            if hit is not None:
-                return hit
-        return self._client.execute(trace, self.deployment_for(spec, trace))
+        return self.run_with_meta(spec)[0]
 
-    def _run_one(self, spec: ExperimentSpec) -> RunResult:
+    def run_with_meta(
+        self, spec: ExperimentSpec,
+    ) -> tuple[RunResult, ExperimentMeta]:
+        """:meth:`run` plus the experiment's duration and provenance."""
+        start = time.perf_counter()
+        with telemetry.span("runner.experiment", label=spec.label) as sp:
+            trace = self.trace_for(spec.workload)
+            provenance = "uncached" if self.cache is None else "computed"
+            result = None
+            if self.cache is not None:
+                result = self.cache.get_result(
+                    self.spec_fingerprint(spec, trace)
+                )
+                if result is not None:
+                    provenance = "cache"
+            if result is None:
+                hits_before = getattr(self._client, "cache_hits", 0)
+                result = self._client.execute(
+                    trace, self.deployment_for(spec, trace)
+                )
+                if getattr(self._client, "cache_hits", 0) > hits_before:
+                    provenance = "cache"
+            sp.set("provenance", provenance)
+        return result, ExperimentMeta(
+            label=spec.label,
+            duration_s=time.perf_counter() - start,
+            provenance=provenance,
+        )
+
+    def _run_one(self, spec: ExperimentSpec) -> tuple[RunResult, ExperimentMeta]:
         """Serial execution of one spec, honouring the chaos plan."""
         if self.chaos is not None:
             self.chaos.maybe_strike(spec.label, allow_exit=False)
-        return self.run(spec)
+        return self.run_with_meta(spec)
 
     def _payload(self, spec: ExperimentSpec):
         root = None if self.cache is None else str(self.cache.root)
-        return (spec, self.client_config, root, self.system_factory, self.chaos)
+        return (
+            spec, self.client_config, root, self.system_factory, self.chaos,
+            telemetry.worker_config(),
+        )
 
     def sweep(
         self,
@@ -441,63 +530,91 @@ class ExperimentRunner:
         workers = max(1, min(int(workers or 1), len(specs) or 1))
         n = len(specs)
         results: list[RunResult | None] = [None] * n
+        metas: list[ExperimentMeta | None] = [None] * n
         attempts = [0] * n
         pending = set(range(n))
         failures: list[ExperimentFailure] = []
         use_pool = n > 0 and (workers > 1 or retry.timeout_s is not None)
         isolate = False
 
-        while pending:
-            if use_pool:
-                failed, broke = self._pooled_round(
-                    specs, results, sorted(pending), pending,
-                    workers, retry, isolate,
-                )
-                isolate = broke
-            else:
-                failed = self._serial_round(
-                    specs, results, sorted(pending), pending,
-                )
-            retryable = []
-            for i, exc in failed.items():
-                attempts[i] += 1
-                exhausted = attempts[i] >= retry.max_attempts
-                if exhausted or isinstance(exc, NON_RETRYABLE):
-                    pending.discard(i)
-                    failures.append(ExperimentFailure(
-                        label=specs[i].label,
-                        error=type(exc).__name__,
-                        message=str(exc),
-                        attempts=attempts[i],
-                    ))
+        with telemetry.span(
+            "runner.sweep", n_specs=n, workers=workers, pooled=use_pool,
+        ):
+            while pending:
+                if use_pool:
+                    failed, broke = self._pooled_round(
+                        specs, results, metas, sorted(pending), pending,
+                        workers, retry, isolate,
+                    )
+                    isolate = broke
                 else:
-                    retryable.append(i)
-            if pending and (failed or isolate):
-                worst = max((attempts[i] for i in retryable), default=1)
-                time.sleep(retry.backoff_s(
-                    worst, label=specs[min(pending)].label,
-                ))
+                    failed = self._serial_round(
+                        specs, results, metas, sorted(pending), pending,
+                    )
+                retryable = []
+                for i, exc in failed.items():
+                    attempts[i] += 1
+                    if isinstance(exc, ExperimentTimeoutError):
+                        telemetry.count("runner.timeouts")
+                        telemetry.event(
+                            "runner.timeout", label=specs[i].label,
+                            attempt=attempts[i],
+                        )
+                    exhausted = attempts[i] >= retry.max_attempts
+                    if exhausted or isinstance(exc, NON_RETRYABLE):
+                        pending.discard(i)
+                        telemetry.count("runner.failures")
+                        telemetry.event(
+                            "runner.failure", label=specs[i].label,
+                            error=type(exc).__name__,
+                            attempts=attempts[i],
+                        )
+                        failures.append(ExperimentFailure(
+                            label=specs[i].label,
+                            error=type(exc).__name__,
+                            message=str(exc),
+                            attempts=attempts[i],
+                        ))
+                    else:
+                        retryable.append(i)
+                if pending and (failed or isolate):
+                    worst = max((attempts[i] for i in retryable), default=1)
+                    backoff = retry.backoff_s(
+                        worst, label=specs[min(pending)].label,
+                    )
+                    for i in retryable:
+                        telemetry.count("runner.retries")
+                        telemetry.event(
+                            "runner.retry", label=specs[i].label,
+                            attempt=attempts[i], backoff_s=backoff,
+                        )
+                    time.sleep(backoff)
+            telemetry.count(
+                "runner.experiments.completed",
+                float(sum(1 for r in results if r is not None)),
+            )
 
         order = {spec.label: k for k, spec in enumerate(specs)}
         failures.sort(key=lambda f: order.get(f.label, n))
         return GridOutcome(
             results=tuple(results),
             report=FailureReport(failures=tuple(failures)),
+            metas=tuple(metas),
         )
 
-    def _serial_round(self, specs, results, order, pending):
+    def _serial_round(self, specs, results, metas, order, pending):
         """One in-process attempt at every pending spec."""
         failed: dict[int, Exception] = {}
         for i in order:
             try:
-                results[i] = self._run_one(specs[i])
+                results[i], metas[i] = self._run_one(specs[i])
                 pending.discard(i)
             except Exception as exc:
                 failed[i] = exc
         return failed
 
     def _pooled_round(
-        self, specs, results, order, pending, workers, retry, isolate,
+        self, specs, results, metas, order, pending, workers, retry, isolate,
     ):
         """One process-pool attempt at every pending spec.
 
@@ -512,7 +629,7 @@ class ExperimentRunner:
             failed: dict[int, Exception] = {}
             for i in order:
                 failed.update(self._pooled_round(
-                    specs, results, [i], pending, 1, retry, False,
+                    specs, results, metas, [i], pending, 1, retry, False,
                 )[0])
             return failed, False
 
@@ -526,11 +643,19 @@ class ExperimentRunner:
         try:
             for i in order:
                 try:
-                    results[i] = futs[i].result(timeout=retry.timeout_s)
+                    self._collect(
+                        results, metas, i,
+                        futs[i].result(timeout=retry.timeout_s),
+                    )
                     pending.discard(i)
                     collected.add(i)
                 except BrokenProcessPool:
                     broke = True
+                    telemetry.count("runner.worker_deaths")
+                    telemetry.event(
+                        "runner.pool_broken", label=specs[i].label,
+                        n_pending=len([j for j in order if j in pending]),
+                    )
                     break
                 except FuturesTimeoutError:
                     failed[i] = ExperimentTimeoutError(
@@ -549,7 +674,7 @@ class ExperimentRunner:
                 if i in collected or not futs[i].done():
                     continue
                 try:
-                    results[i] = futs[i].result(timeout=0)
+                    self._collect(results, metas, i, futs[i].result(timeout=0))
                     pending.discard(i)
                 except Exception:
                     pass
@@ -569,6 +694,21 @@ class ExperimentRunner:
             )
             broke = False
         return failed, broke
+
+    @staticmethod
+    def _collect(results, metas, i, value) -> None:
+        """Store one worker's ``(result, meta)``, folding in its spans.
+
+        The worker's telemetry snapshot is absorbed into the active
+        session (a no-op without one) and stripped from the meta so
+        :class:`GridOutcome` never retains raw telemetry.
+        """
+        result, meta = value
+        results[i] = result
+        if meta.telemetry is not None:
+            telemetry.absorb(meta.telemetry)
+            meta = replace(meta, telemetry=None)
+        metas[i] = meta
 
     def run_grid(
         self, specs: list[ExperimentSpec], workers: int | None = None,
@@ -632,21 +772,35 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
-def _worker_run(payload) -> RunResult:
+def _worker_run(payload) -> tuple[RunResult, ExperimentMeta]:
     """Process-pool entry point: rebuild a serial runner and execute.
 
     Chaos strikes happen here, inside the worker, so an ``exit`` strike
     kills a real worker process (exactly the failure mode
     ``BrokenProcessPool`` recovery exists for) without ever touching
     the coordinating process.
+
+    When the coordinator runs under a telemetry session, the payload
+    carries a :class:`~repro.telemetry.session.WorkerTelemetry` config;
+    the worker then collects its own spans/metrics (rooted at the
+    coordinator's sweep span) and ships the snapshot back inside the
+    :class:`ExperimentMeta`.  Workers are reused across tasks, so the
+    session is always drained before returning.
     """
-    spec, client_config, cache_root, system_factory, chaos = payload
-    if chaos is not None:
-        chaos.maybe_strike(spec.label, allow_exit=True)
-    runner = ExperimentRunner(
-        cache=cache_root,
-        client=client_config,
-        system_factory=system_factory,
-        workers=None,
-    )
-    return runner.run(spec)
+    spec, client_config, cache_root, system_factory, chaos, tele = payload
+    telemetry.activate_worker(tele)
+    try:
+        if chaos is not None:
+            chaos.maybe_strike(spec.label, allow_exit=True)
+        runner = ExperimentRunner(
+            cache=cache_root,
+            client=client_config,
+            system_factory=system_factory,
+            workers=None,
+        )
+        result, meta = runner.run_with_meta(spec)
+    finally:
+        snapshot = telemetry.drain_worker()
+    if snapshot is not None:
+        meta = replace(meta, telemetry=snapshot)
+    return result, meta

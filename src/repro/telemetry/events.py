@@ -1,0 +1,155 @@
+"""The structured JSONL event log: schema, writer, reader, validator.
+
+One telemetry run produces one JSONL file.  Every line is a JSON object
+carrying the run envelope (``run`` id, ``kind``, ``schema`` version)
+plus a kind-specific body:
+
+``kind="run"``
+    The header line (always first): ``started_unix`` wall-clock stamp
+    and free-form ``attrs`` (CLI argv, workload names, ...).
+``kind="span"``
+    A finished span: ``name``, ``span``, ``parent`` (nullable),
+    ``start_ns`` (monotonic, per-``pid``), ``duration_ns``, ``attrs``.
+``kind="event"``
+    A point-in-time structured event: ``name``, ``seq`` (per-process
+    emission order), ``pid``, ``attrs``.
+``kind="metric"``
+    One metric's final value (written at session close): ``name``,
+    ``type`` (``counter`` / ``gauge`` / ``histogram``), ``labels``, and
+    either ``value`` or the histogram ``buckets``/``counts``/``sum``/
+    ``count``.
+
+The schema is validated by :func:`validate_record` — used both by the
+tier-1 schema test and by ``mnemo obs`` when loading a file (corrupt
+lines are reported, not crashed on).  Wall-clock time appears *only* in
+the run header; every duration comes from monotonic clocks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Event-log schema version; bump on incompatible format changes.
+EVENT_SCHEMA_VERSION = 1
+
+#: The line kinds a v1 event log may contain.
+KINDS = ("run", "span", "event", "metric")
+
+_METRIC_TYPES = ("counter", "gauge", "histogram")
+
+
+def _check(cond: bool, errors: list[str], message: str) -> None:
+    if not cond:
+        errors.append(message)
+
+
+def validate_record(obj: object) -> list[str]:
+    """Schema violations of one parsed JSONL record (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(obj, dict):
+        return ["record is not a JSON object"]
+    _check(isinstance(obj.get("run"), str) and obj.get("run") != "",
+           errors, "missing/empty 'run' id")
+    _check(obj.get("schema") == EVENT_SCHEMA_VERSION, errors,
+           f"schema must be {EVENT_SCHEMA_VERSION}, got {obj.get('schema')!r}")
+    kind = obj.get("kind")
+    if kind not in KINDS:
+        errors.append(f"unknown kind {kind!r}")
+        return errors
+    if kind == "run":
+        _check(isinstance(obj.get("started_unix"), (int, float)), errors,
+               "run header needs a numeric 'started_unix'")
+        _check(isinstance(obj.get("attrs"), dict), errors,
+               "run header needs an 'attrs' object")
+    elif kind == "span":
+        _check(isinstance(obj.get("name"), str), errors, "span needs 'name'")
+        _check(isinstance(obj.get("span"), str), errors, "span needs 'span' id")
+        parent = obj.get("parent")
+        _check(parent is None or isinstance(parent, str), errors,
+               "'parent' must be a span id or null")
+        _check(isinstance(obj.get("start_ns"), int), errors,
+               "span needs integer 'start_ns'")
+        _check(
+            isinstance(obj.get("duration_ns"), int)
+            and obj.get("duration_ns", -1) >= 0,
+            errors, "span needs integer 'duration_ns' >= 0",
+        )
+        _check(isinstance(obj.get("pid"), int), errors,
+               "span needs integer 'pid'")
+        _check(isinstance(obj.get("attrs"), dict), errors,
+               "span needs an 'attrs' object")
+    elif kind == "event":
+        _check(isinstance(obj.get("name"), str), errors, "event needs 'name'")
+        _check(isinstance(obj.get("seq"), int), errors,
+               "event needs integer 'seq'")
+        _check(isinstance(obj.get("pid"), int), errors,
+               "event needs integer 'pid'")
+        _check(isinstance(obj.get("attrs"), dict), errors,
+               "event needs an 'attrs' object")
+    elif kind == "metric":
+        _check(isinstance(obj.get("name"), str), errors, "metric needs 'name'")
+        mtype = obj.get("type")
+        _check(mtype in _METRIC_TYPES, errors,
+               f"metric type must be one of {_METRIC_TYPES}, got {mtype!r}")
+        _check(isinstance(obj.get("labels"), dict), errors,
+               "metric needs a 'labels' object")
+        if mtype == "histogram":
+            _check(isinstance(obj.get("buckets"), list), errors,
+                   "histogram needs 'buckets'")
+            _check(isinstance(obj.get("counts"), list), errors,
+                   "histogram needs 'counts'")
+            counts = obj.get("counts")
+            buckets = obj.get("buckets")
+            if isinstance(counts, list) and isinstance(buckets, list):
+                _check(len(counts) == len(buckets) + 1, errors,
+                       "histogram 'counts' must have len(buckets) + 1 bins")
+            _check(isinstance(obj.get("sum"), (int, float)), errors,
+                   "histogram needs numeric 'sum'")
+            _check(isinstance(obj.get("count"), int), errors,
+                   "histogram needs integer 'count'")
+        elif mtype in ("counter", "gauge"):
+            _check(isinstance(obj.get("value"), (int, float)), errors,
+                   "metric needs numeric 'value'")
+    return errors
+
+
+def write_jsonl(path: str | Path, records: list[dict]) -> Path:
+    """Write *records* as one-object-per-line JSON; returns the path.
+
+    Parent directories are created; the write is a single pass (event
+    logs are append-shaped, not content-addressed — crash tolerance
+    comes from the pipeline's cache, not from the log).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        for rec in records:
+            fh.write(json.dumps(rec, sort_keys=True) + "\n")
+    return path
+
+
+def read_jsonl(path: str | Path) -> tuple[list[dict], list[str]]:
+    """Parse an event log: (valid records, per-line problem strings).
+
+    Unparseable or schema-violating lines are reported by line number
+    and skipped, so a truncated log still renders.
+    """
+    records: list[dict] = []
+    problems: list[str] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                problems.append(f"line {lineno}: unparseable JSON ({exc.msg})")
+                continue
+            errors = validate_record(obj)
+            if errors:
+                problems.append(f"line {lineno}: " + "; ".join(errors))
+                continue
+            records.append(obj)
+    return records, problems

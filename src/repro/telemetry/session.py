@@ -1,0 +1,212 @@
+"""The telemetry session: one run's metrics, spans and events.
+
+A session is the mutable collection point everything in
+:mod:`repro.telemetry` writes into.  Exactly one session is *active* per
+process at a time (see the module-level API in
+:mod:`repro.telemetry.__init__`); when none is active every
+instrumentation call is a cheap no-op — which is the normal state, and
+the reason telemetry is provably off-path: disabled instrumentation
+executes no arithmetic, touches no RNG stream and allocates nothing on
+the measurement path.
+
+Pool round trips: a worker process activates a session built from the
+:class:`WorkerTelemetry` config in its task payload, runs, and ships a
+:class:`TelemetrySnapshot` back alongside the result.  The coordinator
+:meth:`~TelemetrySession.absorb`\\ s the snapshot — spans keep their
+worker parentage (rooted at the coordinator span id in the config),
+counters and histograms accumulate, events append.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.telemetry.events import EVENT_SCHEMA_VERSION, write_jsonl
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import SpanRecord, Tracer
+
+
+def _default_run_id() -> str:
+    """A run id unique enough for log filenames; never feeds results."""
+    return f"{time.strftime('%Y%m%d-%H%M%S')}-{os.getpid()}"
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """A picklable export of one session's collected telemetry."""
+
+    run_id: str
+    spans: tuple[SpanRecord, ...] = ()
+    events: tuple[tuple, ...] = ()  # (name, seq, pid, attrs-items) rows
+    metrics: tuple[tuple, ...] = ()  # canonicalized registry snapshot rows
+
+    @staticmethod
+    def _freeze_metric(rec: dict) -> tuple:
+        return tuple(sorted(
+            (k, tuple(v) if isinstance(v, list) else v)
+            for k, v in rec.items()
+            if k != "labels"
+        )) + (("labels", tuple(sorted(rec["labels"].items()))),)
+
+    @staticmethod
+    def _thaw_metric(row: tuple) -> dict:
+        rec = {}
+        for k, v in row:
+            if k == "labels":
+                rec[k] = dict(v)
+            elif isinstance(v, tuple):
+                rec[k] = list(v)
+            else:
+                rec[k] = v
+        return rec
+
+
+@dataclass(frozen=True)
+class WorkerTelemetry:
+    """What a pool worker needs to continue the coordinator's run.
+
+    Rides in the task payload (frozen, picklable, tiny).  ``parent_id``
+    is the coordinator span the worker's spans hang off — normally the
+    per-sweep span.
+    """
+
+    run_id: str
+    parent_id: str | None = None
+
+
+class TelemetrySession:
+    """Collects one run's telemetry; optionally flushes JSONL on close.
+
+    Parameters
+    ----------
+    run_id:
+        Identifier stamped on every record.  Defaults to a
+        wall-clock/PID string — telemetry identity never feeds
+        fingerprints, so this non-determinism is harmless (tests pin it
+        explicitly when they want byte-stable logs).
+    sink:
+        Path of the JSONL event log written by :meth:`close` (None =
+        in-memory only, the worker-process mode).
+    root_id:
+        Parent span id adopted by top-level spans (worker mode).
+    """
+
+    def __init__(
+        self,
+        run_id: str | None = None,
+        sink: str | Path | None = None,
+        root_id: str | None = None,
+    ):
+        self.run_id = run_id or _default_run_id()
+        self.sink = Path(sink) if sink is not None else None
+        self.started_unix = time.time()
+        self.run_attrs: dict = {}
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(root_id=root_id)
+        self.events: list[tuple[str, int, int, dict]] = []
+        self._pid = os.getpid()
+        self._seq = 0
+        self._absorbed_spans: list[SpanRecord] = []
+        self._absorbed_events: list[tuple[str, int, int, dict]] = []
+
+    # -- recording ------------------------------------------------------------
+
+    def event(self, name: str, **attrs) -> None:
+        """Record one structured point-in-time event."""
+        self._seq += 1
+        self.events.append((name, self._seq, self._pid, attrs))
+
+    def span(self, name: str, **attrs):
+        """Open a span (context manager) under the innermost open span."""
+        return self.tracer.span(name, **attrs)
+
+    def count(self, name: str, value: float = 1.0, **labels) -> None:
+        """Increment the counter (*name*, *labels*)."""
+        self.metrics.counter(name, **labels).inc(value)
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        """Set the gauge (*name*, *labels*)."""
+        self.metrics.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Record one histogram observation under (*name*, *labels*)."""
+        self.metrics.histogram(name, **labels).observe(value)
+
+    # -- pool round trips -----------------------------------------------------
+
+    def worker_config(self) -> WorkerTelemetry:
+        """The config a pool worker continues this run with.
+
+        The parent id is the innermost span open *now* (the per-sweep
+        span when called from inside one).
+        """
+        return WorkerTelemetry(
+            run_id=self.run_id, parent_id=self.tracer.current_id(),
+        )
+
+    def snapshot(self) -> TelemetrySnapshot:
+        """Freeze everything collected so far into a picklable value."""
+        return TelemetrySnapshot(
+            run_id=self.run_id,
+            spans=tuple(self.all_spans()),
+            events=tuple(
+                (name, seq, pid, tuple(sorted(attrs.items())))
+                for name, seq, pid, attrs in self.all_events()
+            ),
+            metrics=tuple(
+                TelemetrySnapshot._freeze_metric(rec)
+                for rec in self.metrics.snapshot()
+            ),
+        )
+
+    def absorb(self, snapshot: TelemetrySnapshot | None) -> None:
+        """Fold a worker's snapshot into this session (None is a no-op)."""
+        if snapshot is None:
+            return
+        self._absorbed_spans.extend(snapshot.spans)
+        self._absorbed_events.extend(
+            (name, seq, pid, dict(attrs))
+            for name, seq, pid, attrs in snapshot.events
+        )
+        self.metrics.merge([
+            TelemetrySnapshot._thaw_metric(row) for row in snapshot.metrics
+        ])
+
+    # -- access / flush -------------------------------------------------------
+
+    def all_spans(self) -> list[SpanRecord]:
+        """Own plus absorbed spans (absorbed first — they finished first)."""
+        return [*self._absorbed_spans, *self.tracer.records]
+
+    def all_events(self) -> list[tuple[str, int, int, dict]]:
+        """Own plus absorbed events."""
+        return [*self._absorbed_events, *self.events]
+
+    def records(self) -> list[dict]:
+        """Every JSONL record of this session, header first."""
+        envelope = {"run": self.run_id, "schema": EVENT_SCHEMA_VERSION}
+        out: list[dict] = [{
+            **envelope,
+            "kind": "run",
+            "started_unix": self.started_unix,
+            "attrs": dict(self.run_attrs),
+        }]
+        for span in self.all_spans():
+            out.append({**envelope, "kind": "span", **span.to_record()})
+        for name, seq, pid, attrs in self.all_events():
+            out.append({
+                **envelope, "kind": "event",
+                "name": name, "seq": seq, "pid": pid, "attrs": dict(attrs),
+            })
+        for rec in self.metrics.snapshot():
+            out.append({**envelope, "kind": "metric", **rec})
+        return out
+
+    def close(self) -> Path | None:
+        """Flush the JSONL log to the sink (if any); returns its path."""
+        if self.sink is None:
+            return None
+        return write_jsonl(self.sink, self.records())

@@ -1,0 +1,172 @@
+"""Span tracing on monotonic clocks with cross-process reassembly.
+
+A span is one timed region of the pipeline — a sweep, one experiment,
+one validation replay.  Spans nest: the tracer keeps the current span in
+a :class:`contextvars.ContextVar`, so ``with tracer.span(...)``
+automatically records its parent and the ``mnemo obs`` CLI can rebuild
+the run's tree afterwards.
+
+Two design points matter for the pipeline this instruments:
+
+- **monotonic clocks** — spans time with :func:`time.perf_counter_ns`,
+  which never goes backwards but is only comparable *within* one
+  process.  A span therefore carries its duration and its origin PID;
+  cross-process ordering comes from the tree structure, never from
+  comparing raw timestamps.
+- **pool round trips** — :class:`SpanRecord` is a frozen, picklable
+  dataclass.  A worker process runs its own tracer rooted at a parent
+  span id handed over in the task payload, and ships its finished spans
+  back inside the :class:`~repro.telemetry.session.TelemetrySnapshot`
+  that rides alongside the result — so worker spans reassemble into the
+  coordinator's tree with correct parentage.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span (picklable; JSON-ready via :meth:`to_record`)."""
+
+    name: str
+    span_id: str
+    parent_id: str | None
+    start_ns: int
+    duration_ns: int
+    pid: int
+    attrs: dict = field(default_factory=dict)
+
+    def to_record(self) -> dict:
+        """The JSONL payload of this span (sans the run envelope)."""
+        return {
+            "name": self.name,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+            "pid": self.pid,
+            "attrs": dict(self.attrs),
+        }
+
+
+class ActiveSpan:
+    """A span being timed; usable as a context manager.
+
+    ``set(key, value)`` attaches attributes while the span is open —
+    e.g. the cache provenance of an experiment, known only at the end.
+    """
+
+    __slots__ = ("_tracer", "name", "span_id", "parent_id", "attrs",
+                 "_start", "_token")
+
+    def __init__(self, tracer: "Tracer", name: str, parent_id: str | None,
+                 attrs: dict):
+        self._tracer = tracer
+        self.name = name
+        self.span_id = tracer._next_id()
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self._start = 0
+        self._token = None
+
+    def set(self, key: str, value) -> None:
+        """Attach (or overwrite) one attribute."""
+        self.attrs[key] = value
+
+    def __enter__(self) -> "ActiveSpan":
+        self._token = self._tracer._current.set(self.span_id)
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = time.perf_counter_ns()
+        self._tracer._current.reset(self._token)
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._finish(SpanRecord(
+            name=self.name,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            start_ns=self._start,
+            duration_ns=end - self._start,
+            pid=self._tracer.pid,
+            attrs=self.attrs,
+        ))
+
+
+class NullSpan:
+    """Shared no-op stand-in returned when telemetry is disabled."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value) -> None:
+        """No-op."""
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Produces nested spans and collects the finished records.
+
+    Span ids are ``"<pid hex>-<sequence>"`` — unique within a run even
+    across pool workers, with no global coordination.
+    """
+
+    def __init__(self, root_id: str | None = None):
+        self.pid = os.getpid()
+        self.records: list[SpanRecord] = []
+        self._seq = 0
+        #: parent id applied to spans opened with no enclosing span —
+        #: how a worker's tree hangs off the coordinator's sweep span.
+        self.root_id = root_id
+        self._current: ContextVar[str | None] = ContextVar(
+            f"repro-telemetry-span-{id(self)}", default=None,
+        )
+
+    def _next_id(self) -> str:
+        self._seq += 1
+        return f"{self.pid:x}-{self._seq}"
+
+    def _finish(self, record: SpanRecord) -> None:
+        self.records.append(record)
+
+    def current_id(self) -> str | None:
+        """The id of the innermost open span (or the root id)."""
+        cur = self._current.get()
+        return cur if cur is not None else self.root_id
+
+    def span(self, name: str, **attrs) -> ActiveSpan:
+        """Open a span as a child of the innermost open span."""
+        return ActiveSpan(self, name, self.current_id(), attrs)
+
+
+def build_tree(spans: list[dict]) -> tuple[list[dict], dict[str, list[dict]]]:
+    """(roots, children-by-parent) from span JSONL records.
+
+    A span whose parent id is missing from the record set is a root —
+    exactly what worker subtrees look like if their run was captured
+    without the coordinator's spans.  Sibling order is by origin
+    (pid, start_ns), which is stable and meaningful per process.
+    """
+    by_id = {s["span"]: s for s in spans}
+    children: dict[str, list[dict]] = {}
+    roots: list[dict] = []
+    for s in sorted(spans, key=lambda s: (s["pid"], s["start_ns"])):
+        parent = s.get("parent")
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(s)
+        else:
+            roots.append(s)
+    return roots, children

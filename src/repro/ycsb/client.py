@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import ConfigurationError, WorkloadError
 from repro.kvstore.server import HybridDeployment
 from repro.memsim.cache import LLCModel
@@ -217,6 +218,7 @@ class YCSBClient:
         """
         if self.faults is None or not self.faults.active:
             return latency, bpns, cpu, None
+        telemetry.count("faults.activations")
         tl = self.faults.timeline(on_fast.size, label)
         if tl.slow_latency_mult is not None:
             latency = latency * np.where(on_fast, 1.0, tl.slow_latency_mult)
@@ -344,6 +346,7 @@ class YCSBClient:
         """
         from repro.memsim.kernel import realisation_matrix, summarize
 
+        telemetry.count("memsim.path", path="per_deployment")
         sizes, latency, bpns, passes, cpu, on_fast = self._gather(
             trace, deployment
         )
