@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test verify chaos guard bench bench-kernel bench-obs bench-verbose examples results clean
+.PHONY: install test verify chaos guard bench bench-kernel bench-obs bench-sweep bench-verbose examples results clean
 
 results: bench
 	$(PYTHON) tools/collect_results.py
@@ -11,9 +11,10 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# the tier-1 gate: exactly what CI runs
+# the tier-1 gate: exactly what CI runs (tests + planner speedup smoke)
 verify:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+	$(MAKE) bench-sweep
 
 # chaos smoke: fault injection, worker kills, cache corruption
 chaos:
@@ -38,6 +39,13 @@ bench:
 bench-kernel:
 	MNEMO_BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/bench_kernel_speedup.py --benchmark-only -s
+
+# sweep planner smoke: grouped dispatch vs per-cell pool tasks on a
+# warm pool; fails below the speedup floor or on any bitwise
+# divergence; refreshes BENCH_sweep.json
+bench-sweep:
+	MNEMO_BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest \
+		benchmarks/bench_sweep_planner.py --benchmark-only -s
 
 # telemetry overhead smoke: sweeps with a session on vs off must be
 # bit-identical and within the ceiling; refreshes BENCH_obs.json

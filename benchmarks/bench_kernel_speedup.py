@@ -24,9 +24,12 @@ enforces.  ``MNEMO_BENCH_SMOKE=1`` shrinks the sweep for the smoke
 target; the floor scales down with it (the relative overhead shrinks
 with the trace, and single-core CI boxes are noisy).
 
-The mixed-size vectorized LRU is timed too, but *recorded* rather than
-gated: its win is algorithmic (no per-request Python loop) and varies
-with the host; on slow single-core boxes it can sit near parity.
+The mixed-size vectorized LRU is timed in the regime its capacity-fit
+gate engages in (working set fits the cache, no evictions) and gated at
+a >= 1.0x floor: the gate's whole point is that the vector path only
+runs where it wins, so parity-or-better is an invariant, not a hope.
+An eviction-regime parity point (both sides on the dict replay) is
+recorded alongside to document the gate's cost when it says no.
 """
 
 import json
@@ -57,6 +60,8 @@ N_REQUESTS = 5_000 if SMOKE else 20_000
 SPEEDUP_FLOOR = 4.0 if SMOKE else 10.0
 #: Accepted maximum analytic runtime error vs the simulator.
 ANALYTIC_ERR_CEILING = 0.05
+#: Accepted minimum mixed-size LRU speedup where the fit gate engages.
+MIXED_LRU_FLOOR = 1.0
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULT_PATH = REPO_ROOT / "BENCH_kernel.json"
@@ -161,14 +166,9 @@ def _bench_analytic():
     }
 
 
-def _bench_mixed_lru():
-    spec = workload_by_name("trending")
-    if SMOKE:
-        spec = spec.scaled(n_keys=2_000, n_requests=10_000)
-    tr = generate_trace(spec.with_seed(3))
-    cap = int(tr.record_sizes.sum() * 0.2)  # forces real evictions
-
-    def vectorized():
+def _mixed_lru_pair(tr, cap):
+    """(default-path mask & time, forced-sequential mask & time) at *cap*."""
+    def default_path():
         return LLCModel(capacity_bytes=cap).process(
             tr.keys, tr.request_sizes
         )
@@ -183,16 +183,44 @@ def _bench_mixed_lru():
         finally:
             cache_mod.lru_hit_mask_mixed_size = original
 
-    fast_mask, t_fast = _best_of(vectorized, 3)
+    fast_mask, t_fast = _best_of(default_path, 3)
     slow_mask, t_slow = _best_of(sequential, 3)
     assert np.array_equal(fast_mask, slow_mask), (
-        "vectorized mixed-size LRU diverged from the sequential model"
+        "mixed-size LRU fast path diverged from the sequential model"
     )
+    return t_fast, t_slow
+
+
+def _bench_mixed_lru():
+    """Mixed-size LRU in the regime the vector path engages in — gated.
+
+    The capacity-fit gate (`cold_working_set_bytes`) only routes a trace
+    to the vectorized path when its touched working set fits the cache,
+    so the gated measurement uses a capacity that holds the whole
+    dataset (every sweep with a generously sized LLC, and the analytic
+    estimator's reuse solve, live here).  An eviction-regime point is
+    recorded too: there both sides take the dict replay, so the ratio
+    documents that the gate costs ~nothing when it says no.
+    """
+    spec = workload_by_name("trending")
+    if SMOKE:
+        spec = spec.scaled(n_keys=2_000, n_requests=10_000)
+    tr = generate_trace(spec.with_seed(3))
+    cap_fit = int(tr.record_sizes.sum())  # working set fits: gate engages
+    cap_evict = int(tr.record_sizes.sum() * 0.2)  # real evictions: dict path
+
+    t_fast, t_slow = _mixed_lru_pair(tr, cap_fit)
+    t_gate, t_dict = _mixed_lru_pair(tr, cap_evict)
     return {
         "n_requests": int(tr.n_requests),
         "vectorized_s": round(t_fast, 4),
         "sequential_s": round(t_slow, 4),
-        "speedup": round(t_slow / t_fast, 1),
+        "speedup": round(t_slow / t_fast, 2),
+        "eviction_regime": {
+            "gated_s": round(t_gate, 4),
+            "sequential_s": round(t_dict, 4),
+            "ratio": round(t_dict / t_gate, 2),
+        },
     }
 
 
@@ -205,6 +233,7 @@ def run():
         "floors": {
             "batch_speedup": SPEEDUP_FLOOR,
             "analytic_runtime_error": ANALYTIC_ERR_CEILING,
+            "mixed_lru_speedup": MIXED_LRU_FLOOR,
         },
     }
 
@@ -243,4 +272,8 @@ def test_kernel_speedup(benchmark):
     assert a["worst_runtime_error"] <= ANALYTIC_ERR_CEILING, (
         f"analytic runtime error {a['worst_runtime_error']:.2%} exceeds "
         f"the {ANALYTIC_ERR_CEILING:.0%} envelope"
+    )
+    assert m["speedup"] >= MIXED_LRU_FLOOR, (
+        f"mixed-size LRU speedup {m['speedup']}x fell below the "
+        f"{MIXED_LRU_FLOOR}x floor in the regime the fit gate engages in"
     )

@@ -220,6 +220,13 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--max-attempts", type=int, default=3,
                        help="attempts per experiment before giving up "
                             "(default 3)")
+    sweep.add_argument("--plan", choices=["auto", "grouped", "cell"],
+                       default="auto",
+                       help="pooled dispatch plan: grouped placement "
+                            "batches (default) or one task per grid cell")
+    sweep.add_argument("--no-shm", action="store_true",
+                       help="disable the shared-memory trace plane "
+                            "(workers materialise traces themselves)")
     sweep.add_argument("--obs", metavar="PATH",
                        help="write a telemetry event log (JSONL) here; "
                             "inspect it with 'obs PATH'")
@@ -465,6 +472,8 @@ def _cmd_sweep(args) -> int:
         retry=RetryPolicy(
             max_attempts=args.max_attempts, timeout_s=args.timeout,
         ),
+        plan=args.plan,
+        use_shm=not args.no_shm,
     )
     specs = ExperimentRunner.grid(
         [workload_by_name(n) for n in workload_names],
@@ -478,7 +487,10 @@ def _cmd_sweep(args) -> int:
         "sweeping %d experiment(s) across %d worker(s)",
         len(specs), args.workers,
     )
-    outcome = runner.sweep(specs, workers=args.workers)
+    try:
+        outcome = runner.sweep(specs, workers=args.workers)
+    finally:
+        runner.close()
     for line in outcome.summary().splitlines():
         log.info("%s", line)
     print(f"{'experiment':<40} {'ops/s':>12} {'avg read us':>12} "

@@ -26,6 +26,13 @@ Two implementations back :meth:`LLCModel.process`:
   miss), and only the residue pays for an exact blocked reuse-distance
   count.  The final resident set is reconstructed so the model's state
   and statistics are bit-identical to the sequential path.
+
+:meth:`LLCModel.process` only routes mixed-size traces to the vectorized
+path when a cheap upfront gate (:func:`cold_working_set_bytes`) says the
+touched working set fits the capacity — the no-eviction regime where the
+O(n) quick-hit rule decides every request and the vector path wins
+outright.  Eviction-heavy traces go straight to the dict replay, which
+measurement shows is the cheaper exact method there.
 """
 
 from __future__ import annotations
@@ -228,7 +235,44 @@ def lru_hit_mask_fixed_size(
 _GATHER_CAP = 16
 #: Residue work estimate (multiples of n) beyond which a *guarded* call
 #: concedes that the sequential dict loop is the cheaper exact method.
-_BAIL_WORK = 64
+#: Tuned low: by the time the escalation loop is doing this much sliding
+#: work the dict replay has already won, so bail early rather than sink
+#: more prefix cost into a lost race.
+_BAIL_WORK = 16
+
+
+def cold_working_set_bytes(
+    keys: np.ndarray, sizes: np.ndarray, capacity_bytes: int,
+) -> int:
+    """Effective distinct-record bytes a cold replay of *keys* touches.
+
+    Records larger than the capacity are bypassed by the LRU (never
+    installed) and therefore contribute nothing.  When this total fits
+    the capacity a cold cache never evicts — every repeat access to a
+    fitting record is a hit — which is exactly the regime where the
+    vectorized mixed-size path wins by a wide margin (the O(n) quick-hit
+    rule decides every request).  Outside it, measurement says the
+    sequential dict replay is usually the cheaper exact method, so
+    :meth:`LLCModel.process` uses this as its cheap upfront viability
+    gate before paying for any vectorized prefix work.
+
+    With per-key *varying* sizes the scatter keeps each key's last
+    written size — good enough for a go/no-go heuristic (varying sizes
+    are rejected exactly, later, by the consistency check).
+    """
+    n = keys.size
+    if n == 0:
+        return 0
+    cap = int(capacity_bytes)
+    kmax = int(keys.max())
+    if kmax <= max(4 * n, 1 << 20):
+        per_key = np.zeros(kmax + 1, dtype=np.int64)
+        per_key[keys] = sizes
+        touched = per_key[per_key > 0]
+    else:  # sparse key universe: avoid a giant scatter buffer
+        _, first = np.unique(keys, return_index=True)
+        touched = np.asarray(sizes, dtype=np.int64)[first]
+    return int(touched[touched <= cap].sum())
 
 
 def lru_hit_mask_mixed_size(
@@ -482,15 +526,26 @@ class LLCModel:
             if (sizes == sizes.flat[0]).all():
                 return self._process_fixed_size(keys, int(sizes.flat[0]))
             keys = np.ascontiguousarray(keys)
-            prev = _previous_occurrence(keys)
-            rep = prev >= 0
-            if sizes.min() > 0 and (sizes[rep] == sizes[prev[rep]]).all():
-                hits = lru_hit_mask_mixed_size(
-                    keys, sizes, self.capacity_bytes,
-                    prev=prev, guarded=True,
-                )
-                if hits is not None:
-                    return self._finish_cold_mixed(keys, sizes, hits)
+            # Upfront viability gate: engage the vectorized mixed-size
+            # path only when the touched working set fits the capacity
+            # (no evictions — its quick-hit rule then decides every
+            # request).  Outside that regime the dict replay is the
+            # cheaper exact method, and going straight to it skips the
+            # _previous_occurrence + consistency-check prefix the old
+            # guarded bailout still paid for before conceding.
+            fits = cold_working_set_bytes(
+                keys, sizes, self.capacity_bytes
+            ) <= self.capacity_bytes
+            if fits and sizes.min() > 0:
+                prev = _previous_occurrence(keys)
+                rep = prev >= 0
+                if (sizes[rep] == sizes[prev[rep]]).all():
+                    hits = lru_hit_mask_mixed_size(
+                        keys, sizes, self.capacity_bytes,
+                        prev=prev, guarded=True,
+                    )
+                    if hits is not None:
+                        return self._finish_cold_mixed(keys, sizes, hits)
         out = np.empty(keys.shape[0], dtype=bool)
         access = self.access
         key_list = keys.tolist()

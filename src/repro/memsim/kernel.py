@@ -140,9 +140,16 @@ class BatchKernel:
         Dense per-key sizes defining the key space (defaults to
         ``trace.record_sizes``, which is what every deployment built
         from the trace uses).
+    path_label:
+        The ``memsim.path`` telemetry label :meth:`run` counts under.
+        The grouped sweep dispatcher sets ``"grouped_batch"`` so the
+        path mix distinguishes planner batches from direct kernel use.
     """
 
-    def __init__(self, client, trace, profile, system, record_sizes=None):
+    def __init__(
+        self, client, trace, profile, system, record_sizes=None,
+        path_label: str = "batch_kernel",
+    ):
         record_sizes = np.asarray(
             trace.record_sizes if record_sizes is None else record_sizes,
             dtype=np.int64,
@@ -157,6 +164,7 @@ class BatchKernel:
         self.profile = profile
         self.system = system
         self.record_sizes = record_sizes
+        self.path_label = path_label
         # request-aligned, placement-independent arrays (gathered once;
         # identical expressions to YCSBClient._gather)
         self.sizes = record_sizes[trace.keys] + profile.metadata_bytes
@@ -210,7 +218,7 @@ class BatchKernel:
         ``fingerprint`` may be passed when the caller already computed it
         (e.g. for a cache probe) to avoid hashing the mask twice.
         """
-        telemetry.count("memsim.path", path="batch_kernel")
+        telemetry.count("memsim.path", path=self.path_label)
         mask = self._check_mask(fast_mask)
         if self._live_seed:
             # matches _experiment_context: live-generator clients are not

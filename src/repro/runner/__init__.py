@@ -24,7 +24,11 @@ from repro.runner.cache import (
     ResultCache,
     ensure_cache,
 )
-from repro.runner.caching import CachingClient, hitmask_fingerprint
+from repro.runner.caching import (
+    CachingClient,
+    PlacementBatch,
+    hitmask_fingerprint,
+)
 from repro.runner.fingerprint import (
     array_digest,
     canonicalize,
@@ -37,6 +41,7 @@ from repro.runner.grid import (
     ENGINE_FACTORIES,
     NON_RETRYABLE,
     PLACEMENTS,
+    PLANS,
     ClientConfig,
     ExperimentFailure,
     ExperimentMeta,
@@ -48,6 +53,7 @@ from repro.runner.grid import (
     default_workers,
     split_fast_keys,
 )
+from repro.runner.shm import SharedTraceHandle, TracePlane
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
@@ -57,6 +63,7 @@ __all__ = [
     "ResultCache",
     "ensure_cache",
     "CachingClient",
+    "PlacementBatch",
     "hitmask_fingerprint",
     "array_digest",
     "canonicalize",
@@ -67,6 +74,7 @@ __all__ = [
     "ENGINE_FACTORIES",
     "NON_RETRYABLE",
     "PLACEMENTS",
+    "PLANS",
     "ClientConfig",
     "ExperimentFailure",
     "ExperimentMeta",
@@ -75,6 +83,8 @@ __all__ = [
     "FailureReport",
     "GridOutcome",
     "RetryPolicy",
+    "SharedTraceHandle",
+    "TracePlane",
     "default_workers",
     "split_fast_keys",
 ]

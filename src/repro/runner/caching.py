@@ -29,6 +29,109 @@ def hitmask_fingerprint(trace_digest: str, capacity_bytes: int) -> str:
     return digest({"trace": trace_digest, "capacity_bytes": capacity_bytes})[:32]
 
 
+class PlacementBatch:
+    """Batch-grained cached measurement of many placements of one trace.
+
+    The batch kernel's construction (array gather, trace hash, LLC
+    replay) is the only per-*batch* cost of ``execute_placements`` — and
+    it is pure waste when every placement in the batch is already
+    cached.  ``PlacementBatch`` probes the cache by fingerprint first
+    (fingerprints come from
+    :func:`~repro.runner.fingerprint.experiment_fingerprint_parts`, no
+    kernel needed) and constructs the
+    :class:`~repro.memsim.kernel.BatchKernel` lazily on the first miss,
+    so warm sweeps skip the gather and the LLC replay entirely.
+
+    Works over a caching or a plain client: without a cache (or with a
+    live-generator seed, which is uncacheable) every placement measures
+    fresh through the kernel with provenance ``"uncached"``.
+
+    This is also the unit of work the grouped sweep dispatcher executes
+    in pool workers — one ``PlacementBatch`` per (trace, engine) group,
+    with ``path_label="grouped_batch"`` so the telemetry path mix shows
+    planner batches distinctly.
+    """
+
+    def __init__(
+        self, client, trace, profile, system, record_sizes=None,
+        path_label: str = "batch_kernel",
+    ):
+        self.client = client
+        self.trace = trace
+        self.profile = profile
+        self.system = system
+        self.record_sizes = np.asarray(
+            trace.record_sizes if record_sizes is None else record_sizes,
+            dtype=np.int64,
+        )
+        if trace.n_keys != self.record_sizes.size:
+            from repro.errors import WorkloadError
+
+            raise WorkloadError(
+                f"trace key space ({trace.n_keys}) does not match the "
+                f"placement key space ({self.record_sizes.size})"
+            )
+        self.path_label = path_label
+        self._kernel = None
+        self._live_seed = isinstance(client.seed, np.random.Generator)
+        if self._live_seed:
+            telemetry.count("memsim.fallback", reason="live_seed")
+        self._cache = (
+            None if self._live_seed else getattr(client, "cache", None)
+        )
+        self._digest = (
+            None if self._live_seed else client.trace_digest(trace)
+        )
+
+    def fingerprint(self, fast_mask: np.ndarray) -> str | None:
+        """One placement's experiment fingerprint, without a kernel.
+
+        Identical to what ``BatchKernel.fingerprint`` (and the
+        per-deployment path) computes; ``None`` for live-seeded clients.
+        """
+        if self._live_seed:
+            return None
+        from repro.runner.fingerprint import experiment_fingerprint_parts
+
+        mask = np.asarray(fast_mask)
+        if mask.dtype != np.bool_ or mask.shape != (self.record_sizes.size,):
+            from repro.errors import WorkloadError
+
+            raise WorkloadError(
+                f"placement mask must be bool of shape "
+                f"({self.record_sizes.size},), got {mask.dtype} {mask.shape}"
+            )
+        return experiment_fingerprint_parts(
+            self._digest, self.profile, mask, self.system, self.client,
+        )
+
+    def kernel(self):
+        """The batch kernel, constructed on first use."""
+        if self._kernel is None:
+            from repro.memsim.kernel import BatchKernel
+
+            self._kernel = BatchKernel(
+                self.client, self.trace, self.profile, self.system,
+                record_sizes=self.record_sizes, path_label=self.path_label,
+            )
+        return self._kernel
+
+    def run_cached(self, fast_mask: np.ndarray) -> tuple[RunResult, str]:
+        """Measure (or recall) one placement; returns (result, provenance)."""
+        if self._cache is None:
+            return self.kernel().run(fast_mask), "uncached"
+        fp = self.fingerprint(fast_mask)
+        result = self._cache.get_result(fp)
+        if result is not None:
+            self.client.cache_hits += 1
+            return result, "cache"
+        self.client.cache_misses += 1
+        telemetry.count("cache.recompute", kind="results")
+        result = self.kernel().run(fast_mask, fingerprint=fp)
+        self._cache.put_result(fp, result)
+        return result, "computed"
+
+
 class CachingClient(YCSBClient):
     """YCSB client that memoizes measurements in an on-disk cache.
 
@@ -128,34 +231,16 @@ class CachingClient(YCSBClient):
     def execute_placements(
         self, trace, fast_masks, profile, system, record_sizes=None,
     ):
-        """Batch measurement with per-placement cache probes.
+        """Batch measurement with batch-grained cache probes.
 
         Each placement is looked up under the same experiment
         fingerprint :meth:`execute` uses, so batch and per-deployment
         measurements share one cache namespace; only the misses run
-        through the kernel.
+        through the kernel — and the kernel itself (gather + LLC
+        replay) is only constructed if there *is* a miss, so fully warm
+        batches cost probes alone (see :class:`PlacementBatch`).
         """
-        if isinstance(self._seed, np.random.Generator):
-            telemetry.count("memsim.fallback", reason="live_seed")
-            return super().execute_placements(
-                trace, fast_masks, profile, system,
-                record_sizes=record_sizes,
-            )
-        from repro.memsim.kernel import BatchKernel
-
-        kernel = BatchKernel(
+        batch = PlacementBatch(
             self, trace, profile, system, record_sizes=record_sizes
         )
-        results = []
-        for mask in fast_masks:
-            fp = kernel.fingerprint(mask)
-            result = self.cache.get_result(fp)
-            if result is not None:
-                self.cache_hits += 1
-            else:
-                self.cache_misses += 1
-                telemetry.count("cache.recompute", kind="results")
-                result = kernel.run(mask, fingerprint=fp)
-                self.cache.put_result(fp, result)
-            results.append(result)
-        return results
+        return [batch.run_cached(mask)[0] for mask in fast_masks]

@@ -21,6 +21,21 @@ a structured :class:`FailureReport` instead of raising
 (:meth:`run_grid` keeps the raise-on-failure contract for callers that
 want it).
 
+Pooled sweeps are *planned*, not scattered: specs sharing a (workload,
+engine) pair — one trace, one engine profile, one batch kernel — are
+dispatched as whole placement batches to workers, which execute them
+through the batch kernel (:class:`~repro.runner.caching.PlacementBatch`
+with the ``grouped_batch`` telemetry path label).  Traces travel once
+per sweep through a shared-memory plane (:mod:`repro.runner.shm`)
+instead of once per task through pickles or the disk cache, the worker
+pool persists across retry rounds *and* across sweeps (the guard loop
+and repeated CLI sweeps stop paying pool spin-up), and per-spec failure
+attribution survives batching: worker replies are per-spec, and
+unattributable batch failures (pool death, batch timeouts) deterministically
+split the group into halves until the culprit stands alone.  Results,
+fingerprints and cache entries are bit-identical to the serial and
+per-cell paths; ``plan="cell"`` / ``use_shm=False`` are escape hatches.
+
 Placements:
 
 ``"fast"``
@@ -37,6 +52,8 @@ from __future__ import annotations
 
 import os
 import time
+import weakref
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
@@ -59,12 +76,13 @@ from repro.kvstore.server import HybridDeployment
 from repro.memsim.system import HybridMemorySystem
 from repro.kvstore.profiles import profile_for
 from repro.runner.cache import ResultCache, ensure_cache
-from repro.runner.caching import CachingClient
+from repro.runner.caching import CachingClient, PlacementBatch
 from repro.runner.fingerprint import (
     experiment_fingerprint_parts,
     trace_fingerprint,
     workload_fingerprint,
 )
+from repro.runner.shm import SharedTraceHandle, TracePlane, attach_trace
 from repro.ycsb.client import DEFAULT_PERCENTILES, RunResult, YCSBClient
 from repro.ycsb.generator import generate_trace
 from repro.ycsb.workload import Trace, WorkloadSpec
@@ -79,6 +97,11 @@ ENGINE_FACTORIES = {
 
 #: Placement modes an :class:`ExperimentSpec` may request.
 PLACEMENTS = ("fast", "slow", "split")
+
+#: Sweep dispatch plans.  ``"auto"`` resolves to grouped-batch dispatch
+#: on the pool path (the fast default); ``"grouped"`` forces it;
+#: ``"cell"`` restores one task per grid cell.
+PLANS = ("auto", "grouped", "cell")
 
 #: Errors that retrying cannot fix (bad inputs, not transient faults).
 NON_RETRYABLE = (ConfigurationError, WorkloadError)
@@ -201,12 +224,15 @@ class GridOutcome:
     ``results`` preserves spec order, with ``None`` at the slots of
     failed experiments; ``report`` explains every ``None``; ``metas``
     (parallel to ``results``) records each experiment's wall-clock
-    duration and cache provenance.
+    duration and cache provenance.  ``elapsed_s`` is the sweep's true
+    elapsed wall clock on the coordinator — parallel sweeps finish in
+    far less time than the per-experiment durations sum to.
     """
 
     results: tuple[RunResult | None, ...]
     report: FailureReport = field(default_factory=FailureReport)
     metas: tuple[ExperimentMeta | None, ...] = ()
+    elapsed_s: float = 0.0
 
     @property
     def completed(self) -> list[RunResult]:
@@ -246,7 +272,9 @@ class GridOutcome:
             mix = ", ".join(
                 f"{counts[k]} {k}" for k in sorted(counts)
             )
-            lines.append(f"wall clock: {total:.3f}s measured ({mix})")
+            lines.append(f"compute: {total:.3f}s aggregate ({mix})")
+            if self.elapsed_s > 0:
+                lines.append(f"wall clock: {self.elapsed_s:.3f}s elapsed")
             slowest = max(metas, key=lambda m: m.duration_s)
             lines.append(
                 f"slowest: {slowest.label} "
@@ -349,6 +377,35 @@ def split_fast_keys(trace: Trace, fraction: float) -> np.ndarray:
     return order[within]
 
 
+class _Resources:
+    """Mutable holder of a runner's persistent pool and trace plane.
+
+    Lives outside the runner so ``weakref.finalize`` can release both
+    when the runner is collected without the finalizer keeping the
+    runner itself alive.
+    """
+
+    __slots__ = ("pool", "plane")
+
+    def __init__(self):
+        self.pool = None
+        self.plane = None
+
+    def release(self, kill: bool = False) -> None:
+        pool, self.pool = self.pool, None
+        if pool is not None:
+            if kill:
+                for proc in getattr(pool, "_processes", {}).values():
+                    try:
+                        proc.terminate()
+                    except OSError:  # pragma: no cover - already gone
+                        pass
+            pool.shutdown(wait=not kill, cancel_futures=True)
+        plane, self.plane = self.plane, None
+        if plane is not None:
+            plane.close()
+
+
 class ExperimentRunner:
     """Executes experiment grids with caching and optional parallelism.
 
@@ -374,6 +431,18 @@ class ExperimentRunner:
         chaos tests and game-days use.  Serial runs downgrade ``exit``
         strikes to raised :class:`~repro.errors.FaultError`\\ s so chaos
         never kills the calling process.
+    plan:
+        Default sweep dispatch plan (one of :data:`PLANS`).
+    use_shm:
+        Whether grouped sweeps publish traces through the shared-memory
+        plane (:mod:`repro.runner.shm`).  ``False`` makes workers fall
+        back to the trace cache / regeneration.
+
+    The runner owns two persistent resources: a process pool that
+    survives across retry rounds and across sweeps, and the
+    shared-memory trace plane.  Both are released by :meth:`close`
+    (the runner is also a context manager) or, failing that, by a
+    finalizer at garbage collection.
     """
 
     def __init__(
@@ -384,14 +453,91 @@ class ExperimentRunner:
         workers: int | None = None,
         retry: RetryPolicy = RetryPolicy(),
         chaos=None,
+        plan: str = "auto",
+        use_shm: bool = True,
     ):
+        if plan not in PLANS:
+            raise ConfigurationError(
+                f"unknown plan {plan!r}; choose from {PLANS}"
+            )
         self.cache = ensure_cache(cache)
         self.client_config = client
         self.system_factory = system_factory
         self.workers = workers
         self.retry = retry
         self.chaos = chaos
+        self.plan = plan
+        self.use_shm = bool(use_shm)
         self._client = client.build(self.cache)
+        self._res = _Resources()
+        self._pool_workers = 0
+        self._shm_handles: dict[str, SharedTraceHandle] = {}
+        self._finalizer = weakref.finalize(self, _Resources.release, self._res)
+
+    # -- persistent resources ----------------------------------------------------
+
+    def close(self) -> None:
+        """Release the persistent pool and unlink every shm segment."""
+        self._discard_pool()
+        self._shm_handles.clear()
+        plane, self._res.plane = self._res.plane, None
+        if plane is not None:
+            plane.close()
+
+    def __enter__(self) -> "ExperimentRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _ensure_pool(self, workers: int) -> ProcessPoolExecutor:
+        """The persistent pool, rebuilt only when it is absent or small.
+
+        Worker processes spawn lazily on submit, so sizing the pool to
+        the full worker budget costs nothing for small rounds — and a
+        warm pool (loaded modules, attached traces, memoized runners)
+        is reused across retry rounds and across sweeps.
+        """
+        pool = self._res.pool
+        if pool is not None and self._pool_workers >= workers:
+            telemetry.count("runner.pool", event="reuse")
+            return pool
+        if pool is not None:
+            self._discard_pool()
+        pool = ProcessPoolExecutor(max_workers=workers)
+        self._res.pool = pool
+        self._pool_workers = workers
+        telemetry.count("runner.pool", event="spinup")
+        return pool
+
+    def _discard_pool(self, kill: bool = False) -> None:
+        """Drop the persistent pool (terminating its workers if *kill*)."""
+        pool, self._res.pool = self._res.pool, None
+        self._pool_workers = 0
+        if pool is None:
+            return
+        if kill:
+            for proc in getattr(pool, "_processes", {}).values():
+                try:
+                    proc.terminate()
+                except OSError:  # pragma: no cover - already gone
+                    pass
+        pool.shutdown(wait=not kill, cancel_futures=True)
+
+    def _trace_plane(self) -> TracePlane:
+        if self._res.plane is None:
+            self._res.plane = TracePlane()
+        return self._res.plane
+
+    def _publish_trace(self, workload: WorkloadSpec) -> SharedTraceHandle:
+        """Publish a workload's trace (idempotent across sweeps)."""
+        fp = workload_fingerprint(workload)
+        handle = self._shm_handles.get(fp)
+        if handle is not None and handle.digest in self._trace_plane():
+            return handle
+        handle = self._trace_plane().publish(self.trace_for(workload))
+        self._shm_handles[fp] = handle
+        return handle
 
     # -- building blocks ---------------------------------------------------------
 
@@ -507,6 +653,8 @@ class ExperimentRunner:
         specs: list[ExperimentSpec],
         workers: int | None = None,
         retry: RetryPolicy | None = None,
+        plan: str | None = None,
+        use_shm: bool | None = None,
     ) -> GridOutcome:
         """Execute *specs* resiliently; never raises on partial loss.
 
@@ -523,11 +671,26 @@ class ExperimentRunner:
         the process-pool path; setting one forces pooled execution even
         for a single worker.  The timeout bounds the wait once the
         sweep starts waiting on an experiment, so concurrent
-        experiments never make each other time out.
+        experiments never make each other time out.  A whole-batch wait
+        on the grouped path is bounded by ``timeout_s`` times the batch
+        size, preserving the per-experiment budget.
+
+        ``plan`` selects the pooled dispatch strategy (see
+        :data:`PLANS`): grouped placement batches by default, one task
+        per grid cell with ``"cell"``.  ``use_shm`` controls the
+        shared-memory trace plane on the grouped path.  Both default to
+        the runner's settings; results are bit-identical across every
+        plan, schedule and shm setting.
         """
         retry = self.retry if retry is None else retry
         workers = self.workers if workers is None else workers
         workers = max(1, min(int(workers or 1), len(specs) or 1))
+        plan = self.plan if plan is None else plan
+        if plan not in PLANS:
+            raise ConfigurationError(
+                f"unknown plan {plan!r}; choose from {PLANS}"
+            )
+        use_shm = self.use_shm if use_shm is None else bool(use_shm)
         n = len(specs)
         results: list[RunResult | None] = [None] * n
         metas: list[ExperimentMeta | None] = [None] * n
@@ -535,13 +698,34 @@ class ExperimentRunner:
         pending = set(range(n))
         failures: list[ExperimentFailure] = []
         use_pool = n > 0 and (workers > 1 or retry.timeout_s is not None)
+        grouped = use_pool and plan != "cell"
         isolate = False
+        splits: dict[tuple, int] = {}
+        t_start = time.perf_counter()
 
         with telemetry.span(
             "runner.sweep", n_specs=n, workers=workers, pooled=use_pool,
+            plan="grouped" if grouped else ("cell" if use_pool else "serial"),
         ):
+            handles = None
+            if grouped and use_shm:
+                handles = {}
+                try:
+                    for spec in specs:
+                        fp = workload_fingerprint(spec.workload)
+                        if fp not in handles:
+                            handles[fp] = self._publish_trace(spec.workload)
+                except Exception:  # shm unavailable: workers materialise
+                    handles = None
+                    telemetry.count("runner.shm", op="publish_failed")
             while pending:
-                if use_pool:
+                if grouped:
+                    failed, broke = self._grouped_round(
+                        specs, results, metas, sorted(pending), pending,
+                        workers, retry, splits, handles, isolate,
+                    )
+                    isolate = broke
+                elif use_pool:
                     failed, broke = self._pooled_round(
                         specs, results, metas, sorted(pending), pending,
                         workers, retry, isolate,
@@ -600,6 +784,7 @@ class ExperimentRunner:
             results=tuple(results),
             report=FailureReport(failures=tuple(failures)),
             metas=tuple(metas),
+            elapsed_s=time.perf_counter() - t_start,
         )
 
     def _serial_round(self, specs, results, metas, order, pending):
@@ -635,7 +820,7 @@ class ExperimentRunner:
 
         failed = {}
         broke = False
-        pool = ProcessPoolExecutor(max_workers=min(workers, len(order)))
+        pool = self._ensure_pool(workers)
         futs = {i: pool.submit(_worker_run, self._payload(specs[i]))
                 for i in order}
         collected: set[int] = set()
@@ -678,13 +863,8 @@ class ExperimentRunner:
                     pending.discard(i)
                 except Exception:
                     pass
-            if terminate:
-                for proc in getattr(pool, "_processes", {}).values():
-                    try:
-                        proc.terminate()
-                    except OSError:  # pragma: no cover - already gone
-                        pass
-            pool.shutdown(wait=not (broke or terminate), cancel_futures=True)
+            if broke or terminate:
+                self._discard_pool(kill=True)
 
         if broke and len([i for i in order if i in pending]) == 1:
             # a single suspect needs no isolation round to be convicted
@@ -694,6 +874,228 @@ class ExperimentRunner:
             )
             broke = False
         return failed, broke
+
+    # -- grouped dispatch --------------------------------------------------------
+
+    def _plan_batches(self, specs, order, splits):
+        """Group pending specs into placement batches.
+
+        Specs sharing a (workload, engine) pair — one trace, one engine
+        profile, one batch kernel — form a group, in first-appearance
+        order.  A group's current *split level* (from *splits*, bumped
+        by :meth:`_split_group` on unattributable batch failures)
+        divides it into ``2**level`` contiguous chunks, down to
+        singletons; the deterministic chunking is what makes failure
+        attribution converge.
+        """
+        groups: "OrderedDict[tuple, list[int]]" = OrderedDict()
+        for i in order:
+            key = (workload_fingerprint(specs[i].workload), specs[i].engine)
+            groups.setdefault(key, []).append(i)
+        batches: list[tuple[tuple, list[int]]] = []
+        for key, members in groups.items():
+            chunks = 1 << splits.get(key, 0)
+            if chunks >= len(members):
+                batches.extend((key, [i]) for i in members)
+            else:
+                size = -(-len(members) // chunks)
+                for s in range(0, len(members), size):
+                    batches.append((key, members[s:s + size]))
+        return batches
+
+    def _split_group(self, specs, batch, splits) -> None:
+        """Halve a group's batch size after an unattributable failure."""
+        key, members = batch
+        splits[key] = splits.get(key, 0) + 1
+        spec = specs[members[0]]
+        telemetry.count("runner.batch_splits")
+        telemetry.event(
+            "runner.batch_split", workload=spec.workload.name,
+            engine=spec.engine, level=splits[key], n_specs=len(members),
+        )
+
+    def _batch_payload(self, specs, batch, handles):
+        key, members = batch
+        handle = None if handles is None else handles.get(key[0])
+        root = None if self.cache is None else str(self.cache.root)
+        return (
+            tuple(specs[i] for i in members), handle, self.client_config,
+            root, self.system_factory, self.chaos,
+            telemetry.worker_config(),
+        )
+
+    def _collect_batch(
+        self, specs, results, metas, pending, batch, reply, failed,
+    ) -> None:
+        """Unpack one batch worker's per-spec replies.
+
+        The reply is ``(entries, snapshot)``: the batch-level telemetry
+        snapshot is absorbed once, then each entry either stores a
+        ``(result, meta)`` or records the spec's exception in *failed* —
+        per-spec attribution survives batching because workers report
+        per spec, not per batch.
+        """
+        _, members = batch
+        entries, snapshot = reply
+        if snapshot is not None:
+            telemetry.absorb(snapshot)
+        for local, ok, payload in entries:
+            i = members[local]
+            if ok:
+                results[i], metas[i] = payload
+                pending.discard(i)
+            else:
+                failed[i] = payload
+
+    def _grouped_round(
+        self, specs, results, metas, order, pending, workers, retry,
+        splits, handles, isolate,
+    ):
+        """One grouped-batch attempt at every pending spec.
+
+        Returns ``(failed, broke)`` like :meth:`_pooled_round`.  Worker
+        replies are per spec, so in-band failures (raised exceptions,
+        injected faults) are attributed exactly.  Out-of-band failures —
+        pool death, a batch blowing its time budget — cannot name a
+        culprit inside a multi-spec batch, so the batch's group is
+        *split* (see :meth:`_plan_batches`) and retried uncharged at
+        finer granularity; a singleton batch's failure is charged
+        directly.  Only when every suspect batch is already a singleton
+        does the round report ``broke=True`` and escalate to isolation.
+        """
+        if isolate:
+            failed: dict[int, Exception] = {}
+            for i in order:
+                failed.update(self._grouped_isolated(
+                    specs, results, metas, i, pending, retry, handles,
+                ))
+            return failed, False
+
+        failed = {}
+        broke = False
+        batches = self._plan_batches(specs, order, splits)
+        pool = self._ensure_pool(workers)
+        futs = {
+            b: pool.submit(
+                _worker_run_batch, self._batch_payload(specs, batch, handles)
+            )
+            for b, batch in enumerate(batches)
+        }
+        collected: set[int] = set()
+        terminate = False
+        try:
+            for b, batch in enumerate(batches):
+                key, members = batch
+                budget = (
+                    None if retry.timeout_s is None
+                    else retry.timeout_s * len(members)
+                )
+                try:
+                    self._collect_batch(
+                        specs, results, metas, pending, batch,
+                        futs[b].result(timeout=budget), failed,
+                    )
+                    collected.add(b)
+                except BrokenProcessPool:
+                    broke = True
+                    telemetry.count("runner.worker_deaths")
+                    telemetry.event(
+                        "runner.pool_broken", label=specs[members[0]].label,
+                        n_pending=len([j for j in order if j in pending]),
+                    )
+                    break
+                except FuturesTimeoutError:
+                    collected.add(b)
+                    terminate = True
+                    if len(members) == 1:
+                        i = members[0]
+                        failed[i] = ExperimentTimeoutError(
+                            f"{specs[i].label} exceeded the "
+                            f"{retry.timeout_s:g}s per-experiment timeout"
+                        )
+                    else:  # can't name the slow spec: retry finer, uncharged
+                        self._split_group(specs, batch, splits)
+                    break
+                except Exception as exc:
+                    collected.add(b)
+                    if len(members) == 1:
+                        failed[members[0]] = exc
+                    else:
+                        self._split_group(specs, batch, splits)
+        finally:
+            # salvage batches that finished before the round broke
+            for b, batch in enumerate(batches):
+                if b in collected or not futs[b].done():
+                    continue
+                try:
+                    self._collect_batch(
+                        specs, results, metas, pending, batch,
+                        futs[b].result(timeout=0), failed,
+                    )
+                except Exception:
+                    pass
+            if broke or terminate:
+                self._discard_pool(kill=True)
+
+        if broke:
+            still = [i for i in order if i in pending and i not in failed]
+            if len(still) == 1:
+                # a single suspect needs no isolation round to be convicted
+                failed[still[0]] = FaultError(
+                    f"worker process died while running {specs[still[0]].label}"
+                )
+                broke = False
+            else:
+                split_any = False
+                for b, batch in enumerate(batches):
+                    if b in collected or len(batch[1]) == 1:
+                        continue
+                    if any(i in still for i in batch[1]):
+                        self._split_group(specs, batch, splits)
+                        split_any = True
+                if split_any:
+                    broke = False  # uncharged retry at finer granularity
+        return failed, broke
+
+    def _grouped_isolated(
+        self, specs, results, metas, i, pending, retry, handles,
+    ):
+        """One spec in a fresh single-task pool (attribution by construction)."""
+        spec = specs[i]
+        batch = ((workload_fingerprint(spec.workload), spec.engine), [i])
+        failed: dict[int, Exception] = {}
+        pool = ProcessPoolExecutor(max_workers=1)
+        fut = pool.submit(
+            _worker_run_batch, self._batch_payload(specs, batch, handles)
+        )
+        kill = False
+        try:
+            self._collect_batch(
+                specs, results, metas, pending, batch,
+                fut.result(timeout=retry.timeout_s), failed,
+            )
+        except BrokenProcessPool:
+            telemetry.count("runner.worker_deaths")
+            failed[i] = FaultError(
+                f"worker process died while running {spec.label}"
+            )
+        except FuturesTimeoutError:
+            failed[i] = ExperimentTimeoutError(
+                f"{spec.label} exceeded the "
+                f"{retry.timeout_s:g}s per-experiment timeout"
+            )
+            kill = True
+        except Exception as exc:
+            failed[i] = exc
+        finally:
+            if kill:
+                for proc in getattr(pool, "_processes", {}).values():
+                    try:
+                        proc.terminate()
+                    except OSError:  # pragma: no cover - already gone
+                        pass
+            pool.shutdown(wait=not kill, cancel_futures=True)
+        return failed
 
     @staticmethod
     def _collect(results, metas, i, value) -> None:
@@ -804,3 +1206,110 @@ def _worker_run(payload) -> tuple[RunResult, ExperimentMeta]:
     if snapshot is not None:
         meta = replace(meta, telemetry=snapshot)
     return result, meta
+
+
+#: Per-worker runner memo: a pool worker serves many batches of the same
+#: sweep (and later sweeps from the same runner), so the serial runner —
+#: whose client carries the hitmask and trace-digest memos — is rebuilt
+#: only when the configuration changes.  Holds one entry: sweeps do not
+#: interleave configurations within a worker's lifetime.
+_WORKER_RUNNERS: dict = {}
+
+#: Per-worker fallback trace memo (workload fingerprint -> trace) for
+#: batches arriving without an attachable shm segment.
+_WORKER_TRACES: "OrderedDict[str, Trace]" = OrderedDict()
+
+
+def _worker_runner(client_config, cache_root, system_factory):
+    key = (client_config, cache_root, system_factory)
+    try:
+        runner = _WORKER_RUNNERS.get(key)
+    except TypeError:  # unhashable config: build fresh every batch
+        key = None
+        runner = None
+    if runner is None:
+        runner = ExperimentRunner(
+            cache=cache_root,
+            client=client_config,
+            system_factory=system_factory,
+            workers=None,
+        )
+        if key is not None:
+            _WORKER_RUNNERS.clear()
+            _WORKER_RUNNERS[key] = runner
+    return runner
+
+
+def _worker_trace(runner, workload: WorkloadSpec) -> Trace:
+    fp = workload_fingerprint(workload)
+    trace = _WORKER_TRACES.get(fp)
+    if trace is None:
+        trace = runner.trace_for(workload)
+        _WORKER_TRACES[fp] = trace
+        while len(_WORKER_TRACES) > 8:
+            _WORKER_TRACES.popitem(last=False)
+    return trace
+
+
+def _worker_run_batch(payload):
+    """Process-pool entry point for one placement batch.
+
+    All specs in the batch share a trace (attached zero-copy from the
+    shared-memory plane when a handle is present, else materialised and
+    memoized per worker), an engine profile and one
+    :class:`~repro.runner.caching.PlacementBatch` — the worker-side half
+    of the grouped sweep plan.
+
+    Replies are *per spec*: ``(local_index, ok, payload)`` entries where
+    a failed spec carries its exception instead of poisoning the batch,
+    matching serial semantics (one bad spec does not block its
+    batch-mates).  Chaos strikes fire per spec inside the worker, and
+    each spec runs under its own ``runner.experiment`` span rooted at
+    the coordinator's sweep span — the span tree is indistinguishable
+    from per-cell dispatch.
+    """
+    specs, handle, client_config, cache_root, system_factory, chaos, tele = (
+        payload
+    )
+    telemetry.activate_worker(tele)
+    entries: list[tuple[int, bool, object]] = []
+    try:
+        runner = _worker_runner(client_config, cache_root, system_factory)
+        trace = None
+        if handle is not None:
+            try:
+                trace = attach_trace(handle)
+                runner._client.prime_trace_digest(trace, handle.digest)
+            except Exception:  # segment gone: degrade, never fail
+                trace = None
+                telemetry.count("runner.shm", op="fallback")
+        if trace is None:
+            trace = _worker_trace(runner, specs[0].workload)
+        profile = profile_for(specs[0].engine)
+        system = runner.system_factory()
+        batch = PlacementBatch(
+            runner._client, trace, profile, system,
+            path_label="grouped_batch",
+        )
+        for local, spec in enumerate(specs):
+            start = time.perf_counter()
+            try:
+                if chaos is not None:
+                    chaos.maybe_strike(spec.label, allow_exit=True)
+                with telemetry.span(
+                    "runner.experiment", label=spec.label,
+                ) as sp:
+                    mask = runner.placement_mask(spec, trace)
+                    result, provenance = batch.run_cached(mask)
+                    sp.set("provenance", provenance)
+                meta = ExperimentMeta(
+                    label=spec.label,
+                    duration_s=time.perf_counter() - start,
+                    provenance=provenance,
+                )
+                entries.append((local, True, (result, meta)))
+            except Exception as exc:
+                entries.append((local, False, exc))
+    finally:
+        snapshot = telemetry.drain_worker()
+    return entries, snapshot

@@ -1,0 +1,338 @@
+"""Sweep planner: grouped dispatch equivalence, attribution, shm hygiene.
+
+The planner's contract is strict: grouped-batch dispatch over the
+shared-memory trace plane must produce results, fingerprints and cache
+entries *bit-identical* to the serial and per-cell paths, attribute
+failures to individual specs even when they arrive batched, and never
+leak a shared-memory segment — including on the failure paths.
+"""
+
+import numpy as np
+import pytest
+from multiprocessing import shared_memory
+
+from repro import telemetry
+from repro.errors import ConfigurationError, FaultError
+from repro.faults import ChaosPlan
+from repro.runner import (
+    ClientConfig,
+    ExperimentRunner,
+    ExperimentSpec,
+    PlacementBatch,
+    RetryPolicy,
+    TracePlane,
+)
+from repro.runner.grid import _worker_run_batch
+from repro.runner.shm import attach_trace
+from repro.ycsb import generate_trace
+
+#: Retries that keep test wall-clock low.
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_base_s=0.01)
+
+
+def _runner(tmp_path, sub, **kwargs):
+    kwargs.setdefault("client", ClientConfig(repeats=2, seed=7))
+    kwargs.setdefault("retry", FAST_RETRY)
+    return ExperimentRunner(cache=str(tmp_path / sub), **kwargs)
+
+
+def _segment_exists(name: str) -> bool:
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    seg.close()
+    return True
+
+
+@pytest.fixture
+def grid_specs(small_spec, mixed_spec):
+    """Six cells: two (workload, engine) groups of three placements."""
+    return ExperimentRunner.grid(
+        [small_spec, mixed_spec], engines=("redis",),
+        placements=("fast", "slow", "split"), fast_fractions=(0.3,),
+    )
+
+
+@pytest.fixture
+def reference(grid_specs, tmp_path):
+    """Clean serial results every planner configuration must equal."""
+    runner = _runner(tmp_path, "ref")
+    try:
+        return runner.sweep(grid_specs)
+    finally:
+        runner.close()
+
+
+class TestEquivalence:
+    def test_grouped_identical_to_serial(
+        self, grid_specs, reference, tmp_path,
+    ):
+        with _runner(tmp_path, "grp") as runner:
+            grouped = runner.sweep(grid_specs, workers=2)
+        assert grouped.ok
+        assert grouped.results == reference.results
+
+    def test_cell_plan_identical_to_grouped(
+        self, grid_specs, reference, tmp_path,
+    ):
+        with _runner(tmp_path, "cell", plan="cell") as runner:
+            cell = runner.sweep(grid_specs, workers=2)
+        assert cell.ok
+        assert cell.results == reference.results
+
+    def test_no_shm_identical(self, grid_specs, reference, tmp_path):
+        with _runner(tmp_path, "noshm", use_shm=False) as runner:
+            outcome = runner.sweep(grid_specs, workers=2)
+        assert outcome.ok
+        assert outcome.results == reference.results
+
+    def test_cache_entries_identical_across_plans(
+        self, grid_specs, tmp_path,
+    ):
+        # the grouped workers and the serial path must write the same
+        # fingerprints — the caches are interchangeable byte stores
+        with _runner(tmp_path, "a") as serial:
+            serial.sweep(grid_specs)
+        with _runner(tmp_path, "b") as grouped:
+            grouped.sweep(grid_specs, workers=2)
+
+        def entries(sub):
+            return sorted(
+                p.relative_to(tmp_path / sub).as_posix()
+                for p in (tmp_path / sub).rglob("*.json") if p.is_file()
+            )
+
+        assert entries("a") == entries("b")
+        assert len(entries("a")) >= len(grid_specs)
+
+    def test_batch_fingerprints_match_spec_fingerprints(
+        self, grid_specs, tmp_path,
+    ):
+        with _runner(tmp_path, "fp") as runner:
+            spec = grid_specs[0]
+            trace = runner.trace_for(spec.workload)
+            batch = PlacementBatch(
+                runner._client, trace, __import__(
+                    "repro.kvstore.profiles", fromlist=["profile_for"]
+                ).profile_for(spec.engine), runner.system_factory(),
+            )
+            mask = runner.placement_mask(spec, trace)
+            assert batch.fingerprint(mask) == runner.spec_fingerprint(
+                spec, trace
+            )
+
+    def test_warm_grouped_sweep_recalls_from_cache(
+        self, grid_specs, tmp_path,
+    ):
+        with _runner(tmp_path, "warm") as runner:
+            cold = runner.sweep(grid_specs, workers=2)
+            warm = runner.sweep(grid_specs, workers=2)
+        assert set(cold.provenance) == {"computed"}
+        assert set(warm.provenance) == {"cache"}
+        assert warm.results == cold.results
+
+
+class TestPlanner:
+    def test_batches_group_by_workload_and_engine(
+        self, grid_specs, tmp_path,
+    ):
+        with _runner(tmp_path, "plan") as runner:
+            batches = runner._plan_batches(
+                grid_specs, list(range(len(grid_specs))), {},
+            )
+            assert [m for _, m in batches] == [[0, 1, 2], [3, 4, 5]]
+
+    def test_split_levels_chunk_deterministically(
+        self, grid_specs, tmp_path,
+    ):
+        with _runner(tmp_path, "plan") as runner:
+            order = list(range(len(grid_specs)))
+            level_0 = runner._plan_batches(grid_specs, order, {})
+            key = level_0[0][0]
+            level_1 = runner._plan_batches(grid_specs, order, {key: 1})
+            level_2 = runner._plan_batches(grid_specs, order, {key: 2})
+        assert [m for _, m in level_1] == [[0, 1], [2], [3, 4, 5]]
+        assert [m for _, m in level_2] == [[0], [1], [2], [3, 4, 5]]
+
+    def test_bad_plan_rejected(self, tmp_path, grid_specs):
+        with pytest.raises(ConfigurationError):
+            ExperimentRunner(plan="scattered")
+        with _runner(tmp_path, "bad") as runner:
+            with pytest.raises(ConfigurationError):
+                runner.sweep(grid_specs, workers=2, plan="scattered")
+
+    def test_pool_persists_across_sweeps(self, grid_specs, tmp_path):
+        with _runner(tmp_path, "pool") as runner:
+            runner.sweep(grid_specs, workers=2)
+            first = runner._res.pool
+            assert first is not None
+            runner.sweep(grid_specs, workers=2)
+            assert runner._res.pool is first
+        assert runner._res.pool is None
+
+    def test_summary_reports_aggregate_and_elapsed(
+        self, grid_specs, tmp_path,
+    ):
+        with _runner(tmp_path, "sum") as runner:
+            outcome = runner.sweep(grid_specs, workers=2)
+        assert outcome.elapsed_s > 0
+        text = outcome.summary()
+        assert "compute:" in text and "aggregate" in text
+        assert "wall clock:" in text and "elapsed" in text
+
+
+class TestGroupedChaos:
+    def test_mid_batch_kill_attributed_and_converges(
+        self, grid_specs, reference, tmp_path,
+    ):
+        # the victim sits mid-batch: its death takes the pool (and its
+        # batch-mates' in-flight work) down, yet the sweep must converge
+        # to bit-identical results with exactly one strike delivered
+        victim = grid_specs[1].label
+        runner = _runner(
+            tmp_path, "kill",
+            chaos=ChaosPlan(
+                kill_labels=(victim,), mode="exit",
+                marker_dir=str(tmp_path / "chaos"),
+            ),
+        )
+        with runner:
+            outcome = runner.sweep(grid_specs, workers=2)
+        assert outcome.ok
+        assert outcome.results == reference.results
+        assert runner.chaos.strikes_delivered(victim) == 1
+
+    def test_unrecoverable_spec_fails_alone(
+        self, grid_specs, reference, tmp_path,
+    ):
+        # a spec that fails in-band on every attempt is reported against
+        # its own label; its batch-mates complete untouched
+        victim = grid_specs[2].label
+        runner = _runner(
+            tmp_path, "fail",
+            chaos=ChaosPlan(
+                kill_labels=(victim,), mode="raise", max_strikes=99,
+                marker_dir=str(tmp_path / "chaos"),
+            ),
+        )
+        with runner:
+            outcome = runner.sweep(grid_specs, workers=2)
+        assert not outcome.ok
+        assert len(outcome.report) == 1
+        failure = outcome.report.failures[0]
+        assert failure.label == victim
+        assert failure.attempts == FAST_RETRY.max_attempts
+        for spec, res, ref in zip(
+            grid_specs, outcome.results, reference.results,
+        ):
+            if spec.label == victim:
+                assert res is None
+            else:
+                assert res == ref
+
+
+class TestTracePlane:
+    def test_publish_attach_roundtrip(self, small_trace):
+        plane = TracePlane()
+        try:
+            handle = plane.publish(small_trace)
+            trace, seg = handle.attach()
+            assert trace.name == small_trace.name
+            np.testing.assert_array_equal(trace.keys, small_trace.keys)
+            np.testing.assert_array_equal(trace.is_read, small_trace.is_read)
+            np.testing.assert_array_equal(
+                trace.record_sizes, small_trace.record_sizes,
+            )
+            assert not trace.keys.flags.writeable
+            seg.close()
+        finally:
+            plane.close()
+
+    def test_publish_idempotent_per_digest(self, small_trace):
+        plane = TracePlane()
+        try:
+            first = plane.publish(small_trace)
+            second = plane.publish(small_trace)
+            assert first is second
+            assert len(plane) == 1
+        finally:
+            plane.close()
+
+    def test_close_unlinks_segments(self, small_trace):
+        plane = TracePlane()
+        handle = plane.publish(small_trace)
+        assert _segment_exists(handle.segment)
+        plane.close()
+        assert not _segment_exists(handle.segment)
+        with pytest.raises(FileNotFoundError):
+            handle.attach()
+
+    def test_worker_falls_back_when_segment_vanished(
+        self, small_spec, small_trace,
+    ):
+        # a dead handle degrades to materialising the trace — results
+        # still flow, bit-identical to an in-process run
+        plane = TracePlane()
+        handle = plane.publish(small_trace)
+        plane.close()
+        spec = ExperimentSpec(workload=small_spec, placement="slow")
+        config = ClientConfig(repeats=2, seed=7)
+        entries, _ = _worker_run_batch((
+            (spec,), handle, config, None,
+            ExperimentRunner().system_factory, None, None,
+        ))
+        assert [ok for _, ok, _ in entries] == [True]
+        expected = ExperimentRunner(cache=None, client=config).run(spec)
+        assert entries[0][2][0] == expected
+
+    def test_runner_close_removes_all_segments(self, grid_specs, tmp_path):
+        runner = _runner(tmp_path, "leak")
+        runner.sweep(grid_specs, workers=2)
+        names = runner._res.plane.segment_names
+        assert len(names) == 2  # one per workload
+        assert all(_segment_exists(n) for n in names)
+        runner.close()
+        assert all(not _segment_exists(n) for n in names)
+
+    def test_no_segment_survives_chaos(self, grid_specs, tmp_path):
+        runner = _runner(
+            tmp_path, "chaosleak",
+            chaos=ChaosPlan(
+                kill_labels=(grid_specs[0].label,), mode="exit",
+                marker_dir=str(tmp_path / "chaos"),
+            ),
+        )
+        runner.sweep(grid_specs, workers=2)
+        names = runner._res.plane.segment_names
+        runner.close()
+        assert all(not _segment_exists(n) for n in names)
+
+
+class TestPlannerTelemetry:
+    def test_grouped_path_label_and_shm_counters(
+        self, grid_specs, tmp_path,
+    ):
+        with telemetry.session() as tel:
+            with _runner(tmp_path, "tele") as runner:
+                outcome = runner.sweep(grid_specs, workers=2)
+        assert outcome.ok
+
+        def total(name, **labels):
+            return sum(
+                rec["value"] for rec in tel.metrics.snapshot()
+                if rec["name"] == name and all(
+                    rec["labels"].get(k) == v for k, v in labels.items()
+                )
+            )
+
+        assert total("memsim.path", path="grouped_batch") >= 2
+        assert total("memsim.path", path="batch_kernel") == 0
+        assert total("runner.shm", op="publish") == 2
+        assert total("runner.shm", op="attach") >= 1
+        sweeps = [
+            s for s in tel.all_spans() if s.name == "runner.sweep"
+        ]
+        assert sweeps and all(
+            s.attrs.get("plan") == "grouped" for s in sweeps
+        )
