@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test verify chaos guard bench bench-kernel bench-obs bench-sweep bench-verbose examples results clean
+.PHONY: install test verify chaos crash guard bench bench-kernel bench-obs bench-store bench-sweep bench-verbose examples results clean
 
 results: bench
 	$(PYTHON) tools/collect_results.py
@@ -11,14 +11,23 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# the tier-1 gate: exactly what CI runs (tests + planner speedup smoke)
+# the tier-1 gate: exactly what CI runs (tests + planner speedup smoke
+# + the kill -9 drills)
 verify:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	$(MAKE) bench-sweep
+	$(MAKE) crash
 
 # chaos smoke: fault injection, worker kills, cache corruption
 chaos:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/faults -x -q
+
+# kill -9 drills: SIGKILL a writer / the sweep coordinator / a pool
+# worker, reopen the store, prove zero corruption and bit-identical
+# resume; plus the SIGTERM end-to-end on a live `mnemo serve`
+crash:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/store/test_crash.py \
+		tests/service/test_serve.py -x -q
 
 # SLO guardrails: drift detection, recommendation validation, fallback
 # re-planning — includes the end-to-end validate-reject-fallback scenario
@@ -46,6 +55,12 @@ bench-kernel:
 bench-sweep:
 	MNEMO_BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/bench_sweep_planner.py --benchmark-only -s
+
+# store overhead smoke: warm reads from the SQLite store vs the file
+# cache must stay within the committed ratio; refreshes BENCH_store.json
+bench-store:
+	MNEMO_BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest \
+		benchmarks/bench_store.py --benchmark-only -s
 
 # telemetry overhead smoke: sweeps with a session on vs off must be
 # bit-identical and within the ceiling; refreshes BENCH_obs.json

@@ -11,12 +11,20 @@ the reproduction ships a CLI mirroring the paper's interface
     python -m repro compare --workload trending
     python -m repro pricing
     python -m repro sweep --workloads trending,timeline --workers 4
+    python -m repro sweep --store mnemo.db --run-id nightly
+    python -m repro sweep --store mnemo.db --resume nightly
     python -m repro cache stats
+    python -m repro cache migrate --dir .mnemo-cache --store mnemo.db
     python -m repro guard --workload trending --live-rotate 500
+    python -m repro serve --workload trending --interval 60 \
+        --store mnemo.db
 
 Exit code 0 on success; usage and configuration errors print one clean
 line to stderr and exit 2.  The ``guard`` subcommand additionally uses
 1 (warnings) and 3 (action needed) so CI and cron jobs can react.
+``sweep`` and ``serve`` install SIGTERM/SIGINT handlers so a kill
+releases shared memory, pools and store handles on the way out and
+exits ``128 + signum``.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from __future__ import annotations
 import argparse
 import logging
 import sys
+from contextlib import nullcontext
 from typing import Sequence
 
 from repro import telemetry
@@ -230,12 +239,27 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--obs", metavar="PATH",
                        help="write a telemetry event log (JSONL) here; "
                             "inspect it with 'obs PATH'")
+    sweep.add_argument("--store", metavar="DB",
+                       help="memoize results in this durable SQLite "
+                            "store instead of a cache directory")
+    sweep.add_argument("--run-id", metavar="ID",
+                       help="journal checkpoints to the store under "
+                            "this run id (the sweep becomes resumable)")
+    sweep.add_argument("--resume", metavar="RUN_ID",
+                       help="resume a journaled run: skip checkpointed "
+                            "experiments, load their results from the "
+                            "store (requires --store)")
 
-    cache = sub.add_parser("cache", help="inspect, verify or clear "
-                                         "the result cache")
-    cache.add_argument("action", choices=["stats", "verify", "clear"])
+    cache = sub.add_parser("cache", help="inspect, verify, clear or "
+                                         "migrate the result cache")
+    cache.add_argument("action",
+                       choices=["stats", "verify", "clear", "migrate"])
     cache.add_argument("--dir", dest="cache_dir", metavar="DIR",
-                       help="cache directory (default .mnemo-cache)")
+                       help="cache directory or store file "
+                            "(default .mnemo-cache)")
+    cache.add_argument("--store", metavar="DB",
+                       help="migrate: destination SQLite store "
+                            "(default mnemo.db)")
 
     guard = sub.add_parser(
         "guard",
@@ -269,6 +293,50 @@ def _build_parser() -> argparse.ArgumentParser:
     guard.add_argument("--obs", metavar="PATH",
                        help="write a telemetry event log (JSONL) here; "
                             "inspect it with 'obs PATH'")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the guard loop as a supervised service "
+             "(heartbeat file, control socket, crash-restart)",
+    )
+    serve.add_argument("--workload", default="trending",
+                       help="planning workload (built-in name)")
+    serve.add_argument("--engine", default="redis", choices=sorted(ENGINES))
+    serve.add_argument("--slo", type=float, default=0.10,
+                       help="max slowdown vs FastMem-only (default 0.10)")
+    serve.add_argument("--interval", type=float, default=60.0, metavar="S",
+                       help="seconds between guard ticks (default 60)")
+    serve.add_argument("--validate-every", type=int, default=1, metavar="N",
+                       help="full simulator replay every Nth tick "
+                            "(0 = drift + margin only; default 1)")
+    serve.add_argument("--repeats", type=int, default=3)
+    serve.add_argument("--seed", type=int, default=None)
+    serve.add_argument("--downsample", type=float, default=0.0, metavar="N",
+                       help="plan on a 1/N random sample of the workload")
+    serve.add_argument("--store", metavar="DB",
+                       help="journal service events (and memoize "
+                            "measurements) in this SQLite store")
+    serve.add_argument("--rundir", default=None, metavar="DIR",
+                       help="heartbeat + control socket directory "
+                            "(default .mnemo-serve)")
+    serve.add_argument("--run-id", default="serve", metavar="ID",
+                       help="oplog run id for service events")
+    serve.add_argument("--max-ticks", type=int, default=None, metavar="N",
+                       help="stop after N ticks (drills and tests)")
+    serve.add_argument("--no-supervise", action="store_true",
+                       help="run the service in this process, without "
+                            "the crash-restart supervisor")
+    serve.add_argument("--max-restarts", type=int, default=5,
+                       help="crashes tolerated before giving up "
+                            "(default 5)")
+    serve.add_argument("--backoff-base", type=float, default=0.5,
+                       metavar="S",
+                       help="first restart backoff in seconds; doubles "
+                            "per restart (default 0.5)")
+    serve.add_argument("--control", metavar="OP",
+                       choices=["ping", "status", "metrics", "shutdown"],
+                       help="instead of serving, send OP to the service "
+                            "listening under --rundir and print its reply")
 
     obs = sub.add_parser(
         "obs",
@@ -465,9 +533,32 @@ def _cmd_sweep(args) -> int:
     engines = pick(args.engines, sorted(ENGINES), "engine")
     placements = pick(args.placements, ["fast", "slow", "split"], "placement")
 
+    if args.store and args.cache_dir:
+        raise UsageError("give either --store or --cache-dir, not both")
+    if args.run_id and args.resume:
+        raise UsageError("give either --run-id or --resume, not both")
+    run_id = args.resume or args.run_id
+    journal = None
+    cache = args.cache_dir
+    if args.store:
+        from repro.store import SQLiteStore, SweepJournal
+
+        cache = SQLiteStore(args.store)
+        if run_id:
+            journal = SweepJournal(cache, run_id)
+            if args.resume and not journal.started():
+                raise UsageError(
+                    f"--resume: no journaled run {args.resume!r} in "
+                    f"{args.store} (known runs: "
+                    f"{[r for r, _ in cache.oplog.runs()] or 'none'})"
+                )
+    elif run_id:
+        raise UsageError("--run-id/--resume journal to a durable store; "
+                         "add --store DB")
+
     faults = _parse_faults_arg(args.faults)
     runner = ExperimentRunner(
-        cache=args.cache_dir,
+        cache=cache,
         client=ClientConfig(seed=args.seed, faults=faults),
         retry=RetryPolicy(
             max_attempts=args.max_attempts, timeout_s=args.timeout,
@@ -483,14 +574,19 @@ def _cmd_sweep(args) -> int:
     )
     if faults is not None and faults.active:
         log.info("fault injection: %s", faults.describe())
+    if journal is not None:
+        log.info("journaling sweep under run id %r in %s",
+                 run_id, args.store)
     log.info(
         "sweeping %d experiment(s) across %d worker(s)",
         len(specs), args.workers,
     )
     try:
-        outcome = runner.sweep(specs, workers=args.workers)
+        outcome = runner.sweep(specs, workers=args.workers, journal=journal)
     finally:
         runner.close()
+        if args.store:
+            cache.close()
     for line in outcome.summary().splitlines():
         log.info("%s", line)
     print(f"{'experiment':<40} {'ops/s':>12} {'avg read us':>12} "
@@ -509,9 +605,32 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_cache(args) -> int:
-    from repro.runner import DEFAULT_CACHE_DIR, ResultCache
+    from repro.runner import DEFAULT_CACHE_DIR
+    from repro.runner.cache import ensure_cache
 
-    cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    if args.action == "migrate":
+        from repro.runner.cache import ResultCache
+        from repro.store import DEFAULT_STORE_PATH, SQLiteStore, migrate_cache
+
+        src = ensure_cache(args.cache_dir or DEFAULT_CACHE_DIR)
+        if isinstance(src, SQLiteStore):
+            raise UsageError(
+                f"--dir {src.root} is already a SQLite store; migrate "
+                "reads a v2 file-tree cache"
+            )
+        dst = SQLiteStore(args.store or DEFAULT_STORE_PATH)
+        try:
+            report = migrate_cache(src, dst, verify=True)
+        finally:
+            dst.close()
+        print(f"migrate: {src.root} -> {args.store or DEFAULT_STORE_PATH}")
+        for line in report.lines():
+            print(line)
+        return 0 if report.ok else 1
+
+    # stats/verify/clear work on either backend — ensure_cache detects
+    # SQLite files (suffix or magic) and file trees alike
+    cache = ensure_cache(args.cache_dir or DEFAULT_CACHE_DIR)
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached entries from {cache.root}")
@@ -575,6 +694,98 @@ def _cmd_guard(args) -> int:
     return outcome.exit_code
 
 
+def _cmd_serve(args) -> int:
+    import json as _json
+
+    from repro.service import (
+        DEFAULT_RUNDIR,
+        RestartPolicy,
+        ServeConfig,
+        Supervisor,
+        control_call,
+        run_service,
+    )
+    from repro.service.serve import _service_child
+
+    _check_range("--slo", args.slo, lo=0.0, hi=1.0, hi_open=True)
+    _check_range("--interval", args.interval, lo=0.0, lo_open=True)
+    _check_range("--downsample", args.downsample, lo=0.0)
+    if args.validate_every < 0:
+        raise UsageError(
+            f"--validate-every must be >= 0, got {args.validate_every}"
+        )
+    if args.workload not in {w.name for w in TABLE_III_WORKLOADS}:
+        raise UsageError(f"unknown workload {args.workload!r}")
+
+    config = ServeConfig(
+        workload=args.workload,
+        engine=args.engine,
+        slo=args.slo,
+        interval_s=args.interval,
+        validate_every=args.validate_every,
+        repeats=args.repeats,
+        seed=args.seed,
+        downsample=args.downsample,
+        store=args.store,
+        rundir=args.rundir or DEFAULT_RUNDIR,
+        run_id=args.run_id,
+    )
+
+    if args.control:
+        try:
+            reply = control_call(config.socket_path, {"op": args.control})
+        except OSError as exc:
+            raise UsageError(
+                f"no service listening on {config.socket_path}: {exc}"
+            ) from exc
+        if args.control == "metrics":
+            sys.stdout.write(reply.get("prometheus", ""))
+        else:
+            print(_json.dumps(reply, indent=1, sort_keys=True))
+        return 0 if reply.get("ok") else 1
+
+    if args.no_supervise:
+        # in-process, with its own telemetry session so the socket's
+        # `metrics` op has a live registry to export; TerminationSignal
+        # unwinds through service cleanup and maps to 128 + signum
+        log.info("serving (unsupervised): %s every %gs",
+                 args.workload, args.interval)
+        return run_service(config, max_ticks=args.max_ticks)
+
+    policy = RestartPolicy(
+        max_restarts=args.max_restarts,
+        backoff_base_s=args.backoff_base,
+    )
+    supervisor = Supervisor(
+        _service_child, args=(config, args.max_ticks), policy=policy,
+    )
+    # SIGTERM/SIGINT stop the supervisor (which SIGTERMs the child so
+    # the service unwinds gracefully); record the signal for the exit
+    # code convention
+    import signal as _signal
+
+    signaled: list[int] = []
+
+    def _stop(signum, frame):  # pragma: no cover - exercised in drills
+        signaled.append(signum)
+        supervisor.stop()
+
+    previous = {
+        s: _signal.signal(s, _stop)
+        for s in (_signal.SIGTERM, _signal.SIGINT)
+    }
+    log.info("serving (supervised, <=%d restarts): %s every %gs",
+             args.max_restarts, args.workload, args.interval)
+    try:
+        code = supervisor.run()
+    finally:
+        for s, handler in previous.items():
+            _signal.signal(s, handler)
+    if signaled:
+        return 128 + signaled[0]
+    return code
+
+
 def _cmd_obs(args) -> int:
     from repro.telemetry.render import RunView, render_run, to_prometheus
 
@@ -604,8 +815,14 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "cache": _cmd_cache,
     "guard": _cmd_guard,
+    "serve": _cmd_serve,
     "obs": _cmd_obs,
 }
+
+#: Long-running commands that own releasable resources (a warm worker
+#: pool, shared-memory trace segments, an open store): SIGTERM/SIGINT
+#: must unwind their ``finally`` blocks, not kill the process mid-write.
+_GRACEFUL_COMMANDS = frozenset({"sweep", "serve"})
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -616,17 +833,27 @@ def main(argv: Sequence[str] | None = None) -> int:
     never a traceback), and for ``guard`` additionally 1 = warnings and
     3 = action needed.
     """
+    from repro.service.signals import TerminationSignal, handle_termination
+
     args = _build_parser().parse_args(argv)
     _configure_logging(args.verbose, args.quiet)
+    graceful = (
+        handle_termination() if args.command in _GRACEFUL_COMMANDS
+        else nullcontext()
+    )
     try:
-        sink = getattr(args, "obs", None)
-        if sink and args.command != "obs":
-            with telemetry.session(sink=sink) as tel:
-                tel.run_attrs["command"] = args.command
-                code = _COMMANDS[args.command](args)
-            log.info("telemetry written: %s", sink)
-            return code
-        return _COMMANDS[args.command](args)
+        with graceful:
+            sink = getattr(args, "obs", None)
+            if sink and args.command != "obs":
+                with telemetry.session(sink=sink) as tel:
+                    tel.run_attrs["command"] = args.command
+                    code = _COMMANDS[args.command](args)
+                log.info("telemetry written: %s", sink)
+                return code
+            return _COMMANDS[args.command](args)
+    except TerminationSignal as sig:
+        log.info("terminated by signal %d; resources released", sig.signum)
+        return sig.exit_code
     except UsageError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

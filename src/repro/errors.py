@@ -64,6 +64,15 @@ class ExperimentTimeoutError(FaultError, TimeoutError):
     """
 
 
+class StoreError(ReproError):
+    """The durable SQLite store could not complete an operation.
+
+    Raised when lock contention outlasts the bounded-backoff retry
+    budget, when the database file is unusable, or when a journaled
+    sweep references a run the oplog does not know.
+    """
+
+
 class CacheCorruptionError(ReproError):
     """A cache entry failed its integrity check.
 

@@ -12,7 +12,12 @@ Two halves (see ``docs/FAULTS.md``):
   the cache's checksum quarantine.
 """
 
-from repro.faults.chaos import CHAOS_MODES, ChaosPlan, corrupt_cache_entries
+from repro.faults.chaos import (
+    CHAOS_MODES,
+    ChaosPlan,
+    corrupt_cache_entries,
+    corrupt_store_rows,
+)
 from repro.faults.models import (
     FAULT_KINDS,
     BandwidthDegradation,
@@ -28,6 +33,7 @@ __all__ = [
     "CHAOS_MODES",
     "ChaosPlan",
     "corrupt_cache_entries",
+    "corrupt_store_rows",
     "FAULT_KINDS",
     "BandwidthDegradation",
     "FaultSpec",

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import signal
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -31,7 +32,7 @@ from pathlib import Path
 from repro.errors import ConfigurationError, FaultError
 
 #: Strike behaviours a :class:`ChaosPlan` supports.
-CHAOS_MODES = ("exit", "raise", "hang")
+CHAOS_MODES = ("exit", "raise", "hang", "sigkill")
 
 
 @dataclass(frozen=True)
@@ -45,7 +46,10 @@ class ChaosPlan:
     mode:
         ``"exit"`` kills the worker process outright (parallel grids
         only — it would take the caller down in serial runs, so serial
-        execution downgrades it to ``"raise"``); ``"raise"`` raises a
+        execution downgrades it to ``"raise"``); ``"sigkill"`` delivers
+        an uncatchable SIGKILL to the worker instead (no atexit, no
+        cleanup — the harshest crash a process can model; also
+        downgraded to ``"raise"`` in serial runs); ``"raise"`` raises a
         :class:`~repro.errors.FaultError` from inside the experiment;
         ``"hang"`` sleeps ``hang_s`` seconds (to trip per-experiment
         timeouts) and then returns normally.
@@ -112,6 +116,8 @@ class ChaosPlan:
                 return
             if self.mode == "exit" and allow_exit:
                 os._exit(17)
+            if self.mode == "sigkill" and allow_exit:
+                os.kill(os.getpid(), signal.SIGKILL)
             raise FaultError(
                 f"chaos strike {strike + 1}/{self.max_strikes} on {label!r}"
             )
@@ -165,6 +171,53 @@ def corrupt_cache_entries(
                 data = data[:mid] + bytes([data[mid] ^ 0xFF]) + data[mid + 1:]
                 path.write_bytes(data)
             touched.append(path)
+            if limit is not None and len(touched) >= limit:
+                return touched
+    return touched
+
+
+def corrupt_store_rows(
+    store,
+    kinds: tuple[str, ...] = ("results", "traces", "hitmasks"),
+    mode: str = "flip",
+    limit: int | None = None,
+) -> list[str]:
+    """Corrupt entry bodies inside a SQLite store; returns fingerprints hit.
+
+    The SQL analog of :func:`corrupt_cache_entries` for
+    :class:`~repro.store.SQLiteStore`: mutates row *bodies* directly
+    (below the codec layer), modelling storage-level rot rather than a
+    torn write — WAL transactions make torn writes impossible, but a
+    flipped bit on disk is still a flipped bit.  ``"flip"`` XORs the
+    middle byte; ``"truncate"`` halves the blob.  Deterministic walk in
+    (kind, fingerprint) order.
+    """
+    if mode not in ("flip", "truncate"):
+        raise ConfigurationError(
+            f"unknown corruption mode {mode!r}; choose 'flip' or 'truncate'"
+        )
+    touched: list[str] = []
+    for kind in kinds:
+        for fingerprint in store.fingerprints(kind):
+            row = store._row(kind, fingerprint)
+            data = bytes(row["body"])
+            if not data:
+                continue
+            mid = len(data) // 2
+            if mode == "truncate":
+                data = data[:mid]
+            else:
+                data = data[:mid] + bytes([data[mid] ^ 0xFF]) + data[mid + 1:]
+
+            def txn(conn, kind=kind, fingerprint=fingerprint, data=data):
+                conn.execute(
+                    "UPDATE entries SET body = ? WHERE kind = ?"
+                    " AND fingerprint = ?",
+                    (data, kind, fingerprint),
+                )
+
+            store.db.write_txn(txn)
+            touched.append(fingerprint)
             if limit is not None and len(touched) >= limit:
                 return touched
     return touched

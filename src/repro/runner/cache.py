@@ -89,6 +89,134 @@ def _json_checksum(body) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+# -- entry codecs ----------------------------------------------------------
+#
+# The on-the-wire form of every entry kind, shared by the file-tree cache
+# below and the SQLite store (:mod:`repro.store`): results and verdicts
+# are checksummed JSON envelopes, traces and hit masks are checksummed
+# NPZ byte strings.  Decoders return ``(value, corruption_reason)``; a
+# stale-schema envelope decodes to ``(None, None)`` — a miss, not
+# corruption — so schema bumps orphan entries in both backends alike.
+# Because both backends persist the identical encoded bytes, migrating
+# entries between them is bit-preserving by construction.
+
+
+def encode_result(result: RunResult) -> dict:
+    """Envelope a run result as schema-stamped, checksummed JSON."""
+    # round-trip through JSON so the stored checksum is computed on
+    # exactly the value a reader will re-canonicalise (string keys)
+    body = json.loads(json.dumps(asdict(result)))
+    return {
+        "schema": SCHEMA_VERSION,
+        "checksum": _json_checksum(body),
+        "result": body,
+    }
+
+
+def decode_result(payload) -> "tuple[RunResult | None, str | None]":
+    """Validate a result envelope: ``(result, corruption reason)``."""
+    if not isinstance(payload, dict):
+        return None, "payload is not an object"
+    if payload.get("schema") != SCHEMA_VERSION:
+        return None, None  # stale schema: a miss, not corruption
+    body = payload.get("result")
+    checksum = payload.get("checksum")
+    if not isinstance(body, dict) or not isinstance(checksum, str):
+        return None, "missing result/checksum fields"
+    if _json_checksum(body) != checksum:
+        return None, "checksum mismatch"
+    body = dict(body)
+    try:
+        body["latency_percentiles_ns"] = {
+            float(q): v for q, v in body["latency_percentiles_ns"].items()
+        }
+        return RunResult(**body), None
+    except (KeyError, TypeError, ValueError):
+        return None, "malformed result body"
+
+
+def encode_verdict(payload: dict) -> dict:
+    """Envelope a guard-verdict payload as checksummed JSON."""
+    # round-trip through JSON so the stored checksum is computed on
+    # exactly the value a reader will re-canonicalise
+    body = json.loads(json.dumps(payload))
+    return {
+        "schema": SCHEMA_VERSION,
+        "checksum": _json_checksum(body),
+        "verdict": body,
+    }
+
+
+def decode_verdict(payload) -> "tuple[dict | None, str | None]":
+    """Validate a verdict envelope: ``(payload, corruption reason)``."""
+    if not isinstance(payload, dict):
+        return None, "payload is not an object"
+    if payload.get("schema") != SCHEMA_VERSION:
+        return None, None  # stale schema: a miss, not corruption
+    body = payload.get("verdict")
+    checksum = payload.get("checksum")
+    if not isinstance(body, dict) or not isinstance(checksum, str):
+        return None, "missing verdict/checksum fields"
+    if _json_checksum(body) != checksum:
+        return None, "checksum mismatch"
+    return body, None
+
+
+def encode_trace(trace: Trace) -> bytes:
+    """Serialise a trace as a checksummed compressed NPZ byte string."""
+    buf = io.BytesIO()
+    np.savez_compressed(
+        buf,
+        name=np.asarray(trace.name),
+        keys=trace.keys,
+        is_read=trace.is_read,
+        record_sizes=trace.record_sizes,
+        checksum=np.asarray(trace_fingerprint(trace)),
+    )
+    return buf.getvalue()
+
+
+def decode_trace(data: bytes) -> "tuple[Trace | None, str | None]":
+    """Validate a trace NPZ byte string: ``(trace, corruption reason)``."""
+    try:
+        with np.load(io.BytesIO(data), allow_pickle=False) as npz:
+            trace = Trace(
+                name=str(npz["name"]),
+                keys=npz["keys"],
+                is_read=npz["is_read"],
+                record_sizes=npz["record_sizes"],
+            )
+            checksum = str(npz["checksum"])
+    except _NPZ_ERRORS:
+        return None, "truncated or unparseable NPZ"
+    if trace_fingerprint(trace) != checksum:
+        return None, "checksum mismatch"
+    return trace, None
+
+
+def encode_hitmask(mask: np.ndarray) -> bytes:
+    """Serialise an LLC hit mask as a checksummed NPZ byte string."""
+    mask = np.asarray(mask, dtype=bool)
+    buf = io.BytesIO()
+    np.savez_compressed(
+        buf, mask=mask, checksum=np.asarray(array_digest(mask)),
+    )
+    return buf.getvalue()
+
+
+def decode_hitmask(data: bytes) -> "tuple[np.ndarray | None, str | None]":
+    """Validate a hit-mask NPZ byte string: ``(mask, corruption reason)``."""
+    try:
+        with np.load(io.BytesIO(data), allow_pickle=False) as npz:
+            mask = npz["mask"]
+            checksum = str(npz["checksum"])
+    except _NPZ_ERRORS:
+        return None, "truncated or unparseable NPZ"
+    if array_digest(mask) != checksum:
+        return None, "checksum mismatch"
+    return mask, None
+
+
 class CacheStats:
     """Per-kind entry counts, byte totals and quarantine census."""
 
@@ -247,24 +375,7 @@ class ResultCache:
             return None, "unreadable"
         except (json.JSONDecodeError, UnicodeDecodeError):
             return None, "unparseable JSON"
-        if not isinstance(payload, dict):
-            return None, "payload is not an object"
-        if payload.get("schema") != SCHEMA_VERSION:
-            return None, None  # stale schema: a miss, not corruption
-        body = payload.get("result")
-        checksum = payload.get("checksum")
-        if not isinstance(body, dict) or not isinstance(checksum, str):
-            return None, "missing result/checksum fields"
-        if _json_checksum(body) != checksum:
-            return None, "checksum mismatch"
-        body = dict(body)
-        try:
-            body["latency_percentiles_ns"] = {
-                float(q): v for q, v in body["latency_percentiles_ns"].items()
-            }
-            return RunResult(**body), None
-        except (KeyError, TypeError, ValueError):
-            return None, "malformed result body"
+        return decode_result(payload)
 
     def get_result(self, fingerprint: str) -> RunResult | None:
         """Load a cached :class:`~repro.ycsb.client.RunResult` (or None).
@@ -288,14 +399,7 @@ class ResultCache:
         self._ensure("results")
         telemetry.count("cache.write", kind="results")
         path = self._path("results", fingerprint, ".json")
-        # round-trip through JSON so the stored checksum is computed on
-        # exactly the value a reader will re-canonicalise (string keys)
-        body = json.loads(json.dumps(asdict(result)))
-        payload = {
-            "schema": SCHEMA_VERSION,
-            "checksum": _json_checksum(body),
-            "result": body,
-        }
+        payload = encode_result(result)
         _atomic_write(path, json.dumps(payload, indent=1).encode())
         return path
 
@@ -304,19 +408,10 @@ class ResultCache:
     def _load_trace_file(self, path: Path):
         """Load + validate one trace entry: (trace, corruption reason)."""
         try:
-            with np.load(path, allow_pickle=False) as npz:
-                trace = Trace(
-                    name=str(npz["name"]),
-                    keys=npz["keys"],
-                    is_read=npz["is_read"],
-                    record_sizes=npz["record_sizes"],
-                )
-                checksum = str(npz["checksum"])
-        except _NPZ_ERRORS:
-            return None, "truncated or unparseable NPZ"
-        if trace_fingerprint(trace) != checksum:
-            return None, "checksum mismatch"
-        return trace, None
+            data = path.read_bytes()
+        except OSError:
+            return None, "unreadable"
+        return decode_trace(data)
 
     def get_trace(self, fingerprint: str) -> Trace | None:
         """Load a cached generated trace (or None); quarantines corruption."""
@@ -336,16 +431,7 @@ class ResultCache:
         self._ensure("traces")
         telemetry.count("cache.write", kind="traces")
         path = self._path("traces", fingerprint, ".npz")
-        buf = io.BytesIO()
-        np.savez_compressed(
-            buf,
-            name=np.asarray(trace.name),
-            keys=trace.keys,
-            is_read=trace.is_read,
-            record_sizes=trace.record_sizes,
-            checksum=np.asarray(trace_fingerprint(trace)),
-        )
-        _atomic_write(path, buf.getvalue())
+        _atomic_write(path, encode_trace(trace))
         return path
 
     # -- guard verdicts -------------------------------------------------------
@@ -364,17 +450,7 @@ class ResultCache:
             return None, "unreadable"
         except (json.JSONDecodeError, UnicodeDecodeError):
             return None, "unparseable JSON"
-        if not isinstance(payload, dict):
-            return None, "payload is not an object"
-        if payload.get("schema") != SCHEMA_VERSION:
-            return None, None  # stale schema: a miss, not corruption
-        body = payload.get("verdict")
-        checksum = payload.get("checksum")
-        if not isinstance(body, dict) or not isinstance(checksum, str):
-            return None, "missing verdict/checksum fields"
-        if _json_checksum(body) != checksum:
-            return None, "checksum mismatch"
-        return body, None
+        return decode_verdict(payload)
 
     def get_verdict(self, fingerprint: str) -> dict | None:
         """Load a cached guard-verdict payload (or None).
@@ -398,14 +474,7 @@ class ResultCache:
         self._ensure("verdicts")
         telemetry.count("cache.write", kind="verdicts")
         path = self._path("verdicts", fingerprint, ".json")
-        # round-trip through JSON so the stored checksum is computed on
-        # exactly the value a reader will re-canonicalise
-        body = json.loads(json.dumps(payload))
-        envelope = {
-            "schema": SCHEMA_VERSION,
-            "checksum": _json_checksum(body),
-            "verdict": body,
-        }
+        envelope = encode_verdict(payload)
         _atomic_write(path, json.dumps(envelope, indent=1).encode())
         return path
 
@@ -414,14 +483,10 @@ class ResultCache:
     def _load_hitmask_file(self, path: Path):
         """Load + validate one hit-mask entry: (mask, corruption reason)."""
         try:
-            with np.load(path, allow_pickle=False) as npz:
-                mask = npz["mask"]
-                checksum = str(npz["checksum"])
-        except _NPZ_ERRORS:
-            return None, "truncated or unparseable NPZ"
-        if array_digest(mask) != checksum:
-            return None, "checksum mismatch"
-        return mask, None
+            data = path.read_bytes()
+        except OSError:
+            return None, "unreadable"
+        return decode_hitmask(data)
 
     def get_hitmask(self, fingerprint: str) -> np.ndarray | None:
         """Load a cached LLC hit mask (or None); quarantines corruption."""
@@ -441,12 +506,7 @@ class ResultCache:
         self._ensure("hitmasks")
         telemetry.count("cache.write", kind="hitmasks")
         path = self._path("hitmasks", fingerprint, ".npz")
-        mask = np.asarray(mask, dtype=bool)
-        buf = io.BytesIO()
-        np.savez_compressed(
-            buf, mask=mask, checksum=np.asarray(array_digest(mask)),
-        )
-        _atomic_write(path, buf.getvalue())
+        _atomic_write(path, encode_hitmask(mask))
         return path
 
     # -- maintenance ----------------------------------------------------------
@@ -510,8 +570,40 @@ class ResultCache:
         return n
 
 
+#: File-name suffixes that make a cache path mean "SQLite store".
+SQLITE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
+
+#: The 16-byte magic every SQLite database file starts with.
+_SQLITE_MAGIC = b"SQLite format 3\x00"
+
+
+def is_sqlite_path(path: Path) -> bool:
+    """True when *path* names a SQLite store (by suffix or file magic)."""
+    if path.suffix.lower() in SQLITE_SUFFIXES:
+        return True
+    if not path.is_file():
+        return False
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(len(_SQLITE_MAGIC)) == _SQLITE_MAGIC
+    except OSError:
+        return False
+
+
 def ensure_cache(cache: "ResultCache | str | Path | None") -> ResultCache | None:
-    """Coerce a cache argument: pass through, build from a path, or None."""
+    """Coerce a cache argument: pass through, build from a path, or None.
+
+    Paths naming a SQLite database (by suffix — ``.db`` / ``.sqlite`` /
+    ``.sqlite3`` — or by file magic) build the durable
+    :class:`~repro.store.SQLiteStore`; anything else builds the v2
+    file-tree cache.  The detection is what lets pool workers rebuild
+    the coordinator's store from the bare path in the task payload.
+    """
     if cache is None or isinstance(cache, ResultCache):
         return cache
-    return ResultCache(cache)
+    path = Path(cache)
+    if is_sqlite_path(path):
+        from repro.store import SQLiteStore
+
+        return SQLiteStore(path)
+    return ResultCache(path)

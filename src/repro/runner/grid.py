@@ -202,8 +202,9 @@ class ExperimentMeta:
     """How one experiment was obtained (not *what* it measured).
 
     ``provenance`` is ``"cache"`` (recalled from the result cache),
-    ``"computed"`` (measured fresh through the simulator) or
-    ``"uncached"`` (measured with no cache configured).  ``duration_s``
+    ``"computed"`` (measured fresh through the simulator),
+    ``"uncached"`` (measured with no cache configured) or ``"journal"``
+    (restored from a sweep journal checkpoint on resume).  ``duration_s``
     is the experiment's wall-clock time in the process that ran it.
     ``telemetry`` carries a pool worker's
     :class:`~repro.telemetry.session.TelemetrySnapshot` back to the
@@ -273,6 +274,12 @@ class GridOutcome:
                 f"{counts[k]} {k}" for k in sorted(counts)
             )
             lines.append(f"compute: {total:.3f}s aggregate ({mix})")
+            resumed = counts.get("journal", 0)
+            if resumed:
+                lines.append(
+                    f"resume: {resumed} resumed from journal, "
+                    f"{len(metas) - resumed} fresh"
+                )
             if self.elapsed_s > 0:
                 lines.append(f"wall clock: {self.elapsed_s:.3f}s elapsed")
             slowest = max(metas, key=lambda m: m.duration_s)
@@ -655,6 +662,7 @@ class ExperimentRunner:
         retry: RetryPolicy | None = None,
         plan: str | None = None,
         use_shm: bool | None = None,
+        journal=None,
     ) -> GridOutcome:
         """Execute *specs* resiliently; never raises on partial loss.
 
@@ -681,7 +689,23 @@ class ExperimentRunner:
         shared-memory trace plane on the grouped path.  Both default to
         the runner's settings; results are bit-identical across every
         plan, schedule and shm setting.
+
+        ``journal`` (a :class:`~repro.store.SweepJournal`) makes the
+        sweep *resumable*: every completed experiment is checkpointed
+        to the store's oplog the moment its result reaches the
+        coordinator, and a sweep re-run under the same run id skips the
+        checkpointed work — loading each finished result from the store
+        with provenance ``"journal"``.  Because results are
+        content-addressed, a sweep killed at any point and resumed
+        produces results bit-identical to an uninterrupted run.
+        Journaling requires a cache/store (the checkpoints point at its
+        rows).
         """
+        if journal is not None and self.cache is None:
+            raise ConfigurationError(
+                "journaled sweeps need a cache/store to hold the "
+                "checkpointed results; configure the runner with one"
+            )
         retry = self.retry if retry is None else retry
         workers = self.workers if workers is None else workers
         workers = max(1, min(int(workers or 1), len(specs) or 1))
@@ -697,6 +721,44 @@ class ExperimentRunner:
         attempts = [0] * n
         pending = set(range(n))
         failures: list[ExperimentFailure] = []
+
+        fingerprints: list[str] = []
+        recorded: set[int] = set()
+        if journal is not None:
+            fingerprints = [
+                self.spec_fingerprint(spec, self.trace_for(spec.workload))
+                for spec in specs
+            ]
+            resumed = journal.begin([spec.label for spec in specs])
+            if resumed:
+                done = journal.completed()
+                for i, fp in enumerate(fingerprints):
+                    if fp not in done:
+                        continue
+                    result = self.cache.get_result(fp)
+                    if result is None:  # checkpoint without a row: redo
+                        continue
+                    results[i] = result
+                    metas[i] = ExperimentMeta(
+                        label=specs[i].label, duration_s=0.0,
+                        provenance="journal",
+                    )
+                    pending.discard(i)
+                    recorded.add(i)
+                telemetry.count("runner.resumed", float(len(recorded)))
+                telemetry.event(
+                    "runner.sweep_resumed", run_id=journal.run_id,
+                    n_resumed=len(recorded), n_fresh=len(pending),
+                )
+
+        def checkpoint(i: int) -> None:
+            """Journal one completed experiment exactly once."""
+            if journal is None or i in recorded:
+                return
+            recorded.add(i)
+            journal.record(i, specs[i].label, fingerprints[i])
+
+        on_result = None if journal is None else checkpoint
         use_pool = n > 0 and (workers > 1 or retry.timeout_s is not None)
         grouped = use_pool and plan != "cell"
         isolate = False
@@ -723,17 +785,19 @@ class ExperimentRunner:
                     failed, broke = self._grouped_round(
                         specs, results, metas, sorted(pending), pending,
                         workers, retry, splits, handles, isolate,
+                        on_result=on_result,
                     )
                     isolate = broke
                 elif use_pool:
                     failed, broke = self._pooled_round(
                         specs, results, metas, sorted(pending), pending,
-                        workers, retry, isolate,
+                        workers, retry, isolate, on_result=on_result,
                     )
                     isolate = broke
                 else:
                     failed = self._serial_round(
                         specs, results, metas, sorted(pending), pending,
+                        on_result=on_result,
                     )
                 retryable = []
                 for i, exc in failed.items():
@@ -778,6 +842,11 @@ class ExperimentRunner:
                 float(sum(1 for r in results if r is not None)),
             )
 
+        if journal is not None:
+            journal.finish(
+                completed=sum(1 for r in results if r is not None),
+                failed=len(failures),
+            )
         order = {spec.label: k for k, spec in enumerate(specs)}
         failures.sort(key=lambda f: order.get(f.label, n))
         return GridOutcome(
@@ -787,19 +856,24 @@ class ExperimentRunner:
             elapsed_s=time.perf_counter() - t_start,
         )
 
-    def _serial_round(self, specs, results, metas, order, pending):
+    def _serial_round(
+        self, specs, results, metas, order, pending, on_result=None,
+    ):
         """One in-process attempt at every pending spec."""
         failed: dict[int, Exception] = {}
         for i in order:
             try:
                 results[i], metas[i] = self._run_one(specs[i])
                 pending.discard(i)
+                if on_result is not None:
+                    on_result(i)
             except Exception as exc:
                 failed[i] = exc
         return failed
 
     def _pooled_round(
         self, specs, results, metas, order, pending, workers, retry, isolate,
+        on_result=None,
     ):
         """One process-pool attempt at every pending spec.
 
@@ -815,6 +889,7 @@ class ExperimentRunner:
             for i in order:
                 failed.update(self._pooled_round(
                     specs, results, metas, [i], pending, 1, retry, False,
+                    on_result=on_result,
                 )[0])
             return failed, False
 
@@ -834,6 +909,8 @@ class ExperimentRunner:
                     )
                     pending.discard(i)
                     collected.add(i)
+                    if on_result is not None:
+                        on_result(i)
                 except BrokenProcessPool:
                     broke = True
                     telemetry.count("runner.worker_deaths")
@@ -861,6 +938,8 @@ class ExperimentRunner:
                 try:
                     self._collect(results, metas, i, futs[i].result(timeout=0))
                     pending.discard(i)
+                    if on_result is not None:
+                        on_result(i)
                 except Exception:
                     pass
             if broke or terminate:
@@ -926,6 +1005,7 @@ class ExperimentRunner:
 
     def _collect_batch(
         self, specs, results, metas, pending, batch, reply, failed,
+        on_result=None,
     ) -> None:
         """Unpack one batch worker's per-spec replies.
 
@@ -944,12 +1024,14 @@ class ExperimentRunner:
             if ok:
                 results[i], metas[i] = payload
                 pending.discard(i)
+                if on_result is not None:
+                    on_result(i)
             else:
                 failed[i] = payload
 
     def _grouped_round(
         self, specs, results, metas, order, pending, workers, retry,
-        splits, handles, isolate,
+        splits, handles, isolate, on_result=None,
     ):
         """One grouped-batch attempt at every pending spec.
 
@@ -968,6 +1050,7 @@ class ExperimentRunner:
             for i in order:
                 failed.update(self._grouped_isolated(
                     specs, results, metas, i, pending, retry, handles,
+                    on_result=on_result,
                 ))
             return failed, False
 
@@ -994,6 +1077,7 @@ class ExperimentRunner:
                     self._collect_batch(
                         specs, results, metas, pending, batch,
                         futs[b].result(timeout=budget), failed,
+                        on_result=on_result,
                     )
                     collected.add(b)
                 except BrokenProcessPool:
@@ -1031,6 +1115,7 @@ class ExperimentRunner:
                     self._collect_batch(
                         specs, results, metas, pending, batch,
                         futs[b].result(timeout=0), failed,
+                        on_result=on_result,
                     )
                 except Exception:
                     pass
@@ -1059,6 +1144,7 @@ class ExperimentRunner:
 
     def _grouped_isolated(
         self, specs, results, metas, i, pending, retry, handles,
+        on_result=None,
     ):
         """One spec in a fresh single-task pool (attribution by construction)."""
         spec = specs[i]
@@ -1073,6 +1159,7 @@ class ExperimentRunner:
             self._collect_batch(
                 specs, results, metas, pending, batch,
                 fut.result(timeout=retry.timeout_s), failed,
+                on_result=on_result,
             )
         except BrokenProcessPool:
             telemetry.count("runner.worker_deaths")

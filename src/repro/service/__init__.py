@@ -1,0 +1,42 @@
+"""Service layer: supervised, observable long-running guard operation.
+
+``mnemo serve`` (see ``docs/STORE.md``) composes three pieces:
+
+- :mod:`repro.service.signals` — SIGTERM/SIGINT as catchable
+  :class:`TerminationSignal` control flow, so every ``finally`` runs;
+- :mod:`repro.service.serve` — :class:`GuardService`, the scheduled
+  guard-tick loop with a heartbeat file and a unix-socket control API
+  (``ping`` / ``status`` / ``metrics`` / ``shutdown``);
+- :mod:`repro.service.supervisor` — :class:`Supervisor`, the
+  crash-restart wrapper with exponential backoff and a restart budget.
+"""
+
+from repro.service.serve import (
+    DEFAULT_RUNDIR,
+    GuardService,
+    ServeConfig,
+    control_call,
+    default_tick,
+    run_service,
+)
+from repro.service.signals import (
+    TERMINATION_SIGNALS,
+    TerminationSignal,
+    handle_termination,
+)
+from repro.service.supervisor import STOP_GRACE_S, RestartPolicy, Supervisor
+
+__all__ = [
+    "DEFAULT_RUNDIR",
+    "GuardService",
+    "RestartPolicy",
+    "STOP_GRACE_S",
+    "ServeConfig",
+    "Supervisor",
+    "TERMINATION_SIGNALS",
+    "TerminationSignal",
+    "control_call",
+    "default_tick",
+    "handle_termination",
+    "run_service",
+]

@@ -1,0 +1,400 @@
+"""The supervised guard service: scheduled guard ticks, observable over a socket.
+
+``mnemo serve`` turns the PR 4 guard loop from a cron-invoked one-shot
+into a long-lived service.  :class:`GuardService` runs *ticks* — one
+drift + margin (+ periodic validation) pass each — on a schedule, and
+makes itself observable and controllable while it runs:
+
+- a **heartbeat file**, rewritten atomically after every tick, carries
+  pid, tick count, last exit code and timestamps — liveness checks are
+  one ``cat`` away and a crash leaves an honestly stale heartbeat, not
+  a torn one;
+- a **unix socket control API** (JSON, one request line, one response
+  line) answers ``ping`` / ``status`` / ``metrics`` / ``shutdown``;
+  ``metrics`` returns the telemetry registry in Prometheus text
+  exposition format, so a scrape is one ``nc`` away;
+- every tick is journaled to the store's **oplog** (``guard_tick``
+  events under the service's run id) when a store is configured, so
+  the service's history survives the process.
+
+Shutdown is graceful on SIGTERM/SIGINT (via
+:mod:`repro.service.signals`) and on a socket ``shutdown`` request:
+the loop finishes its current tick, stamps the heartbeat ``stopped``,
+journals ``service_stopped``, closes the store and removes the socket.
+Crash-restart supervision lives one level up, in
+:class:`repro.service.supervisor.Supervisor`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import socketserver
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro import telemetry
+from repro.errors import ConfigurationError, StoreError
+from repro.service.signals import TerminationSignal, handle_termination
+
+#: Default run directory for the heartbeat file and control socket.
+DEFAULT_RUNDIR = ".mnemo-serve"
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything one guard service instance needs to know.
+
+    Parameters
+    ----------
+    workload / engine / slo:
+        What the guard loop watches (mirrors ``mnemo guard``).
+    interval_s:
+        Seconds between tick starts.
+    validate_every:
+        Run the full simulator replay every Nth tick (1 = every tick,
+        0 = drift + margin only — the cheap mode for tight intervals).
+    repeats / seed / downsample:
+        Measurement settings forwarded to the profiling client.
+    store:
+        Optional path of the SQLite store that journals service events
+        (and memoizes guard measurements).
+    rundir:
+        Directory for the heartbeat file and control socket.
+    run_id:
+        The oplog run id service events are journaled under.
+    """
+
+    workload: str = "trending"
+    engine: str = "redis"
+    slo: float = 0.10
+    interval_s: float = 60.0
+    validate_every: int = 1
+    repeats: int = 3
+    seed: int | None = None
+    downsample: float = 0.0
+    store: str | None = None
+    rundir: str = DEFAULT_RUNDIR
+    run_id: str = "serve"
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ConfigurationError(
+                f"interval_s must be positive, got {self.interval_s}"
+            )
+        if self.validate_every < 0:
+            raise ConfigurationError(
+                f"validate_every must be >= 0, got {self.validate_every}"
+            )
+
+    @property
+    def heartbeat_path(self) -> Path:
+        """Where the heartbeat JSON lives."""
+        return Path(self.rundir) / "heartbeat.json"
+
+    @property
+    def socket_path(self) -> Path:
+        """Where the control socket lives."""
+        return Path(self.rundir) / "control.sock"
+
+
+def default_tick(config: ServeConfig):
+    """Build the real guard tick: profile once, then guard per call.
+
+    Returns a zero-argument callable producing the tick's exit code
+    (the :class:`~repro.guard.loop.GuardOutcome` convention: 0 clean,
+    1 warnings, 3 action needed).  The profile is measured once at
+    service start — the service watches one recommendation; replacing
+    the recommendation is a restart.
+    """
+    from repro.core import Mnemo
+    from repro.guard import ErrorBudget
+    from repro.kvstore import DynamoLike, MemcachedLike, RedisLike
+    from repro.ycsb import (
+        YCSBClient, downsample, generate_trace, workload_by_name,
+    )
+
+    engines = {
+        "redis": RedisLike, "memcached": MemcachedLike,
+        "dynamodb": DynamoLike,
+    }
+    planning = generate_trace(workload_by_name(config.workload))
+    if config.downsample and config.downsample > 1:
+        planning = downsample(
+            planning, factor=config.downsample, seed=config.seed
+        )
+    mnemo = Mnemo(
+        engine_factory=engines[config.engine],
+        client=YCSBClient(repeats=config.repeats, seed=config.seed),
+        cache=config.store,
+    )
+    report = mnemo.profile(planning)
+    loop = mnemo.guard_loop(budget=ErrorBudget())
+    ticks = {"n": 0}
+
+    def tick() -> int:
+        ticks["n"] += 1
+        validate = (
+            config.validate_every > 0
+            and ticks["n"] % config.validate_every == 0
+        )
+        outcome = loop.run(
+            report, planning, live_trace=planning,
+            max_slowdown=config.slo, validate=validate,
+        )
+        return outcome.exit_code
+
+    return tick
+
+
+# -- control socket ------------------------------------------------------------
+
+
+class _ControlHandler(socketserver.StreamRequestHandler):
+    """One JSON request line in, one JSON response line out."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via requests
+        service = self.server.service  # type: ignore[attr-defined]
+        try:
+            line = self.rfile.readline(65536).decode("utf-8").strip()
+            request = json.loads(line) if line else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            request = None
+        response = service._control(request)
+        self.wfile.write(json.dumps(response).encode("utf-8") + b"\n")
+
+
+class _ControlServer(socketserver.ThreadingUnixStreamServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+def control_call(socket_path, request: dict, timeout: float = 5.0) -> dict:
+    """Send one control request to a running service; returns its reply."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout)
+        sock.connect(str(socket_path))
+        sock.sendall(json.dumps(request).encode("utf-8") + b"\n")
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+    return json.loads(buf.decode("utf-8"))
+
+
+# -- the service ---------------------------------------------------------------
+
+
+class GuardService:
+    """The schedulable, observable guard loop.
+
+    Parameters
+    ----------
+    config:
+        The :class:`ServeConfig` in force.
+    tick_fn:
+        Zero-argument callable returning an int exit code per tick;
+        defaults to the real guard tick (:func:`default_tick`), built
+        lazily on :meth:`run` so constructing a service is cheap.
+    store:
+        An open store to journal into; defaults to opening
+        ``config.store`` (when set) on :meth:`run`.
+    """
+
+    def __init__(self, config: ServeConfig, tick_fn=None, store=None):
+        self.config = config
+        self.tick_fn = tick_fn
+        self.store = store
+        self._owns_store = store is None
+        self.ticks = 0
+        self.last_exit_code: int | None = None
+        self.started_unix: float | None = None
+        self._stop = threading.Event()
+        self._server: _ControlServer | None = None
+
+    # -- control ---------------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Ask the run loop to finish the current tick and exit."""
+        self._stop.set()
+
+    def status(self) -> dict:
+        """The heartbeat document (also served over the socket)."""
+        now = time.time()
+        return {
+            "pid": os.getpid(),
+            "run_id": self.config.run_id,
+            "status": "stopping" if self._stop.is_set() else "running",
+            "workload": self.config.workload,
+            "engine": self.config.engine,
+            "interval_s": self.config.interval_s,
+            "ticks": self.ticks,
+            "last_exit_code": self.last_exit_code,
+            "started_unix": self.started_unix,
+            "updated_unix": now,
+            "uptime_s": (
+                round(now - self.started_unix, 3)
+                if self.started_unix is not None else None
+            ),
+            "socket": str(self.config.socket_path),
+        }
+
+    def _control(self, request: dict | None) -> dict:
+        """Dispatch one socket request (bad input never kills the service)."""
+        if not isinstance(request, dict) or "op" not in request:
+            return {"ok": False, "error": "expected one JSON line with 'op'"}
+        op = request["op"]
+        telemetry.count("serve.control", op=str(op))
+        if op == "ping":
+            return {"ok": True, "op": "ping", "pid": os.getpid()}
+        if op == "status":
+            return {"ok": True, **self.status()}
+        if op == "metrics":
+            tel = telemetry.get()
+            text = "" if tel is None else tel.metrics.to_prometheus()
+            return {"ok": True, "prometheus": text}
+        if op == "shutdown":
+            self.request_stop()
+            return {"ok": True, "stopping": True}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _write_heartbeat(self, status: str | None = None) -> None:
+        """Atomically replace the heartbeat file (rename, never a torn read)."""
+        doc = self.status()
+        if status is not None:
+            doc["status"] = status
+        path = self.config.heartbeat_path
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(doc, indent=1) + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+
+    def _open_socket(self) -> None:
+        path = self.config.socket_path
+        if path.exists():  # a previous crash left the socket behind
+            path.unlink()
+        self._server = _ControlServer(str(path), _ControlHandler)
+        self._server.service = self  # type: ignore[attr-defined]
+        thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="mnemo-serve-control",
+            daemon=True,
+        )
+        thread.start()
+
+    def _close_socket(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        try:
+            self.config.socket_path.unlink()
+        except OSError:
+            pass
+
+    def _journal(self, kind: str, **payload) -> None:
+        if self.store is not None:
+            try:
+                self.store.oplog.append(self.config.run_id, kind, **payload)
+            except StoreError:  # pragma: no cover - contention exhausted
+                telemetry.count("serve.journal_failures")
+
+    # -- the loop --------------------------------------------------------------
+
+    def run(self, max_ticks: int | None = None) -> int:
+        """Serve until stopped; returns the process exit code.
+
+        ``max_ticks`` bounds the run (tests, drills); None serves until
+        a stop request or termination signal arrives.  Returns 0 on any
+        graceful stop; a :class:`TerminationSignal` still unwinds
+        through cleanup but is re-raised for the CLI to translate into
+        ``128 + signum``.
+        """
+        Path(self.config.rundir).mkdir(parents=True, exist_ok=True)
+        if self.store is None and self.config.store is not None:
+            from repro.store import SQLiteStore
+            self.store = SQLiteStore(self.config.store)
+        if self.tick_fn is None:
+            self.tick_fn = default_tick(self.config)
+        self._stop.clear()
+        self.started_unix = time.time()
+        self._open_socket()
+        self._journal(
+            "service_started", pid=os.getpid(),
+            workload=self.config.workload, engine=self.config.engine,
+            interval_s=self.config.interval_s,
+        )
+        telemetry.event(
+            "serve.started", workload=self.config.workload,
+            interval_s=self.config.interval_s,
+        )
+        self._write_heartbeat()
+        try:
+            while not self._stop.is_set():
+                t0 = time.perf_counter()
+                with telemetry.span("serve.tick", n=self.ticks + 1):
+                    code = int(self.tick_fn())
+                elapsed = time.perf_counter() - t0
+                self.ticks += 1
+                self.last_exit_code = code
+                telemetry.count("serve.ticks", status=str(code))
+                telemetry.observe("serve.tick_s", elapsed)
+                self._journal(
+                    "guard_tick", n=self.ticks, exit_code=code,
+                    duration_s=round(elapsed, 6),
+                )
+                self._write_heartbeat()
+                if max_ticks is not None and self.ticks >= max_ticks:
+                    break
+                # sleep in short slices so stop requests land promptly
+                deadline = t0 + self.config.interval_s
+                while (
+                    not self._stop.is_set()
+                    and time.perf_counter() < deadline
+                ):
+                    self._stop.wait(0.05)
+            return 0
+        except TerminationSignal:
+            telemetry.event("serve.terminated")
+            raise
+        finally:
+            self._close_socket()
+            self._journal(
+                "service_stopped", pid=os.getpid(), ticks=self.ticks,
+            )
+            telemetry.event("serve.stopped", ticks=self.ticks)
+            self._write_heartbeat(status="stopped")
+            if self._owns_store and self.store is not None:
+                self.store.close()
+                self.store = None
+
+
+def run_service(config: ServeConfig, max_ticks: int | None = None) -> int:
+    """Run one :class:`GuardService` with graceful signal handling.
+
+    The service runs under its own telemetry session so the socket's
+    ``metrics`` op always has a live registry to export.  SIGTERM /
+    SIGINT unwind through the service's cleanup (heartbeat stamped,
+    store closed, socket removed) and map to the conventional
+    ``128 + signum`` exit code; a natural stop returns 0.
+    """
+    service = GuardService(config)
+    try:
+        with telemetry.session(run_id=config.run_id):
+            with handle_termination():
+                return service.run(max_ticks=max_ticks)
+    except TerminationSignal as sig:
+        return sig.exit_code
+
+
+def _service_child(config: ServeConfig, max_ticks: int | None = None):
+    """Supervisor child entry point (module-level, hence picklable)."""
+    sys.exit(run_service(config, max_ticks=max_ticks))  # pragma: no cover

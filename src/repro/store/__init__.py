@@ -1,0 +1,37 @@
+"""Durable experiment store: SQLite cache backend, oplog, sweep journal.
+
+The pipeline's durability layer (``docs/STORE.md``):
+
+- :mod:`repro.store.db` — WAL-mode connections, single-writer
+  transactions, busy-timeout + bounded-backoff lock retry;
+- :mod:`repro.store.store` — :class:`SQLiteStore`, the durable drop-in
+  for the v2 file-tree :class:`~repro.runner.cache.ResultCache`
+  (results, traces, hit masks, verdicts, quarantine — one queryable
+  file, torn-write-proof by transaction);
+- :mod:`repro.store.oplog` — the append-only event log sweeps and the
+  guard service journal into;
+- :mod:`repro.store.journal` — per-experiment sweep checkpoints that
+  make ``mnemo sweep --resume RUN_ID`` skip finished work after a
+  coordinator kill;
+- :mod:`repro.store.migrate` — one-shot, read-back-verified migration
+  from a v2 file tree (``mnemo cache migrate``).
+"""
+
+from repro.store.db import DEFAULT_BUSY_TIMEOUT_MS, Database
+from repro.store.journal import SweepJournal
+from repro.store.migrate import MigrationReport, migrate_cache
+from repro.store.oplog import Oplog, OplogEntry
+from repro.store.store import DEFAULT_STORE_PATH, SQLiteStore, ensure_store
+
+__all__ = [
+    "DEFAULT_BUSY_TIMEOUT_MS",
+    "DEFAULT_STORE_PATH",
+    "Database",
+    "MigrationReport",
+    "Oplog",
+    "OplogEntry",
+    "SQLiteStore",
+    "SweepJournal",
+    "ensure_store",
+    "migrate_cache",
+]

@@ -1,0 +1,187 @@
+"""SQLite connection plumbing: WAL mode, busy timeout, bounded retry.
+
+One :class:`Database` wraps one SQLite file and hands out connections
+that are safe for this codebase's process model:
+
+- **WAL journal mode** so readers never block the single writer and a
+  SIGKILL mid-transaction leaves a consistent database (the WAL is
+  rolled back or checkpointed on the next open, never half-applied);
+- **per-(pid, thread) connections** — pool workers fork from the
+  coordinator, and a forked child must never reuse the parent's
+  connection object, so :meth:`connection` reopens lazily whenever the
+  pid or thread changes;
+- **``busy_timeout``** makes SQLite itself wait out short lock
+  contention, and :meth:`Database.write_txn` adds a bounded exponential-backoff
+  retry loop (with deterministic jitter, matching the runner's
+  :class:`~repro.runner.grid.RetryPolicy` idiom) around ``BEGIN
+  IMMEDIATE`` transactions for the pathological cases — two sweeps
+  hammering one store on a slow volume — before giving up with a
+  :class:`~repro.errors.StoreError`.
+
+Writes always run inside a single ``BEGIN IMMEDIATE`` transaction:
+SQLite serialises writers, so every row is either fully present or
+absent — the property the crash drills in ``tests/store`` assert.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+import time
+from pathlib import Path
+
+from repro import telemetry
+from repro.errors import StoreError
+from repro.rng import derive_seed
+
+#: Default SQLite busy timeout (milliseconds) before a lock attempt
+#: surfaces as ``OperationalError: database is locked``.
+DEFAULT_BUSY_TIMEOUT_MS = 5_000
+
+#: ``OperationalError`` messages that mean transient lock contention.
+_LOCKED_MARKERS = ("database is locked", "database is busy")
+
+
+def _is_locked(exc: sqlite3.OperationalError) -> bool:
+    msg = str(exc).lower()
+    return any(marker in msg for marker in _LOCKED_MARKERS)
+
+
+class Database:
+    """One SQLite file with WAL durability and contention-tolerant writes.
+
+    Parameters
+    ----------
+    path:
+        Database file (parent directories are created on demand).
+    busy_timeout_ms:
+        How long SQLite itself waits on a locked database before
+        raising; the retry loop below sits on top of this.
+    max_attempts:
+        Write-transaction attempts before a lock surfaces as a
+        :class:`~repro.errors.StoreError` (1 = no retries).
+    backoff_base_s / backoff_factor:
+        Exponential backoff between attempts, jittered
+        deterministically from (path, attempt).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        busy_timeout_ms: int = DEFAULT_BUSY_TIMEOUT_MS,
+        max_attempts: int = 6,
+        backoff_base_s: float = 0.01,
+        backoff_factor: float = 2.0,
+    ):
+        self.path = Path(path)
+        self.busy_timeout_ms = int(busy_timeout_ms)
+        self.max_attempts = max(1, int(max_attempts))
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_factor = float(backoff_factor)
+        self._local = threading.local()
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    # -- connections ----------------------------------------------------------
+
+    def _open(self) -> sqlite3.Connection:
+        try:
+            conn = sqlite3.connect(
+                self.path,
+                timeout=self.busy_timeout_ms / 1000.0,
+                isolation_level=None,  # explicit BEGIN/COMMIT only
+            )
+        except sqlite3.Error as exc:
+            raise StoreError(f"cannot open store {self.path}: {exc}") from exc
+        conn.row_factory = sqlite3.Row
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute(f"PRAGMA busy_timeout={self.busy_timeout_ms}")
+        conn.execute("PRAGMA foreign_keys=ON")
+        return conn
+
+    def connection(self) -> sqlite3.Connection:
+        """This (pid, thread)'s connection, (re)opened as needed.
+
+        A connection created before a ``fork`` must not be used in the
+        child — SQLite file locks and the connection's internal state
+        are per-process — so the memo is keyed on the current pid.
+        """
+        pid = os.getpid()
+        conn = getattr(self._local, "conn", None)
+        if conn is None or getattr(self._local, "pid", None) != pid:
+            self._local.conn = self._open()
+            self._local.pid = pid
+        return self._local.conn
+
+    def close(self) -> None:
+        """Close this (pid, thread)'s connection, if one is open."""
+        conn = getattr(self._local, "conn", None)
+        self._local.conn = None
+        if conn is not None and getattr(self._local, "pid", None) == os.getpid():
+            try:
+                conn.close()
+            except sqlite3.Error:  # pragma: no cover - close is best-effort
+                pass
+
+    # -- transactions ---------------------------------------------------------
+
+    def _backoff_s(self, attempt: int) -> float:
+        base = self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+        u = derive_seed(None, f"{self.path}/lock/{attempt}") / 2.0**32
+        return base * (1.0 + 0.25 * u)
+
+    def _rollback(self, conn: sqlite3.Connection) -> None:
+        try:
+            conn.execute("ROLLBACK")
+        except sqlite3.OperationalError:  # pragma: no cover - no txn open
+            pass
+
+    def write_txn(self, fn):
+        """Run ``fn(conn)`` in a single-writer transaction, retrying locks.
+
+        ``BEGIN IMMEDIATE`` takes the write lock up front, so the whole
+        body either commits atomically or rolls back; lock contention
+        that outlasts ``busy_timeout`` is retried with exponential
+        backoff up to ``max_attempts`` times, then raised as
+        :class:`~repro.errors.StoreError`.  Returns ``fn``'s result.
+        """
+        conn = self.connection()
+        last: sqlite3.OperationalError | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            if attempt > 1:
+                telemetry.count("store.lock_retry")
+                time.sleep(self._backoff_s(attempt - 1))
+            try:
+                conn.execute("BEGIN IMMEDIATE")
+            except sqlite3.OperationalError as exc:
+                if not _is_locked(exc):
+                    raise
+                last = exc
+                continue
+            try:
+                out = fn(conn)
+                conn.execute("COMMIT")
+                return out
+            except sqlite3.OperationalError as exc:
+                self._rollback(conn)
+                if not _is_locked(exc):
+                    raise
+                last = exc
+            except BaseException:
+                self._rollback(conn)
+                raise
+        raise StoreError(
+            f"store {self.path} stayed locked through "
+            f"{self.max_attempts} attempts: {last}"
+        )
+
+    def read(self) -> sqlite3.Connection:
+        """The connection for plain reads (WAL readers never block)."""
+        return self.connection()
+
+    def integrity_check(self) -> str:
+        """Run ``PRAGMA integrity_check``; returns SQLite's verdict."""
+        row = self.read().execute("PRAGMA integrity_check").fetchone()
+        return str(row[0]) if row is not None else "missing"

@@ -1,0 +1,147 @@
+"""One-shot migration from the v2 file-tree cache into a SQLite store.
+
+``mnemo cache migrate`` walks every current-schema entry of a
+:class:`~repro.runner.cache.ResultCache` tree, inserts it into a
+:class:`~repro.store.SQLiteStore`, and — because both backends persist
+the *same* encoded envelopes (:mod:`repro.runner.cache` codecs) —
+verifies bit-identical read-back per entry before counting it
+migrated:
+
+- results: decoded :class:`~repro.ycsb.client.RunResult` equality
+  (dataclass ``==`` over every measured field);
+- traces / hit masks: exact array equality plus name;
+- verdicts: canonical-JSON payload equality.
+
+Corrupt source entries are *skipped and counted*, never copied — the
+migration is also a free integrity walk.  The source tree is left
+untouched; delete it once the report says ``ok``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import StoreError
+from repro.runner.cache import _KINDS, ResultCache
+from repro.store.store import SQLiteStore
+from repro.ycsb.workload import Trace
+
+
+def _identical(kind: str, a, b) -> bool:
+    """Bit-level equality judgement per entry kind."""
+    if a is None or b is None:
+        return False
+    if kind == "traces":
+        assert isinstance(a, Trace) and isinstance(b, Trace)
+        return (
+            a.name == b.name
+            and np.array_equal(a.keys, b.keys)
+            and np.array_equal(a.is_read, b.is_read)
+            and np.array_equal(a.record_sizes, b.record_sizes)
+        )
+    if kind == "hitmasks":
+        return np.array_equal(a, b)
+    return a == b  # results (dataclass ==) and verdicts (dict ==)
+
+
+@dataclass(frozen=True)
+class MigrationReport:
+    """What one cache -> store migration did, per entry kind."""
+
+    migrated: dict[str, int] = field(default_factory=dict)
+    skipped: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    mismatched: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    @property
+    def total_migrated(self) -> int:
+        """Entries copied and verified across all kinds."""
+        return sum(self.migrated.values())
+
+    @property
+    def total_skipped(self) -> int:
+        """Corrupt source entries left behind."""
+        return sum(len(v) for v in self.skipped.values())
+
+    @property
+    def ok(self) -> bool:
+        """True when every migrated entry read back bit-identically."""
+        return not any(self.mismatched.values())
+
+    def lines(self) -> list[str]:
+        """Human-readable migration summary."""
+        out = []
+        for kind in _KINDS:
+            n = self.migrated.get(kind, 0)
+            n_skip = len(self.skipped.get(kind, ()))
+            n_bad = len(self.mismatched.get(kind, ()))
+            status = "ok" if n_bad == 0 else f"{n_bad} READ-BACK MISMATCH"
+            skip = f", {n_skip} corrupt skipped" if n_skip else ""
+            out.append(f"{kind:<10} {n:>6} migrated  {status}{skip}")
+        tail = (
+            "all entries verified bit-identical"
+            if self.ok else "MIGRATION FAILED VERIFICATION"
+        )
+        out.append(f"{'total':<10} {self.total_migrated:>6} migrated  {tail}")
+        return out
+
+
+_LOADERS = {
+    "results": ("_load_result_file", "put_result", "get_result"),
+    "traces": ("_load_trace_file", "put_trace", "get_trace"),
+    "hitmasks": ("_load_hitmask_file", "put_hitmask", "get_hitmask"),
+    "verdicts": ("_load_verdict_file", "put_verdict", "get_verdict"),
+}
+
+
+def migrate_cache(
+    src: ResultCache, dst: SQLiteStore, verify: bool = True,
+) -> MigrationReport:
+    """Copy every valid v2 file entry into *dst* with read-back checks.
+
+    Parameters
+    ----------
+    src:
+        The v2 file-tree cache to drain (left untouched).
+    dst:
+        The destination store.
+    verify:
+        Read each migrated entry back from the store and require
+        bit-identity (default True; the report's :attr:`~MigrationReport.ok`
+        is only meaningful with verification on).
+    """
+    if isinstance(src, SQLiteStore):
+        raise StoreError(
+            "migration source must be a v2 file-tree cache, got a SQLite store"
+        )
+    migrated: dict[str, int] = {}
+    skipped: dict[str, list[str]] = {}
+    mismatched: dict[str, list[str]] = {}
+    for kind in _KINDS:
+        load_name, put_name, get_name = _LOADERS[kind]
+        loader = getattr(src, load_name)
+        put = getattr(dst, put_name)
+        get = getattr(dst, get_name)
+        migrated[kind] = 0
+        skipped[kind] = []
+        mismatched[kind] = []
+        for path in src._entries(kind):
+            fingerprint = path.stem
+            value, reason = loader(path)
+            if reason is not None or value is None:
+                # corrupt or stale-schema: never copied, only counted
+                skipped[kind].append(fingerprint)
+                continue
+            put(fingerprint, value)
+            if verify:
+                back = get(fingerprint)
+                if not _identical(kind, value, back):
+                    mismatched[kind].append(fingerprint)
+                    continue
+            migrated[kind] += 1
+    return MigrationReport(
+        migrated=migrated,
+        skipped={k: tuple(v) for k, v in skipped.items()},
+        mismatched={k: tuple(v) for k, v in mismatched.items()},
+    )

@@ -1,0 +1,110 @@
+"""Tests for the one-shot file-cache -> SQLite store migration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreError
+from repro.faults import corrupt_cache_entries
+from repro.runner.cache import ResultCache
+from repro.store import SQLiteStore, migrate_cache
+from repro.ycsb.client import RunResult
+
+
+@pytest.fixture
+def result():
+    return RunResult(
+        workload="w", engine="redis", n_requests=100, n_reads=60,
+        n_writes=40, runtime_ns=1.5e8, avg_read_ns=1200.5,
+        avg_write_ns=1500.25,
+        latency_percentiles_ns={50.0: 900.0, 99.0: 4000.125},
+        repeats=3, runtime_std_ns=12.5, concurrency=2,
+    )
+
+
+@pytest.fixture
+def populated_cache(tmp_path, result, small_trace):
+    """A file cache holding one entry of every kind."""
+    cache = ResultCache(tmp_path / "cache")
+    cache.put_result("fp-r", result)
+    cache.put_trace("fp-t", small_trace)
+    cache.put_hitmask("fp-h", np.array([True, False, True, True]))
+    cache.put_verdict("fp-v", {"status": "pass", "n_fast_keys": 7})
+    return cache
+
+
+@pytest.fixture
+def store(tmp_path):
+    st = SQLiteStore(tmp_path / "dst.db")
+    yield st
+    st.close()
+
+
+class TestMigrate:
+    def test_all_kinds_migrated_and_verified(
+        self, populated_cache, store, result, small_trace,
+    ):
+        report = migrate_cache(populated_cache, store)
+        assert report.ok
+        assert report.total_migrated == 4
+        assert report.migrated == {
+            "results": 1, "traces": 1, "hitmasks": 1, "verdicts": 1,
+        }
+        assert store.get_result("fp-r") == result
+        got = store.get_trace("fp-t")
+        assert np.array_equal(got.keys, small_trace.keys)
+        assert np.array_equal(
+            store.get_hitmask("fp-h"), np.array([True, False, True, True]),
+        )
+        assert store.get_verdict("fp-v") == {
+            "status": "pass", "n_fast_keys": 7,
+        }
+
+    def test_migrated_bytes_are_bit_identical(self, populated_cache, store):
+        # stronger than decoded equality: the stored blob must be the
+        # exact bytes the file cache held
+        migrate_cache(populated_cache, store)
+        for kind in ("results", "traces", "hitmasks", "verdicts"):
+            for path in populated_cache._entries(kind):
+                row = store._row(kind, path.stem)
+                assert bytes(row["body"]) == path.read_bytes(), (kind, path)
+
+    def test_corrupt_source_entries_skipped(self, populated_cache, store):
+        corrupt_cache_entries(populated_cache, kinds=("results",))
+        report = migrate_cache(populated_cache, store)
+        assert report.ok  # skipping is not a failure
+        assert report.skipped["results"] == ("fp-r",)
+        assert report.total_skipped == 1
+        assert report.migrated["results"] == 0
+        assert store.get_result("fp-r") is None
+
+    def test_source_left_untouched(self, populated_cache, store, result):
+        migrate_cache(populated_cache, store)
+        assert populated_cache.get_result("fp-r") == result
+        assert populated_cache.stats().total_entries == 4
+
+    def test_sqlite_source_rejected(self, store, tmp_path):
+        other = SQLiteStore(tmp_path / "other.db")
+        try:
+            with pytest.raises(StoreError, match="file-tree cache"):
+                migrate_cache(other, store)
+        finally:
+            other.close()
+
+    def test_idempotent_rerun(self, populated_cache, store):
+        first = migrate_cache(populated_cache, store)
+        second = migrate_cache(populated_cache, store)
+        assert second.ok
+        assert second.total_migrated == first.total_migrated == 4
+        assert store.stats().total_entries == 4
+
+    def test_report_lines_mention_every_kind(self, populated_cache, store):
+        report = migrate_cache(populated_cache, store)
+        text = "\n".join(report.lines())
+        for kind in ("results", "traces", "hitmasks", "verdicts", "total"):
+            assert kind in text
+        assert "bit-identical" in text
+
+    def test_empty_cache_migrates_cleanly(self, tmp_path, store):
+        report = migrate_cache(ResultCache(tmp_path / "empty"), store)
+        assert report.ok
+        assert report.total_migrated == 0

@@ -1,0 +1,267 @@
+"""Tests for the durable SQLite-backed experiment store.
+
+The store's contract: a drop-in :class:`~repro.runner.cache.ResultCache`
+replacement with the same envelopes (so migrated entries read back
+bit-identically), the same quarantine-and-recompute corruption policy,
+plus durability (single-transaction writes), an append-only oplog, and
+SQL-queryable censuses.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import CacheCorruptionError, StoreError
+from repro.faults import corrupt_store_rows
+from repro.runner.cache import (
+    SCHEMA_VERSION,
+    ResultCache,
+    ensure_cache,
+    is_sqlite_path,
+)
+from repro.store import SQLiteStore, SweepJournal, ensure_store
+from repro.ycsb.client import RunResult
+
+
+@pytest.fixture
+def store(tmp_path):
+    """A fresh store in a temp file."""
+    st = SQLiteStore(tmp_path / "mnemo.db")
+    yield st
+    st.close()
+
+
+@pytest.fixture
+def result():
+    """A representative RunResult with float percentile keys."""
+    return RunResult(
+        workload="w", engine="redis", n_requests=100, n_reads=60,
+        n_writes=40, runtime_ns=1.5e8, avg_read_ns=1200.5,
+        avg_write_ns=1500.25,
+        latency_percentiles_ns={50.0: 900.0, 99.0: 4000.125},
+        repeats=3, runtime_std_ns=12.5, concurrency=2,
+    )
+
+
+class TestRoundTrips:
+    def test_result_roundtrip_is_exact(self, store, result):
+        store.put_result("fp1", result)
+        assert store.get_result("fp1") == result
+
+    def test_percentile_keys_restored_as_floats(self, store, result):
+        store.put_result("fp1", result)
+        got = store.get_result("fp1")
+        assert set(got.latency_percentiles_ns) == {50.0, 99.0}
+
+    def test_trace_roundtrip(self, store, small_trace):
+        store.put_trace("t1", small_trace)
+        got = store.get_trace("t1")
+        assert got.name == small_trace.name
+        assert np.array_equal(got.keys, small_trace.keys)
+        assert np.array_equal(got.is_read, small_trace.is_read)
+        assert np.array_equal(got.record_sizes, small_trace.record_sizes)
+
+    def test_hitmask_roundtrip(self, store):
+        mask = np.array([True, False, True])
+        store.put_hitmask("h1", mask)
+        assert np.array_equal(store.get_hitmask("h1"), mask)
+
+    def test_verdict_roundtrip(self, store):
+        payload = {"status": "pass", "n_fast_keys": 42, "points": [1, 2, 3]}
+        store.put_verdict("v1", payload)
+        assert store.get_verdict("v1") == payload
+
+    def test_missing_returns_none(self, store):
+        assert store.get_result("nope") is None
+        assert store.get_trace("nope") is None
+        assert store.get_hitmask("nope") is None
+        assert store.get_verdict("nope") is None
+
+    def test_overwrite_replaces(self, store, result):
+        store.put_verdict("v", {"status": "pass"})
+        store.put_verdict("v", {"status": "reject"})
+        assert store.get_verdict("v") == {"status": "reject"}
+        assert store.stats().entries["verdicts"] == 1
+
+    def test_same_envelope_as_file_cache(self, tmp_path, store, result):
+        # the store persists the exact bytes the file cache would —
+        # that byte-level agreement is what makes migration bit-exact
+        cache = ResultCache(tmp_path / "cache")
+        path = cache.put_result("fp1", result)
+        store.put_result("fp1", result)
+        assert store._row("results", "fp1")["body"] == path.read_bytes()
+
+
+class TestCorruption:
+    def test_corrupt_row_quarantined_as_miss(self, store, result):
+        store.put_result("fp1", result)
+        corrupt_store_rows(store, kinds=("results",))
+        assert store.get_result("fp1") is None
+        assert store.stats().quarantined["results"] == 1
+        # the entry is gone from the live table, so reruns recompute
+        assert store.stats().entries["results"] == 0
+
+    def test_strict_mode_raises(self, tmp_path, result):
+        store = SQLiteStore(tmp_path / "strict.db", strict=True)
+        try:
+            store.put_result("fp1", result)
+            corrupt_store_rows(store, kinds=("results",))
+            with pytest.raises(CacheCorruptionError, match="fp1"):
+                store.get_result("fp1")
+        finally:
+            store.close()
+
+    def test_truncated_blob_detected(self, store, small_trace):
+        store.put_trace("t1", small_trace)
+        corrupt_store_rows(store, kinds=("traces",), mode="truncate")
+        assert store.get_trace("t1") is None
+        assert store.stats().quarantined["traces"] == 1
+
+    def test_verify_reports_and_repairs(self, store, result):
+        store.put_result("good", result)
+        store.put_result("bad", result)
+        corrupt_store_rows(store, kinds=("results",), limit=1)
+        report = store.verify()
+        assert not report.ok
+        assert report.corrupt["results"] == ("bad",)
+        # repaired: the corrupt row moved to quarantine
+        assert store.verify().ok
+        assert store.get_result("good") == result
+
+    def test_schema_stale_row_is_a_miss_not_corruption(self, store, result):
+        store.put_result("fp1", result)
+
+        def bump(conn):
+            conn.execute(
+                "UPDATE entries SET body = ? WHERE fingerprint = 'fp1'",
+                (json.dumps(
+                    {"schema": SCHEMA_VERSION + 1, "checksum": "x",
+                     "result": {}},
+                ).encode(),),
+            )
+
+        store.db.write_txn(bump)
+        assert store.get_result("fp1") is None
+        assert store.stats().quarantined["results"] == 0
+
+
+class TestMaintenance:
+    def test_stats_counts_kinds(self, store, result, small_trace):
+        store.put_result("a", result)
+        store.put_result("b", result)
+        store.put_trace("t", small_trace)
+        stats = store.stats()
+        assert stats.entries["results"] == 2
+        assert stats.entries["traces"] == 1
+        assert stats.entries["hitmasks"] == 0
+        assert stats.total_entries == 3
+        assert stats.total_bytes > 0
+
+    def test_fingerprints_sorted(self, store, result):
+        for fp in ("c", "a", "b"):
+            store.put_result(fp, result)
+        assert store.fingerprints("results") == ["a", "b", "c"]
+
+    def test_clear_keeps_oplog(self, store, result):
+        store.put_result("a", result)
+        store.oplog.append("run1", "sweep_started", n_specs=1)
+        assert store.clear() == 1
+        assert store.get_result("a") is None
+        assert len(store.oplog.entries("run1")) == 1
+
+    def test_integrity_check_ok(self, store, result):
+        store.put_result("a", result)
+        assert store.integrity_check() == "ok"
+
+    def test_close_is_idempotent(self, tmp_path):
+        store = SQLiteStore(tmp_path / "x.db")
+        store.close()
+        store.close()
+
+    def test_reopen_sees_previous_writes(self, tmp_path, result):
+        path = tmp_path / "x.db"
+        st = SQLiteStore(path)
+        st.put_result("fp1", result)
+        st.close()
+        st2 = SQLiteStore(path)
+        try:
+            assert st2.get_result("fp1") == result
+        finally:
+            st2.close()
+
+
+class TestOplog:
+    def test_append_returns_monotonic_seqs(self, store):
+        seqs = [store.oplog.append("r", "tick", n=i) for i in range(3)]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 3
+
+    def test_entries_filter_by_run_and_kind(self, store):
+        store.oplog.append("r1", "a", x=1)
+        store.oplog.append("r2", "a", x=2)
+        store.oplog.append("r1", "b", x=3)
+        assert [e.payload["x"] for e in store.oplog.entries("r1")] == [1, 3]
+        assert [e.kind for e in store.oplog.entries("r1", kind="b")] == ["b"]
+
+    def test_runs_census(self, store):
+        store.oplog.append("old", "a")
+        store.oplog.append("new", "a")
+        store.oplog.append("new", "b")
+        assert store.oplog.runs() == [("new", 2), ("old", 1)]
+
+    def test_describe_is_one_line(self, store):
+        store.oplog.append("r", "tick", n=1)
+        line = store.oplog.entries("r")[0].describe()
+        assert "tick" in line and "\n" not in line
+
+
+class TestJournal:
+    def test_empty_run_id_rejected(self, store):
+        with pytest.raises(StoreError, match="run id"):
+            SweepJournal(store, "")
+
+    def test_begin_record_finish_lifecycle(self, store):
+        j = SweepJournal(store, "run")
+        assert not j.started()
+        assert j.begin(["a", "b"]) is False  # fresh, not a resume
+        j.record(0, "a", "fp-a")
+        assert j.completed() == {"fp-a": "a"}
+        assert not j.finished()
+        j.finish(completed=1, failed=1)
+        assert j.finished()
+
+    def test_second_begin_is_a_resume(self, store):
+        j = SweepJournal(store, "run")
+        j.begin(["a"])
+        j2 = SweepJournal(store, "run")
+        assert j2.begin(["a"]) is True
+        assert len(j2.entries(kind="sweep_started")) == 2
+
+
+class TestEnsure:
+    def test_sqlite_path_detected_by_suffix(self, tmp_path):
+        assert is_sqlite_path(tmp_path / "x.db")
+        assert is_sqlite_path(tmp_path / "x.sqlite3")
+        assert not is_sqlite_path(tmp_path / "cache-dir")
+
+    def test_sqlite_file_detected_by_magic(self, tmp_path):
+        # a store file without a helpful suffix is still recognised
+        odd = tmp_path / "state"
+        SQLiteStore(odd).close()
+        assert is_sqlite_path(odd)
+        built = ensure_cache(odd)
+        assert isinstance(built, SQLiteStore)
+        built.close()
+
+    def test_ensure_cache_builds_store_for_db_path(self, tmp_path):
+        built = ensure_cache(tmp_path / "x.db")
+        assert isinstance(built, SQLiteStore)
+        built.close()
+
+    def test_ensure_store_passthrough(self, store, tmp_path):
+        assert ensure_store(None) is None
+        assert ensure_store(store) is store
+        built = ensure_store(tmp_path / "y.db")
+        assert isinstance(built, SQLiteStore)
+        built.close()
