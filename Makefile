@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test verify chaos crash guard bench bench-kernel bench-obs bench-store bench-sweep bench-verbose examples results clean
+.PHONY: install test verify chaos crash guard serve-drill bench bench-kernel bench-obs bench-serve bench-store bench-sweep bench-verbose examples results clean
 
 results: bench
 	$(PYTHON) tools/collect_results.py
@@ -17,10 +17,18 @@ verify:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	$(MAKE) bench-sweep
 	$(MAKE) crash
+	$(MAKE) serve-drill
 
 # chaos smoke: fault injection, worker kills, cache corruption
 chaos:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/faults -x -q
+
+# request-plane drills: slowloris, flood past the admission queue,
+# mid-request SIGKILL of the supervised daemon child, concurrent
+# clients with bit-identity vs the one-shot CLI path
+serve-drill:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/service/test_chaos_requests.py \
+		tests/service/test_serve_concurrency.py -x -q
 
 # kill -9 drills: SIGKILL a writer / the sweep coordinator / a pool
 # worker, reopen the store, prove zero corruption and bit-identical
@@ -61,6 +69,13 @@ bench-sweep:
 bench-store:
 	MNEMO_BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/bench_store.py --benchmark-only -s
+
+# request-plane smoke: warm `size` p50/p99 over the socket and the
+# shed rate under flood; fails over the p99 ceiling or on any
+# transport failure; refreshes BENCH_serve.json
+bench-serve:
+	MNEMO_BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest \
+		benchmarks/bench_serve.py --benchmark-only -s
 
 # telemetry overhead smoke: sweeps with a session on vs off must be
 # bit-identical and within the ceiling; refreshes BENCH_obs.json

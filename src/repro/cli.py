@@ -33,6 +33,7 @@ import argparse
 import logging
 import sys
 from contextlib import nullcontext
+from pathlib import Path
 from typing import Sequence
 
 from repro import telemetry
@@ -333,10 +334,34 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="S",
                        help="first restart backoff in seconds; doubles "
                             "per restart (default 0.5)")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="request-plane worker threads (default 2)")
+    serve.add_argument("--queue-depth", type=int, default=8, metavar="N",
+                       help="admission-queue capacity before requests "
+                            "are shed (default 8)")
     serve.add_argument("--control", metavar="OP",
-                       choices=["ping", "status", "metrics", "shutdown"],
+                       choices=["ping", "status", "metrics", "shutdown",
+                                "size", "validate", "drift", "reload",
+                                "register", "revoke"],
                        help="instead of serving, send OP to the service "
                             "listening under --rundir and print its reply")
+    serve.add_argument("--token", default=None, metavar="TOKEN",
+                       help="auth token attached to --control requests")
+    serve.add_argument("--new-token", default=None, metavar="TOKEN",
+                       help="token to register (--control register)")
+    serve.add_argument("--revoke-token", default=None, metavar="TOKEN",
+                       help="token to revoke (--control revoke)")
+    serve.add_argument("--deadline", type=float, default=None, metavar="S",
+                       help="per-request deadline for --control advice "
+                            "ops (server default when omitted)")
+    serve.add_argument("--set", action="append", default=[], metavar="K=V",
+                       dest="set_fields",
+                       help="request field for --control size/validate/"
+                            "reload (repeatable), e.g. --set slo=0.15")
+    serve.add_argument("--drift-keys", default=None, metavar="FILE",
+                       help="JSON file with the key-id sample for "
+                            "--control drift (a list, or an object with "
+                            "'keys' and optional 'sizes')")
 
     obs = sub.add_parser(
         "obs",
@@ -694,15 +719,74 @@ def _cmd_guard(args) -> int:
     return outcome.exit_code
 
 
+def _parse_set_fields(pairs) -> dict:
+    """Parse repeated ``--set key=value`` flags into request fields.
+
+    Values parse as JSON when they can (numbers, booleans, null) and
+    fall back to plain strings, so ``--set slo=0.15`` sends a float
+    while ``--set workload=news_feed`` sends a string.
+    """
+    import json as _json
+
+    fields = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise UsageError(f"--set expects key=value, got {pair!r}")
+        try:
+            fields[key] = _json.loads(value)
+        except _json.JSONDecodeError:
+            fields[key] = value
+    return fields
+
+
+def _control_request(args) -> dict:
+    """Assemble the request fields for one ``--control`` op."""
+    import json as _json
+
+    request = _parse_set_fields(args.set_fields)
+    if args.deadline is not None:
+        _check_range("--deadline", args.deadline, lo=0.0, lo_open=True)
+        request["deadline_s"] = args.deadline
+    if args.control == "register":
+        if not args.new_token:
+            raise UsageError("--control register needs --new-token")
+        request["new_token"] = args.new_token
+    if args.control == "revoke":
+        if not args.revoke_token:
+            raise UsageError("--control revoke needs --revoke-token")
+        request["revoke_token"] = args.revoke_token
+    if args.control == "drift":
+        if not args.drift_keys:
+            raise UsageError("--control drift needs --drift-keys FILE")
+        try:
+            doc = _json.loads(
+                Path(args.drift_keys).read_text(encoding="utf-8")
+            )
+        except (OSError, _json.JSONDecodeError) as exc:
+            raise UsageError(
+                f"cannot read drift sample {args.drift_keys}: {exc}"
+            ) from exc
+        if isinstance(doc, dict):
+            request["keys"] = doc.get("keys")
+            if doc.get("sizes") is not None:
+                request["sizes"] = doc["sizes"]
+        else:
+            request["keys"] = doc
+    return request
+
+
 def _cmd_serve(args) -> int:
     import json as _json
 
+    from repro.errors import ServiceError
     from repro.service import (
         DEFAULT_RUNDIR,
         RestartPolicy,
         ServeConfig,
+        ServiceClient,
         Supervisor,
-        control_call,
+        diagnose_unreachable,
         run_service,
     )
     from repro.service.serve import _service_child
@@ -716,6 +800,12 @@ def _cmd_serve(args) -> int:
         )
     if args.workload not in {w.name for w in TABLE_III_WORKLOADS}:
         raise UsageError(f"unknown workload {args.workload!r}")
+    if args.workers < 1:
+        raise UsageError(f"--workers must be >= 1, got {args.workers}")
+    if args.queue_depth < 1:
+        raise UsageError(
+            f"--queue-depth must be >= 1, got {args.queue_depth}"
+        )
 
     config = ServeConfig(
         workload=args.workload,
@@ -729,16 +819,21 @@ def _cmd_serve(args) -> int:
         store=args.store,
         rundir=args.rundir or DEFAULT_RUNDIR,
         run_id=args.run_id,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
     )
 
     if args.control:
+        client = ServiceClient(
+            config.socket_path, token=args.token, label="cli",
+        )
         try:
-            reply = control_call(config.socket_path, {"op": args.control})
-        except OSError as exc:
-            raise UsageError(
-                f"no service listening on {config.socket_path}: {exc}"
-            ) from exc
-        if args.control == "metrics":
+            reply = client.call(args.control, **_control_request(args))
+        except ServiceError as exc:
+            raise UsageError(diagnose_unreachable(
+                config.socket_path, config.heartbeat_path, exc,
+            )) from exc
+        if args.control == "metrics" and reply.get("ok"):
             sys.stdout.write(reply.get("prometheus", ""))
         else:
             print(_json.dumps(reply, indent=1, sort_keys=True))
@@ -758,6 +853,7 @@ def _cmd_serve(args) -> int:
     )
     supervisor = Supervisor(
         _service_child, args=(config, args.max_ticks), policy=policy,
+        control_socket=config.socket_path,
     )
     # SIGTERM/SIGINT stop the supervisor (which SIGTERMs the child so
     # the service unwinds gracefully); record the signal for the exit

@@ -97,3 +97,22 @@ class GuardError(ReproError):
     impossible — e.g. a live trace over a different key space, or a
     fallback search whose every candidate split fails to validate.
     """
+
+
+class ServiceError(ReproError):
+    """The served-advisor request plane could not complete an operation.
+
+    Raised by :class:`~repro.service.client.ServiceClient` when a daemon
+    stays unreachable past the retry budget, and by the service itself
+    for malformed request-plane configuration.
+    """
+
+
+class DeadlineExceededError(ServiceError, TimeoutError):
+    """A served request ran past its deadline.
+
+    Raised at the advisor's cooperative cancellation checkpoints; the
+    request plane translates it into a structured
+    ``{"ok": false, "error": "deadline_exceeded"}`` response instead of
+    letting it kill a worker thread.
+    """

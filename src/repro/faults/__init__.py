@@ -8,8 +8,9 @@ Two halves (see ``docs/FAULTS.md``):
   function of (experiment fingerprint, fault spec), so faulty runs stay
   bit-reproducible and cacheable.
 - :mod:`repro.faults.chaos` — *pipeline* chaos: deterministic worker
-  kills and cache corruption used to exercise the resilient runner and
-  the cache's checksum quarantine.
+  kills, cache corruption, and control-socket attacks (slowloris,
+  request floods) used to exercise the resilient runner, the cache's
+  checksum quarantine, and the served advisor's request plane.
 """
 
 from repro.faults.chaos import (
@@ -17,6 +18,8 @@ from repro.faults.chaos import (
     ChaosPlan,
     corrupt_cache_entries,
     corrupt_store_rows,
+    request_flood,
+    slowloris_probe,
 )
 from repro.faults.models import (
     FAULT_KINDS,
@@ -34,6 +37,8 @@ __all__ = [
     "ChaosPlan",
     "corrupt_cache_entries",
     "corrupt_store_rows",
+    "request_flood",
+    "slowloris_probe",
     "FAULT_KINDS",
     "BandwidthDegradation",
     "FaultSpec",

@@ -14,10 +14,16 @@ runner's retry / quarantine machinery can be exercised under test:
   cache entries so the checksum walk in
   :class:`~repro.runner.cache.ResultCache` can be shown to quarantine
   and recompute them.
+- :func:`slowloris_probe` and :func:`request_flood` attack the served
+  advisor's control socket — a client that stalls mid-request-line and
+  a burst that overruns the admission queue — so the request plane's
+  read timeout and load shedding can be drilled
+  (``tests/service/test_chaos_requests.py``, ``make serve-drill``).
 
-Both are used by the chaos tests under ``tests/faults/`` and the
-``make chaos`` CI smoke job.  They are test instruments, but live in
-the library so operators can stage game-days against real sweeps.
+All are used by the chaos tests under ``tests/faults/`` +
+``tests/service/`` and the ``make chaos`` / ``make serve-drill`` CI
+smoke jobs.  They are test instruments, but live in the library so
+operators can stage game-days against real sweeps and daemons.
 """
 
 from __future__ import annotations
@@ -122,6 +128,113 @@ class ChaosPlan:
                 f"chaos strike {strike + 1}/{self.max_strikes} on {label!r}"
             )
         return
+
+
+def slowloris_probe(
+    socket_path,
+    partial: bytes = b'{"op": "statu',
+    timeout_s: float = 30.0,
+) -> dict | None:
+    """Stall a control-socket request mid-line; returns the reply.
+
+    Connects, sends *partial* (valid JSON prefix, **no** newline) and
+    then goes silent — the classic slowloris posture.  A robust server
+    must not pin a handler thread forever: it should answer a
+    structured ``read_timeout`` error (returned parsed) or drop the
+    connection (returns None).  ``timeout_s`` bounds how long the probe
+    itself waits before giving up.
+    """
+    import json
+    import socket as _socket
+
+    with _socket.socket(_socket.AF_UNIX, _socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout_s)
+        sock.connect(str(socket_path))
+        sock.sendall(partial)
+        try:
+            data = sock.recv(65536)
+        except OSError:
+            return None
+    if not data:
+        return None
+    try:
+        return json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+
+
+def request_flood(
+    socket_path,
+    request: dict,
+    n_requests: int = 32,
+    concurrency: int = 16,
+    timeout_s: float = 60.0,
+) -> dict:
+    """Fire a concurrent burst at the control socket; tally the outcomes.
+
+    Launches ``concurrency`` threads collectively sending ``n_requests``
+    copies of *request*, with no client-side pacing — the point is to
+    overrun the admission queue.  Returns a tally::
+
+        {"ok": ..., "overloaded": ..., "deadline_exceeded": ...,
+         "other_error": ..., "connection_error": ..., "responses": [...]}
+
+    Against a robust daemon every request lands in one of the first
+    three buckets (answered, shed with a structured error, or expired
+    with a structured error) — ``connection_error`` counts transport
+    failures, which a flood must *not* cause.
+    """
+    import queue as _queue
+    import threading
+
+    from repro.service.serve import control_call
+
+    if n_requests < 1 or concurrency < 1:
+        raise ConfigurationError(
+            "n_requests and concurrency must both be >= 1"
+        )
+    work: _queue.Queue = _queue.Queue()
+    for _ in range(n_requests):
+        work.put(request)
+    responses: list[dict | None] = []
+    lock = threading.Lock()
+
+    def _worker() -> None:
+        while True:
+            try:
+                req = work.get_nowait()
+            except _queue.Empty:
+                return
+            try:
+                response = control_call(socket_path, req, timeout=timeout_s)
+            except (OSError, ValueError):
+                response = None
+            with lock:
+                responses.append(response)
+
+    threads = [
+        threading.Thread(target=_worker, daemon=True)
+        for _ in range(min(concurrency, n_requests))
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout_s)
+    tally = {
+        "ok": 0, "overloaded": 0, "deadline_exceeded": 0,
+        "other_error": 0, "connection_error": 0,
+    }
+    for response in responses:
+        if response is None:
+            tally["connection_error"] += 1
+        elif response.get("ok"):
+            tally["ok"] += 1
+        elif response.get("error") in ("overloaded", "deadline_exceeded"):
+            tally[response["error"]] += 1
+        else:
+            tally["other_error"] += 1
+    tally["responses"] = responses
+    return tally
 
 
 def corrupt_cache_entries(

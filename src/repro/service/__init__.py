@@ -1,18 +1,44 @@
-"""Service layer: supervised, observable long-running guard operation.
+"""Service layer: the supervised, observable served advisor.
 
-``mnemo serve`` (see ``docs/STORE.md``) composes three pieces:
+``mnemo serve`` (see ``docs/SERVE.md``) composes five pieces:
 
 - :mod:`repro.service.signals` — SIGTERM/SIGINT as catchable
   :class:`TerminationSignal` control flow, so every ``finally`` runs;
+- :mod:`repro.service.requests` — the request plane: per-request
+  :class:`Deadline` budgets, the bounded :class:`RequestPlane` worker
+  pool with admission control and load shedding, and the
+  :class:`AuthRegistry` of journaled token digests;
+- :mod:`repro.service.advisor` — :class:`ServedAdvisor`, the Mnemo
+  sizing/validation/drift engine behind the socket ops, bit-identical
+  to the CLI one-shots and memoized through the shared store;
 - :mod:`repro.service.serve` — :class:`GuardService`, the scheduled
-  guard-tick loop with a heartbeat file and a unix-socket control API
-  (``ping`` / ``status`` / ``metrics`` / ``shutdown``);
+  guard-tick loop with a heartbeat file and the unix-socket control
+  API (``ping`` / ``status`` / ``metrics`` / ``size`` / ``validate`` /
+  ``drift`` / ``reload`` / ``register`` / ``revoke`` / ``shutdown``);
+- :mod:`repro.service.client` — :class:`ServiceClient`, the retrying
+  caller (bounded exponential backoff, deterministic jitter,
+  server-directed pacing) used by the CLI ``--control`` path and the
+  supervisor, plus :func:`diagnose_unreachable` heartbeat forensics;
 - :mod:`repro.service.supervisor` — :class:`Supervisor`, the
   crash-restart wrapper with exponential backoff and a restart budget.
 """
 
+from repro.service.advisor import ServedAdvisor
+from repro.service.client import (
+    ClientPolicy,
+    ServiceClient,
+    diagnose_unreachable,
+)
+from repro.service.requests import (
+    AuthRegistry,
+    Deadline,
+    RequestPlane,
+    token_digest,
+)
 from repro.service.serve import (
+    ADVICE_OPS,
     DEFAULT_RUNDIR,
+    RELOADABLE_FIELDS,
     GuardService,
     ServeConfig,
     control_call,
@@ -27,16 +53,26 @@ from repro.service.signals import (
 from repro.service.supervisor import STOP_GRACE_S, RestartPolicy, Supervisor
 
 __all__ = [
+    "ADVICE_OPS",
+    "AuthRegistry",
+    "ClientPolicy",
     "DEFAULT_RUNDIR",
+    "Deadline",
     "GuardService",
+    "RELOADABLE_FIELDS",
+    "RequestPlane",
     "RestartPolicy",
     "STOP_GRACE_S",
     "ServeConfig",
+    "ServedAdvisor",
+    "ServiceClient",
     "Supervisor",
     "TERMINATION_SIGNALS",
     "TerminationSignal",
     "control_call",
     "default_tick",
+    "diagnose_unreachable",
     "handle_termination",
     "run_service",
+    "token_digest",
 ]

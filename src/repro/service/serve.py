@@ -1,28 +1,37 @@
-"""The supervised guard service: scheduled guard ticks, observable over a socket.
+"""The served advisor: guard ticks plus a full advice API over a socket.
 
-``mnemo serve`` turns the PR 4 guard loop from a cron-invoked one-shot
-into a long-lived service.  :class:`GuardService` runs *ticks* — one
-drift + margin (+ periodic validation) pass each — on a schedule, and
-makes itself observable and controllable while it runs:
+``mnemo serve`` turned the PR 4 guard loop into a long-lived service;
+this module turns that service into a *served advisor*.  Besides the
+scheduled guard ticks (drift + margin + periodic validation, journaled
+to the oplog), :class:`GuardService` now answers advice requests over
+its unix-socket control API — one JSON request line in, one JSON
+response line out:
 
-- a **heartbeat file**, rewritten atomically after every tick, carries
-  pid, tick count, last exit code and timestamps — liveness checks are
-  one ``cat`` away and a crash leaves an honestly stale heartbeat, not
-  a torn one;
-- a **unix socket control API** (JSON, one request line, one response
-  line) answers ``ping`` / ``status`` / ``metrics`` / ``shutdown``;
-  ``metrics`` returns the telemetry registry in Prometheus text
-  exposition format, so a scrape is one ``nc`` away;
-- every tick is journaled to the store's **oplog** (``guard_tick``
-  events under the service's run id) when a store is configured, so
-  the service's history survives the process.
+========== ===================================================
+op          what it does
+========== ===================================================
+``ping``    liveness probe (the only op open without a token)
+``status``  the heartbeat document, plus request-plane state
+``metrics`` the telemetry registry in Prometheus text format
+``size``    run the Mnemo advisor for a named workload profile
+``validate`` replay a sizing through the recommendation validator
+``drift``   score a submitted key-stream sample for drift
+``reload``  hot-swap the watched recommendation, no restart
+``register`` / ``revoke``  manage auth tokens (oplog-journaled)
+``shutdown`` finish the current tick and exit gracefully
+========== ===================================================
 
-Shutdown is graceful on SIGTERM/SIGINT (via
-:mod:`repro.service.signals`) and on a socket ``shutdown`` request:
-the loop finishes its current tick, stamps the heartbeat ``stopped``,
-journals ``service_stopped``, closes the store and removes the socket.
-Crash-restart supervision lives one level up, in
-:class:`repro.service.supervisor.Supervisor`.
+The heavy ops (``size`` / ``validate`` / ``drift``) run on the bounded
+worker pool of :class:`~repro.service.requests.RequestPlane`: a full
+admission queue sheds with a structured ``overloaded`` error and a
+``retry_after_s`` hint, every request carries a deadline with
+cooperative
+cancellation, and a client that sends a partial line and stalls
+(slowloris) is cut off by a read timeout instead of pinning a handler
+thread.  When the advisor or store errors mid-request the service
+degrades gracefully — the last good response for the same parameters
+is re-served flagged ``stale: true`` with its age — and a failing tick
+never kills the loop.  See ``docs/SERVE.md`` for the full schema.
 """
 
 from __future__ import annotations
@@ -34,15 +43,40 @@ import socketserver
 import sys
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 from repro import telemetry
-from repro.errors import ConfigurationError, StoreError
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    GuardError,
+    ReproError,
+    StoreError,
+    WorkloadError,
+)
+from repro.service.requests import AuthRegistry, Deadline, RequestPlane
 from repro.service.signals import TerminationSignal, handle_termination
+from repro.store.oplog import (
+    KIND_CONFIG_RELOADED,
+    KIND_REQUEST_SERVED,
+    KIND_TOKEN_REGISTERED,
+    KIND_TOKEN_REVOKED,
+)
 
 #: Default run directory for the heartbeat file and control socket.
 DEFAULT_RUNDIR = ".mnemo-serve"
+
+#: Ops that run on the request plane (queued, deadline-checked).
+ADVICE_OPS = ("size", "validate", "drift")
+
+#: ServeConfig fields a ``reload`` request may change.  Identity and
+#: filesystem layout (rundir, run id, store path) stay fixed for the
+#: daemon's lifetime — changing those is a restart, not a reload.
+RELOADABLE_FIELDS = (
+    "workload", "engine", "slo", "interval_s", "validate_every",
+    "repeats", "seed", "downsample", "deadline_s",
+)
 
 
 @dataclass(frozen=True)
@@ -67,6 +101,15 @@ class ServeConfig:
         Directory for the heartbeat file and control socket.
     run_id:
         The oplog run id service events are journaled under.
+    workers / queue_depth:
+        Request-plane sizing: worker threads answering advice ops, and
+        the admission-queue capacity beyond which requests are shed.
+    deadline_s / max_deadline_s:
+        Default and ceiling for per-request deadlines; a request's own
+        ``deadline_s`` field is clamped to the ceiling.
+    read_timeout_s / max_request_bytes:
+        Slowloris defences: how long a handler waits for the request
+        line, and the largest request line accepted.
     """
 
     workload: str = "trending"
@@ -80,6 +123,12 @@ class ServeConfig:
     store: str | None = None
     rundir: str = DEFAULT_RUNDIR
     run_id: str = "serve"
+    workers: int = 2
+    queue_depth: int = 8
+    deadline_s: float = 30.0
+    max_deadline_s: float = 300.0
+    read_timeout_s: float = 5.0
+    max_request_bytes: int = 1_000_000
 
     def __post_init__(self) -> None:
         if self.interval_s <= 0:
@@ -89,6 +138,23 @@ class ServeConfig:
         if self.validate_every < 0:
             raise ConfigurationError(
                 f"validate_every must be >= 0, got {self.validate_every}"
+            )
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+        if self.queue_depth < 1:
+            raise ConfigurationError(
+                f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
+        if not 0 < self.deadline_s <= self.max_deadline_s:
+            raise ConfigurationError(
+                f"deadline_s must be in (0, {self.max_deadline_s}], "
+                f"got {self.deadline_s}"
+            )
+        if self.read_timeout_s <= 0:
+            raise ConfigurationError(
+                f"read_timeout_s must be positive, got {self.read_timeout_s}"
             )
 
     @property
@@ -107,46 +173,19 @@ def default_tick(config: ServeConfig):
 
     Returns a zero-argument callable producing the tick's exit code
     (the :class:`~repro.guard.loop.GuardOutcome` convention: 0 clean,
-    1 warnings, 3 action needed).  The profile is measured once at
-    service start — the service watches one recommendation; replacing
-    the recommendation is a restart.
+    1 warnings, 3 action needed).  Kept as the stand-alone tick builder
+    for embedders; the service itself now ticks through its
+    :class:`~repro.service.advisor.ServedAdvisor`, which shares the
+    profile with the ``size``/``validate`` ops and supports ``reload``.
     """
-    from repro.core import Mnemo
-    from repro.guard import ErrorBudget
-    from repro.kvstore import DynamoLike, MemcachedLike, RedisLike
-    from repro.ycsb import (
-        YCSBClient, downsample, generate_trace, workload_by_name,
-    )
+    from repro.service.advisor import ServedAdvisor
 
-    engines = {
-        "redis": RedisLike, "memcached": MemcachedLike,
-        "dynamodb": DynamoLike,
-    }
-    planning = generate_trace(workload_by_name(config.workload))
-    if config.downsample and config.downsample > 1:
-        planning = downsample(
-            planning, factor=config.downsample, seed=config.seed
-        )
-    mnemo = Mnemo(
-        engine_factory=engines[config.engine],
-        client=YCSBClient(repeats=config.repeats, seed=config.seed),
-        cache=config.store,
-    )
-    report = mnemo.profile(planning)
-    loop = mnemo.guard_loop(budget=ErrorBudget())
+    advisor = ServedAdvisor(config)
     ticks = {"n": 0}
 
     def tick() -> int:
         ticks["n"] += 1
-        validate = (
-            config.validate_every > 0
-            and ticks["n"] % config.validate_every == 0
-        )
-        outcome = loop.run(
-            report, planning, live_trace=planning,
-            max_slowdown=config.slo, validate=validate,
-        )
-        return outcome.exit_code
+        return advisor.tick(ticks["n"])
 
     return tick
 
@@ -155,22 +194,55 @@ def default_tick(config: ServeConfig):
 
 
 class _ControlHandler(socketserver.StreamRequestHandler):
-    """One JSON request line in, one JSON response line out."""
+    """One JSON request line in, one JSON response line out.
+
+    The read is bounded in both time (``read_timeout_s`` — a slowloris
+    client that never finishes its line is answered ``read_timeout``
+    and dropped) and size (``max_request_bytes`` — an endless line is
+    answered ``request_too_large``), so one bad client can never pin a
+    handler thread or buffer unbounded garbage.
+    """
 
     def handle(self) -> None:  # pragma: no cover - exercised via requests
         service = self.server.service  # type: ignore[attr-defined]
+        config = service.config
+        self.connection.settimeout(config.read_timeout_s)
         try:
-            line = self.rfile.readline(65536).decode("utf-8").strip()
-            request = json.loads(line) if line else {}
+            line = self.rfile.readline(config.max_request_bytes + 2)
+        except OSError:  # timeout: the client stalled mid-line
+            telemetry.count("serve.slow_reads")
+            self._respond({
+                "ok": False, "error": "read_timeout",
+                "read_timeout_s": config.read_timeout_s,
+            })
+            return
+        if len(line) > config.max_request_bytes:
+            self._respond({
+                "ok": False, "error": "request_too_large",
+                "max_request_bytes": config.max_request_bytes,
+            })
+            return
+        try:
+            text = line.decode("utf-8").strip()
+            request = json.loads(text) if text else {}
         except (UnicodeDecodeError, json.JSONDecodeError):
             request = None
-        response = service._control(request)
-        self.wfile.write(json.dumps(response).encode("utf-8") + b"\n")
+        self._respond(service._control(request))
+
+    def _respond(self, response: dict) -> None:
+        try:
+            self.wfile.write(json.dumps(response).encode("utf-8") + b"\n")
+        except (OSError, ValueError):  # client already gone
+            pass
 
 
 class _ControlServer(socketserver.ThreadingUnixStreamServer):
     daemon_threads = True
     allow_reuse_address = True
+    # A flood must shed in the request plane, not bounce off the kernel
+    # accept backlog (whose default of 5 turns bursts of connects into
+    # EAGAIN connection errors before the daemon even sees them).
+    request_queue_size = 128
 
 
 def control_call(socket_path, request: dict, timeout: float = 5.0) -> dict:
@@ -192,7 +264,7 @@ def control_call(socket_path, request: dict, timeout: float = 5.0) -> dict:
 
 
 class GuardService:
-    """The schedulable, observable guard loop.
+    """The schedulable, observable served advisor.
 
     Parameters
     ----------
@@ -200,8 +272,9 @@ class GuardService:
         The :class:`ServeConfig` in force.
     tick_fn:
         Zero-argument callable returning an int exit code per tick;
-        defaults to the real guard tick (:func:`default_tick`), built
-        lazily on :meth:`run` so constructing a service is cheap.
+        defaults to ticking the service's own
+        :class:`~repro.service.advisor.ServedAdvisor` so ticks and
+        advice requests share one profiled recommendation.
     store:
         An open store to journal into; defaults to opening
         ``config.store`` (when set) on :meth:`run`.
@@ -213,10 +286,43 @@ class GuardService:
         self.store = store
         self._owns_store = store is None
         self.ticks = 0
+        self.tick_failures = 0
+        self.generation = 0
         self.last_exit_code: int | None = None
         self.started_unix: float | None = None
         self._stop = threading.Event()
         self._server: _ControlServer | None = None
+        self._advisor = None
+        self._advisor_lock = threading.Lock()
+        self._plane = RequestPlane(
+            workers=config.workers, queue_depth=config.queue_depth,
+        )
+        self._auth = AuthRegistry()
+        self._last_good: dict = {}
+        self._requests_served = 0
+
+    # -- the advisor -----------------------------------------------------------
+
+    @property
+    def advisor(self):
+        """The live :class:`~repro.service.advisor.ServedAdvisor` snapshot.
+
+        Built lazily; ``reload`` replaces it atomically, and in-flight
+        requests keep whichever snapshot they dispatched against.
+        """
+        with self._advisor_lock:
+            return self._advisor_locked()
+
+    def _advisor_locked(self):
+        """Build-or-return the advisor; caller holds ``_advisor_lock``."""
+        if self._advisor is None:
+            from repro.service.advisor import ServedAdvisor
+
+            cache = self.store if self.store is not None else (
+                self.config.store
+            )
+            self._advisor = ServedAdvisor(self.config, cache=cache)
+        return self._advisor
 
     # -- control ---------------------------------------------------------------
 
@@ -227,6 +333,7 @@ class GuardService:
     def status(self) -> dict:
         """The heartbeat document (also served over the socket)."""
         now = time.time()
+        advisor = self._advisor
         return {
             "pid": os.getpid(),
             "run_id": self.config.run_id,
@@ -235,6 +342,7 @@ class GuardService:
             "engine": self.config.engine,
             "interval_s": self.config.interval_s,
             "ticks": self.ticks,
+            "tick_failures": self.tick_failures,
             "last_exit_code": self.last_exit_code,
             "started_unix": self.started_unix,
             "updated_unix": now,
@@ -243,16 +351,28 @@ class GuardService:
                 if self.started_unix is not None else None
             ),
             "socket": str(self.config.socket_path),
+            "generation": self.generation,
+            "advisor_loaded": bool(advisor is not None and advisor.loaded),
+            "auth_active": self._auth.active,
+            "workers": self.config.workers,
+            "queue_depth": self.config.queue_depth,
+            "requests_served": self._requests_served,
         }
 
     def _control(self, request: dict | None) -> dict:
         """Dispatch one socket request (bad input never kills the service)."""
         if not isinstance(request, dict) or "op" not in request:
             return {"ok": False, "error": "expected one JSON line with 'op'"}
-        op = request["op"]
-        telemetry.count("serve.control", op=str(op))
+        op = str(request["op"])
+        telemetry.count("serve.control", op=op)
         if op == "ping":
-            return {"ok": True, "op": "ping", "pid": os.getpid()}
+            return {
+                "ok": True, "op": "ping", "pid": os.getpid(),
+                "auth_active": self._auth.active,
+            }
+        if not self._auth.authorize(request.get("token")):
+            telemetry.count("serve.unauthorized", op=op)
+            return {"ok": False, "op": op, "error": "unauthorized"}
         if op == "status":
             return {"ok": True, **self.status()}
         if op == "metrics":
@@ -262,7 +382,221 @@ class GuardService:
         if op == "shutdown":
             self.request_stop()
             return {"ok": True, "stopping": True}
+        if op == "register":
+            return self._op_register(request)
+        if op == "revoke":
+            return self._op_revoke(request)
+        if op == "reload":
+            return self._op_reload(request)
+        if op in ADVICE_OPS:
+            return self._op_advice(op, request)
         return {"ok": False, "error": f"unknown op {op!r}"}
+
+    # -- auth ops --------------------------------------------------------------
+
+    def _op_register(self, request: dict) -> dict:
+        try:
+            digest = self._auth.register(request.get("new_token"))
+        except ConfigurationError as exc:
+            return {
+                "ok": False, "op": "register",
+                "error": "bad_request", "detail": str(exc),
+            }
+        self._journal(KIND_TOKEN_REGISTERED, token_sha256=digest)
+        telemetry.event("serve.token_registered")
+        return {
+            "ok": True, "op": "register",
+            "token_sha256": digest, "auth_active": True,
+            "n_tokens": self._auth.n_tokens,
+        }
+
+    def _op_revoke(self, request: dict) -> dict:
+        token = request.get("revoke_token")
+        if not isinstance(token, str) or not token:
+            return {
+                "ok": False, "op": "revoke", "error": "bad_request",
+                "detail": "revoke needs a 'revoke_token' string",
+            }
+        from repro.service.requests import token_digest
+
+        revoked = self._auth.revoke(token)
+        if revoked:
+            self._journal(
+                KIND_TOKEN_REVOKED, token_sha256=token_digest(token),
+            )
+            telemetry.event("serve.token_revoked")
+        return {
+            "ok": True, "op": "revoke", "revoked": revoked,
+            "auth_active": self._auth.active,
+            "n_tokens": self._auth.n_tokens,
+        }
+
+    # -- hot reload ------------------------------------------------------------
+
+    def _op_reload(self, request: dict) -> dict:
+        """Build a replacement advisor, then swap it in atomically.
+
+        The new profile is fully measured *before* the swap, so advice
+        requests keep being answered from the old snapshot for the
+        whole (potentially long) rebuild; a broken override leaves the
+        running config untouched.
+        """
+        overrides = {
+            k: request[k] for k in RELOADABLE_FIELDS if k in request
+        }
+        rejected = sorted(
+            k for k in request
+            if k not in ("op", "token", *RELOADABLE_FIELDS)
+        )
+        if rejected:
+            return {
+                "ok": False, "op": "reload", "error": "bad_request",
+                "detail": f"not reloadable: {', '.join(rejected)}",
+            }
+        from repro.service.advisor import ServedAdvisor
+
+        try:
+            new_config = replace(self.config, **overrides)
+            cache = self.store if self.store is not None else (
+                new_config.store
+            )
+            deadline = Deadline(self.config.max_deadline_s)
+            advisor = ServedAdvisor(new_config, cache=cache)
+            advisor.ensure_loaded(deadline)
+        except (TypeError, ReproError) as exc:
+            telemetry.count("serve.reload_failures")
+            return {
+                "ok": False, "op": "reload", "error": "reload_failed",
+                "detail": str(exc),
+            }
+        with self._advisor_lock:
+            self.config = new_config
+            self._advisor = advisor
+            self.generation += 1
+            generation = self.generation
+        self._last_good.clear()
+        self._journal(
+            KIND_CONFIG_RELOADED, generation=generation,
+            **{k: overrides[k] for k in sorted(overrides)},
+        )
+        telemetry.event("serve.reloaded", generation=generation)
+        return {
+            "ok": True, "op": "reload", "generation": generation,
+            "workload": new_config.workload, "engine": new_config.engine,
+            "slo": new_config.slo, "changed": sorted(overrides),
+        }
+
+    # -- advice ops ------------------------------------------------------------
+
+    def _request_deadline(self, request: dict) -> Deadline:
+        budget = request.get("deadline_s", self.config.deadline_s)
+        try:
+            budget = float(budget)
+        except (TypeError, ValueError):
+            budget = self.config.deadline_s
+        budget = min(max(budget, 1e-3), self.config.max_deadline_s)
+        return Deadline(budget)
+
+    def _op_advice(self, op: str, request: dict) -> dict:
+        # snapshot advisor AND generation together: reloads don't move
+        # in-flight work, and a response must label the snapshot it was
+        # actually computed against
+        with self._advisor_lock:
+            advisor = self._advisor_locked()
+            generation = self.generation
+        deadline = self._request_deadline(request)
+        t0 = time.perf_counter()
+        response = self._plane.start().submit(
+            op,
+            lambda: self._serve_advice(
+                op, advisor, generation, request, deadline,
+            ),
+            deadline,
+        )
+        elapsed = time.perf_counter() - t0
+        telemetry.observe("serve.request_s", elapsed, op=op)
+        self._requests_served += 1
+        self._journal(
+            KIND_REQUEST_SERVED, op=op,
+            status=(
+                "ok" if response.get("ok")
+                else str(response.get("error", "error"))
+            ),
+            stale=bool(response.get("stale")),
+            duration_s=round(elapsed, 6),
+        )
+        return response
+
+    def _memo_key(self, op: str, request: dict) -> str:
+        params = {
+            k: v for k, v in sorted(request.items())
+            if k not in ("op", "token", "deadline_s")
+        }
+        return f"{op}:{json.dumps(params, sort_keys=True, default=str)}"
+
+    def _serve_advice(self, op: str, advisor, generation: int,
+                      request: dict, deadline: Deadline) -> dict:
+        """Run one advice op on a worker; degrade instead of erroring.
+
+        Runs the op against the dispatched advisor snapshot.  Parameter
+        errors come back as ``bad_request``; an advisor or store failure
+        re-serves the last good response for the same parameters with
+        ``stale: true`` and its age, keeping a degraded daemon useful.
+        """
+        key = self._memo_key(op, request)
+        try:
+            if op == "size":
+                body = advisor.size(
+                    workload=request.get("workload"),
+                    engine=request.get("engine"),
+                    slo=request.get("slo"),
+                    deadline=deadline,
+                )
+            elif op == "validate":
+                body = advisor.validate(
+                    n_fast_keys=request.get("n_fast_keys"),
+                    budget_pct=request.get("budget_pct"),
+                    deadline=deadline,
+                )
+            else:
+                body = advisor.drift(
+                    keys=request.get("keys"),
+                    sizes=request.get("sizes"),
+                    deadline=deadline,
+                )
+        except DeadlineExceededError:
+            raise  # the plane renders the structured response
+        except (ConfigurationError, WorkloadError, GuardError) as exc:
+            return {
+                "ok": False, "op": op,
+                "error": "bad_request", "detail": str(exc),
+            }
+        except ReproError as exc:
+            return self._degrade(op, key, exc)
+        response = {
+            "ok": True, "op": op, "generation": generation,
+            "stale": False, **body,
+        }
+        self._last_good[key] = (time.time(), response)
+        return response
+
+    def _degrade(self, op: str, key: str, exc: ReproError) -> dict:
+        """Serve the last good answer, honestly flagged stale."""
+        telemetry.count("serve.degraded", op=op)
+        memo = self._last_good.get(key)
+        if memo is None:
+            return {
+                "ok": False, "op": op,
+                "error": "advisor_error", "detail": str(exc),
+            }
+        at, response = memo
+        telemetry.count("serve.stale_served", op=op)
+        return {
+            **response,
+            "stale": True,
+            "stale_age_s": round(time.time() - at, 3),
+            "stale_reason": str(exc),
+        }
 
     # -- plumbing --------------------------------------------------------------
 
@@ -277,8 +611,27 @@ class GuardService:
         os.replace(tmp, path)
 
     def _open_socket(self) -> None:
+        """Bind the control socket, reclaiming a stale path safely.
+
+        A SIGKILL leaves the previous socket file behind and a naive
+        rebind fails — but blind unlinking would steal the address from
+        a *live* daemon.  So an existing path is probed with ``ping``
+        first: an answer means another instance owns it (refuse to
+        start); silence means the file is stale and safe to reclaim.
+        """
         path = self.config.socket_path
-        if path.exists():  # a previous crash left the socket behind
+        if path.exists():
+            alive = None
+            try:
+                alive = control_call(path, {"op": "ping"}, timeout=1.0)
+            except (OSError, ValueError):
+                alive = None
+            if alive is not None and alive.get("ok"):
+                raise ConfigurationError(
+                    f"another service (pid {alive.get('pid')}) is already "
+                    f"listening on {path}; refusing to steal its socket"
+                )
+            telemetry.event("serve.stale_socket_reclaimed", path=str(path))
             path.unlink()
         self._server = _ControlServer(str(path), _ControlHandler)
         self._server.service = self  # type: ignore[attr-defined]
@@ -316,17 +669,23 @@ class GuardService:
         a stop request or termination signal arrives.  Returns 0 on any
         graceful stop; a :class:`TerminationSignal` still unwinds
         through cleanup but is re-raised for the CLI to translate into
-        ``128 + signum``.
+        ``128 + signum``.  A tick that raises is journaled and counted
+        — the loop (and the request plane riding on it) keeps serving.
         """
         Path(self.config.rundir).mkdir(parents=True, exist_ok=True)
         if self.store is None and self.config.store is not None:
             from repro.store import SQLiteStore
             self.store = SQLiteStore(self.config.store)
+        if self.store is not None:
+            self._auth = AuthRegistry.replay(
+                self.store.oplog, self.config.run_id,
+            )
         if self.tick_fn is None:
-            self.tick_fn = default_tick(self.config)
+            self.tick_fn = lambda: self.advisor.tick(self.ticks + 1)
         self._stop.clear()
         self.started_unix = time.time()
         self._open_socket()
+        self._plane.start()
         self._journal(
             "service_started", pid=os.getpid(),
             workload=self.config.workload, engine=self.config.engine,
@@ -340,17 +699,28 @@ class GuardService:
         try:
             while not self._stop.is_set():
                 t0 = time.perf_counter()
-                with telemetry.span("serve.tick", n=self.ticks + 1):
-                    code = int(self.tick_fn())
+                try:
+                    with telemetry.span("serve.tick", n=self.ticks + 1):
+                        code = int(self.tick_fn())
+                except Exception as exc:  # noqa: BLE001 - a failing tick
+                    # must never take the request plane down with it
+                    code = None
+                    self.tick_failures += 1
+                    telemetry.count("serve.tick_failures")
+                    self._journal(
+                        "guard_tick_failed", n=self.ticks + 1,
+                        error=str(exc)[:500],
+                    )
                 elapsed = time.perf_counter() - t0
                 self.ticks += 1
-                self.last_exit_code = code
-                telemetry.count("serve.ticks", status=str(code))
-                telemetry.observe("serve.tick_s", elapsed)
-                self._journal(
-                    "guard_tick", n=self.ticks, exit_code=code,
-                    duration_s=round(elapsed, 6),
-                )
+                if code is not None:
+                    self.last_exit_code = code
+                    telemetry.count("serve.ticks", status=str(code))
+                    telemetry.observe("serve.tick_s", elapsed)
+                    self._journal(
+                        "guard_tick", n=self.ticks, exit_code=code,
+                        duration_s=round(elapsed, 6),
+                    )
                 self._write_heartbeat()
                 if max_ticks is not None and self.ticks >= max_ticks:
                     break
@@ -367,6 +737,7 @@ class GuardService:
             raise
         finally:
             self._close_socket()
+            self._plane.close()
             self._journal(
                 "service_stopped", pid=os.getpid(), ticks=self.ticks,
             )

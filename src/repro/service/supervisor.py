@@ -11,7 +11,11 @@ back, so one bad patch a week does not slowly exhaust the allowance.
 The supervisor itself is signal-agnostic: callers stop it with
 :meth:`Supervisor.stop` (the CLI wires SIGTERM to that via
 :mod:`repro.service.signals`), which forwards SIGTERM to the child and
-waits for it to unwind gracefully before escalating to SIGKILL.
+waits for it to unwind gracefully before escalating to SIGKILL.  When
+the child exposes a control socket, the supervisor asks for a graceful
+``shutdown`` over it first (via
+:class:`~repro.service.client.ServiceClient`), so an in-flight advice
+request finishes before the signal ladder starts.
 """
 
 from __future__ import annotations
@@ -92,6 +96,12 @@ class Supervisor:
         The :class:`RestartPolicy` in force.
     name:
         Label for telemetry and backoff derivation.
+    control_socket:
+        Optional path of the child's control socket; when set, a stop
+        request first asks the child for a graceful ``shutdown`` over
+        the socket and only escalates to SIGTERM/SIGKILL if the child
+        does not unwind in time (or the request is refused — e.g. the
+        daemon has auth tokens registered).
     """
 
     def __init__(
@@ -100,11 +110,13 @@ class Supervisor:
         args: tuple = (),
         policy: RestartPolicy = RestartPolicy(),
         name: str = "service",
+        control_socket=None,
     ):
         self.target = target
         self.args = tuple(args)
         self.policy = policy
         self.name = name
+        self.control_socket = control_socket
         self.restarts = 0
         self._stop = mp.Event()
         self._child: mp.Process | None = None
@@ -133,12 +145,43 @@ class Supervisor:
         child.start()
         return child
 
+    def _request_graceful_shutdown(self) -> bool:
+        """Best-effort ``shutdown`` over the child's control socket.
+
+        Returns True when the child acknowledged; any failure (no
+        socket configured, daemon not listening yet, auth refusing an
+        unauthenticated supervisor) just means the caller proceeds to
+        the SIGTERM/SIGKILL ladder.
+        """
+        if self.control_socket is None:
+            return False
+        from repro.errors import ServiceError
+        from repro.service.client import ClientPolicy, ServiceClient
+
+        client = ServiceClient(
+            self.control_socket,
+            policy=ClientPolicy(max_attempts=1, timeout_s=1.0),
+            label=f"{self.name}-supervisor",
+        )
+        try:
+            reply = client.call("shutdown")
+        except ServiceError:
+            return False
+        if reply.get("ok"):
+            telemetry.event("service.child_shutdown_requested",
+                            service=self.name)
+            return True
+        return False
+
     def _wait(self, child: mp.Process) -> int:
         """Join *child*, polling the stop flag; returns its exit code."""
         while child.is_alive():
             if self._stop.is_set():
-                child.terminate()
-                child.join(timeout=STOP_GRACE_S)
+                if self._request_graceful_shutdown():
+                    child.join(timeout=STOP_GRACE_S)
+                if child.is_alive():
+                    child.terminate()
+                    child.join(timeout=STOP_GRACE_S)
                 if child.is_alive():  # pragma: no cover - stuck handler
                     child.kill()
                     child.join()

@@ -26,6 +26,23 @@ import json
 import time
 from dataclasses import dataclass
 
+#: Oplog kinds the served-advisor request plane appends (docs/SERVE.md):
+#: token registration/revocation events carry a ``token_sha256`` digest
+#: (never the raw token), and one ``request_served`` entry summarises
+#: each completed advice request (op, status, duration).
+KIND_TOKEN_REGISTERED = "auth_token_registered"
+KIND_TOKEN_REVOKED = "auth_token_revoked"
+KIND_REQUEST_SERVED = "request_served"
+KIND_CONFIG_RELOADED = "config_reloaded"
+
+#: Every request-plane kind, for censuses and tests.
+SERVICE_REQUEST_KINDS = (
+    KIND_TOKEN_REGISTERED,
+    KIND_TOKEN_REVOKED,
+    KIND_REQUEST_SERVED,
+    KIND_CONFIG_RELOADED,
+)
+
 
 @dataclass(frozen=True)
 class OplogEntry:
@@ -95,6 +112,13 @@ class Oplog:
                 at=row["at"], payload=payload,
             ))
         return out
+
+    def latest(
+        self, run_id: str | None = None, kind: str | None = None,
+    ) -> OplogEntry | None:
+        """The most recent matching entry, or None (liveness queries)."""
+        entries = self.entries(run_id=run_id, kind=kind)
+        return entries[-1] if entries else None
 
     def runs(self) -> list[tuple[str, int]]:
         """Distinct run ids with entry counts, most recent first."""

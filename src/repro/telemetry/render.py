@@ -78,6 +78,33 @@ class RunView:
             out[key] = out.get(key, 0.0) + rec["value"]
         return out
 
+    def histogram_breakdown(self, name: str, label: str) -> dict[str, dict]:
+        """Merged histogram payloads grouped by one label's values.
+
+        Returns ``{label_value: {"buckets": ..., "counts": ...,
+        "sum": ..., "count": ...}}`` with same-bucket histograms folded
+        together (mismatched bucket layouts keep the first seen).
+        """
+        out: dict[str, dict] = {}
+        for rec in self.metrics:
+            if rec["name"] != name or rec["type"] != "histogram":
+                continue
+            key = rec.get("labels", {}).get(label, "?")
+            merged = out.get(key)
+            if merged is None:
+                out[key] = {
+                    "buckets": list(rec["buckets"]),
+                    "counts": [int(c) for c in rec["counts"]],
+                    "sum": float(rec["sum"]),
+                    "count": int(rec["count"]),
+                }
+            elif list(rec["buckets"]) == merged["buckets"]:
+                for i, c in enumerate(rec["counts"]):
+                    merged["counts"][i] += int(c)
+                merged["sum"] += float(rec["sum"])
+                merged["count"] += int(rec["count"])
+        return out
+
 
 def _fmt_ns(ns: float) -> str:
     if ns >= 1e9:
@@ -173,6 +200,69 @@ def render_path_mix(view: RunView, width: int = 40) -> list[str]:
     return lines
 
 
+def histogram_quantile(payload: dict, q: float) -> float | None:
+    """Approximate quantile *q* from a histogram payload (upper bound).
+
+    Returns the upper bound of the bucket containing the *q*-th
+    observation — the standard bucketed-histogram estimate, biased
+    high by at most one bucket width.  ``inf``-bucket hits fall back
+    to the mean (better than reporting infinity); None when empty.
+    """
+    count = int(payload.get("count", 0))
+    if count == 0:
+        return None
+    rank = q * count
+    seen = 0
+    for bound, c in zip(payload["buckets"], payload["counts"]):
+        seen += int(c)
+        if seen >= rank:
+            return float(bound)
+    return payload["sum"] / count
+
+
+def render_request_plane(view: RunView) -> list[str]:
+    """The served-advisor request-plane section of the ``obs`` report.
+
+    Empty when the log contains no ``serve.control`` traffic, so the
+    section only appears for daemon runs.
+    """
+    ops = view.counter_breakdown("serve.control", "op")
+    if not ops:
+        return []
+    total = int(sum(ops.values()))
+    lines = [f"request plane: {total} control requests"]
+    latency = view.histogram_breakdown("serve.request_s", "op")
+    for op in sorted(ops):
+        line = f"  {op:<10} {int(ops[op]):>6}"
+        h = latency.get(op)
+        if h and h["count"]:
+            p50 = histogram_quantile(h, 0.50)
+            p99 = histogram_quantile(h, 0.99)
+            line += (
+                f"  mean {h['sum'] / h['count'] * 1e3:.1f}ms"
+                f"  p50<={p50 * 1e3:.0f}ms  p99<={p99 * 1e3:.0f}ms"
+            )
+        lines.append(line)
+    shed = view.counter_total("serve.shed")
+    deadline = view.counter_total("serve.deadline_exceeded")
+    unauthorized = view.counter_total("serve.unauthorized")
+    degraded = view.counter_total("serve.degraded")
+    stale = view.counter_total("serve.stale_served")
+    troubles = []
+    if shed:
+        troubles.append(f"shed {int(shed)}")
+    if deadline:
+        troubles.append(f"deadline_exceeded {int(deadline)}")
+    if unauthorized:
+        troubles.append(f"unauthorized {int(unauthorized)}")
+    if degraded:
+        troubles.append(f"degraded {int(degraded)} "
+                        f"(stale served {int(stale)})")
+    if troubles:
+        lines.append("  " + ", ".join(troubles))
+    return lines
+
+
 def render_run(view: RunView, top: int = 10) -> str:
     """The full ``mnemo obs`` report for one event log."""
     lines = [f"run {view.run_id}"]
@@ -194,6 +284,10 @@ def render_run(view: RunView, top: int = 10) -> str:
     lines += render_cache_summary(view)
     lines.append("")
     lines += render_path_mix(view)
+    plane = render_request_plane(view)
+    if plane:
+        lines.append("")
+        lines += plane
     events = _event_counts(view)
     if events:
         lines += ["", "events:"]

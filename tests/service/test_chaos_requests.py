@@ -1,0 +1,258 @@
+"""Chaos drills against the served advisor's request plane.
+
+Three attacks, all of which a robust daemon must survive without
+corruption or crashes (``make serve-drill`` runs this file in CI):
+
+- **slowloris** — a client that stalls mid-request-line must get a
+  structured ``read_timeout`` answer, not pin a handler thread.
+- **flood** — a burst past the admission queue must be answered or
+  *cleanly* shed with structured ``overloaded`` errors; transport-level
+  connection failures are never acceptable.
+- **mid-request SIGKILL** — killing the supervised daemon child while
+  an advice request is in flight must end in an automatic restart, a
+  working daemon, and a structurally sound store.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import telemetry
+from repro.faults import request_flood, slowloris_probe
+from repro.service import GuardService, ServeConfig, control_call
+from repro.store import SQLiteStore
+
+#: Cheap advisor settings (profile in seconds, memoized thereafter).
+FAST = dict(downsample=50.0, repeats=1, interval_s=0.1, validate_every=0)
+
+
+def _wait_for(predicate, timeout_s=60.0, interval_s=0.02):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return predicate()
+
+
+class _Daemon:
+    """An in-thread daemon with deterministic setup/teardown."""
+
+    def __init__(self, tmp_path, **overrides):
+        merged = {**FAST, "rundir": str(tmp_path / "run"),
+                  "run_id": "test-chaos", **overrides}
+        self.config = ServeConfig(**merged)
+        self.service = GuardService(self.config, tick_fn=lambda: 0)
+        self._codes = []
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+
+    def _serve(self):
+        with telemetry.session(run_id=self.config.run_id):
+            self._codes.append(self.service.run())
+
+    def __enter__(self):
+        self._thread.start()
+        assert _wait_for(self.config.socket_path.exists)
+        return self
+
+    def __exit__(self, *exc):
+        self.service.request_stop()
+        self._thread.join(timeout=30)
+        assert self._codes == [0]
+
+
+class TestSlowloris:
+    def test_stalled_client_gets_structured_timeout(self, tmp_path):
+        with _Daemon(tmp_path, read_timeout_s=0.5) as daemon:
+            t0 = time.monotonic()
+            reply = slowloris_probe(daemon.config.socket_path)
+            elapsed = time.monotonic() - t0
+            assert reply is not None, "handler dropped the connection"
+            assert reply["ok"] is False
+            assert reply["error"] == "read_timeout"
+            assert reply["read_timeout_s"] == 0.5
+            assert elapsed < 5.0  # bounded by the timeout, not forever
+            # the daemon is unharmed
+            assert control_call(
+                daemon.config.socket_path, {"op": "ping"},
+            )["ok"]
+
+    def test_oversized_request_line_rejected(self, tmp_path):
+        with _Daemon(tmp_path, max_request_bytes=256) as daemon:
+            huge = {"op": "ping", "padding": "x" * 1024}
+            reply = control_call(daemon.config.socket_path, huge)
+            assert reply["ok"] is False
+            assert reply["error"] == "request_too_large"
+            assert control_call(
+                daemon.config.socket_path, {"op": "ping"},
+            )["ok"]
+
+
+class TestFlood:
+    def test_flood_past_admission_queue_sheds_cleanly(self, tmp_path):
+        with _Daemon(tmp_path, workers=1, queue_depth=1) as daemon:
+            # warm the profile so flood timing is advisor-independent
+            assert control_call(
+                daemon.config.socket_path, {"op": "size"}, timeout=120.0,
+            )["ok"]
+            # slow the op down so the burst actually queues
+            advisor = daemon.service.advisor
+            real_size = advisor.size
+
+            def slow_size(**kwargs):
+                time.sleep(0.3)
+                return real_size(**kwargs)
+
+            advisor.size = slow_size
+            tally = request_flood(
+                daemon.config.socket_path, {"op": "size"},
+                n_requests=12, concurrency=12,
+            )
+            assert tally["connection_error"] == 0, tally
+            assert tally["other_error"] == 0, tally
+            assert tally["ok"] >= 1, tally
+            assert tally["overloaded"] >= 1, tally
+            shed = [
+                r for r in tally["responses"]
+                if r and r.get("error") == "overloaded"
+            ]
+            assert all(r["retry_after_s"] > 0 for r in shed)
+            # the daemon answers normally once the burst passes
+            advisor.size = real_size
+            assert control_call(
+                daemon.config.socket_path, {"op": "size"}, timeout=30.0,
+            )["ok"]
+
+    def test_tiny_deadline_is_a_structured_error(self, tmp_path):
+        with _Daemon(tmp_path, workers=1, queue_depth=2) as daemon:
+            assert control_call(
+                daemon.config.socket_path, {"op": "size"}, timeout=120.0,
+            )["ok"]
+            advisor = daemon.service.advisor
+            real_size = advisor.size
+
+            def slow_size(**kwargs):
+                time.sleep(0.5)
+                return real_size(**kwargs)
+
+            advisor.size = slow_size
+            reply = control_call(
+                daemon.config.socket_path,
+                {"op": "size", "deadline_s": 0.01},
+                timeout=30.0,
+            )
+            assert reply["ok"] is False
+            assert reply["error"] == "deadline_exceeded"
+            assert reply["deadline_s"] == 0.01
+
+
+class TestMidRequestKill:
+    """SIGKILL the supervised child mid-request; supervision recovers."""
+
+    def _launch(self, tmp_path, store_path):
+        rundir = tmp_path / "run"
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--workload", "trending",
+                "--downsample", "50",
+                "--repeats", "1",
+                "--validate-every", "0",
+                "--interval", "0.2",
+                "--rundir", str(rundir),
+                "--store", str(store_path),
+            ],
+            env=env,
+            cwd=tmp_path,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+        )
+        return proc, ServeConfig(rundir=str(rundir))
+
+    def _heartbeat(self, config):
+        try:
+            return json.loads(config.heartbeat_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def test_sigkill_mid_request_restarts_without_corruption(self, tmp_path):
+        store_path = tmp_path / "store.db"
+        proc, config = self._launch(tmp_path, store_path)
+        try:
+            assert _wait_for(
+                lambda: (self._heartbeat(config) or {}).get("ticks", 0) >= 1,
+                timeout_s=180.0,
+            ), "daemon never became healthy"
+            assert control_call(
+                config.socket_path, {"op": "size"}, timeout=120.0,
+            )["ok"]
+            first_pid = self._heartbeat(config)["pid"]
+            assert first_pid != proc.pid  # supervised: child != parent
+
+            # fire a request and kill the child while it is in flight
+            def doomed():
+                try:
+                    control_call(
+                        config.socket_path, {"op": "size"}, timeout=30.0,
+                    )
+                except (OSError, ValueError):
+                    pass  # losing THIS request is expected; corruption is not
+
+            killer_victim = threading.Thread(target=doomed, daemon=True)
+            killer_victim.start()
+            time.sleep(0.05)
+            os.kill(first_pid, signal.SIGKILL)
+            killer_victim.join(timeout=60)
+
+            # the supervisor restarts a fresh child on the same socket
+            assert _wait_for(
+                lambda: (
+                    (self._heartbeat(config) or {}).get("pid")
+                    not in (None, first_pid)
+                    and (self._heartbeat(config) or {}).get("status")
+                    == "running"
+                ),
+                timeout_s=180.0,
+            ), "supervisor never restarted the child"
+            second_pid = self._heartbeat(config)["pid"]
+            assert second_pid != first_pid
+            assert control_call(
+                config.socket_path, {"op": "ping"}, timeout=10.0,
+            )["ok"]
+            sized = control_call(
+                config.socket_path, {"op": "size"}, timeout=120.0,
+            )
+            assert sized["ok"]
+            assert sized["choice"]["n_fast_keys"] > 0
+
+            # graceful end through the front door
+            assert control_call(
+                config.socket_path, {"op": "shutdown"}, timeout=10.0,
+            )["ok"]
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+
+        # zero corruption: SQLite verdict + both service starts journaled
+        store = SQLiteStore(store_path)
+        try:
+            assert store.integrity_check() == "ok"
+            started = [
+                e for e in store.oplog.entries("serve")
+                if e.kind == "service_started"
+            ]
+            assert len(started) >= 2  # original + post-SIGKILL restart
+        finally:
+            store.close()
